@@ -1,0 +1,49 @@
+//! End-to-end benchmark: a small churn simulation per algorithm, and a
+//! small streaming simulation — the unit of work behind every figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rom_engine::{AlgorithmKind, ChurnConfig, ChurnSim, StreamingConfig, StreamingSim};
+use std::hint::black_box;
+
+fn small_churn(alg: AlgorithmKind) -> ChurnConfig {
+    let mut cfg = ChurnConfig::quick(alg, 200);
+    cfg.warmup_secs = 120.0;
+    cfg.measure_secs = 300.0;
+    cfg
+}
+
+fn bench_simulations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_200_members");
+    group.sample_size(10);
+    for alg in AlgorithmKind::ALL {
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| black_box(ChurnSim::new(small_churn(alg)).run()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("streaming_200_members");
+    group.sample_size(10);
+    group.bench_function("cer_k3", |b| {
+        b.iter(|| {
+            let cfg = StreamingConfig::paper(small_churn(AlgorithmKind::MinimumDepth), 3);
+            black_box(StreamingSim::new(cfg).run())
+        });
+    });
+    group.finish();
+}
+
+/// Keeps `cargo bench --workspace` affordable on one core: the simulation
+/// benches dominate and 10–20 samples resolve them fine.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_simulations
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the underlay substrate: topology generation,
+//! oracle precomputation and delay queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rom_net::{dijkstra, DelayOracle, TransitStubConfig, TransitStubNetwork, UnderlayId};
+use rom_sim::SimRng;
+use std::hint::black_box;
+
+fn bench_underlay(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(1);
+    let cfg = TransitStubConfig::sized_for(4_000);
+    let net = TransitStubNetwork::generate(&cfg, &mut rng);
+    let oracle = DelayOracle::build(&net);
+    let stubs: Vec<UnderlayId> = net.stub_nodes().collect();
+
+    c.bench_function("generate_topology_4000_members", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(2);
+            black_box(TransitStubNetwork::generate(&cfg, &mut rng))
+        });
+    });
+
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(20);
+    group.bench_function("build", |b| {
+        b.iter(|| black_box(DelayOracle::build(&net)));
+    });
+    group.finish();
+
+    c.bench_function("oracle_delay_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 101) % stubs.len();
+            let j = (i * 7 + 13) % stubs.len();
+            black_box(oracle.delay_ms(stubs[i], stubs[j]))
+        });
+    });
+
+    c.bench_function("dijkstra_full_graph", |b| {
+        b.iter(|| black_box(dijkstra(net.graph(), UnderlayId(0))));
+    });
+}
+
+/// Keeps `cargo bench --workspace` affordable on one core: the simulation
+/// benches dominate and 10–20 samples resolve them fine.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_underlay
+}
+criterion_main!(benches);

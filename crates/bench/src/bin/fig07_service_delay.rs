@@ -1,0 +1,28 @@
+//! Figure 7: average end-to-end service delay vs network size.
+//!
+//! Expected shape: longest-first worst by far (tall tree); ROST the best
+//! of the three distributed algorithms; centralized relaxed-BO the global
+//! best with ROST within tens of percent.
+
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_engine::AlgorithmKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 7",
+        "avg. service delay (ms) vs steady-state size",
+        scale,
+    );
+    let mut header = vec!["size".to_string()];
+    header.extend(AlgorithmKind::ALL.iter().map(|a| a.name().to_string()));
+    println!("{}", row(header));
+    for size in scale.sizes() {
+        let mut cells = vec![size.to_string()];
+        for alg in AlgorithmKind::ALL {
+            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale.seeds);
+            cells.push(fmt(mean_over(&reports, |r| r.service_delay_ms.mean())));
+        }
+        println!("{}", row(cells));
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 8: average network stretch (overlay delay / unicast delay) vs
+//! network size. Same expected ordering as Figure 7.
+
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_engine::AlgorithmKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 8",
+        "avg. network stretch vs steady-state size",
+        scale,
+    );
+    let mut header = vec!["size".to_string()];
+    header.extend(AlgorithmKind::ALL.iter().map(|a| a.name().to_string()));
+    println!("{}", row(header));
+    for size in scale.sizes() {
+        let mut cells = vec![size.to_string()];
+        for alg in AlgorithmKind::ALL {
+            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale.seeds);
+            cells.push(fmt(mean_over(&reports, |r| r.stretch.mean())));
+        }
+        println!("{}", row(cells));
+    }
+}

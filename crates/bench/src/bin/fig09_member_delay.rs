@@ -1,0 +1,36 @@
+//! Figure 9: service delay of the typical member over time.
+//!
+//! Expected shape: under ROST and relaxed-TO the member's delay falls as
+//! it ages (rising tree position); under the other algorithms it
+//! fluctuates without converging.
+
+use rom_bench::{banner, churn_config, fmt, row, Scale};
+use rom_engine::{AlgorithmKind, ChurnSim, ObserverSpec};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 9",
+        "service delay (ms) of a typical member over time (minutes)",
+        scale,
+    );
+    let size = scale.focus_size();
+    let horizon_min = scale.observer_minutes();
+    println!("# focus size: {size} members, horizon: {horizon_min} minutes");
+    println!("{}", row(["algorithm".into(), "minute:delay_ms...".into()]));
+    for alg in AlgorithmKind::ALL {
+        let mut cfg = churn_config(alg, size, 1);
+        cfg.measure_secs = horizon_min * 60.0;
+        cfg.observer = Some(ObserverSpec {
+            bandwidth: 2.0,
+            lifetime_secs: horizon_min * 60.0 + 600.0,
+        });
+        let report = ChurnSim::new(cfg).run();
+        let trace = report.observer.expect("observer configured");
+        let mut cells = vec![alg.name().to_string()];
+        for &(minute, delay) in &trace.delay_samples {
+            cells.push(format!("{}:{}", fmt(minute), fmt(delay)));
+        }
+        println!("{}", row(cells));
+    }
+}

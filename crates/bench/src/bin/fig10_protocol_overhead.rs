@@ -1,0 +1,31 @@
+//! Figure 10: protocol overhead — optimization-induced reconnections per
+//! node lifetime vs network size.
+//!
+//! Expected shape: minimum-depth and longest-first exactly zero; relaxed
+//! BO/TO substantial (evictions); ROST far below one reconnection per
+//! lifetime.
+
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_engine::AlgorithmKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 10",
+        "avg. optimization reconnections per node lifetime vs size",
+        scale,
+    );
+    let mut header = vec!["size".to_string()];
+    header.extend(AlgorithmKind::ALL.iter().map(|a| a.name().to_string()));
+    println!("{}", row(header));
+    for size in scale.sizes() {
+        let mut cells = vec![size.to_string()];
+        for alg in AlgorithmKind::ALL {
+            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale.seeds);
+            cells.push(fmt(mean_over(&reports, |r| {
+                r.reconnections_per_lifetime.mean()
+            })));
+        }
+        println!("{}", row(cells));
+    }
+}

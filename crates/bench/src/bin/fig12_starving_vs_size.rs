@@ -1,0 +1,45 @@
+//! Figure 12: average starving-time ratio vs network size for recovery
+//! group sizes 1–4 (minimum-depth tree, cooperative recovery).
+//!
+//! Expected shape: a small increase in group size cuts the starving ratio
+//! dramatically — group size 3 roughly an order of magnitude below size 1.
+
+use rom_bench::{banner, fmt, mean_over, replicate_streaming, row, Scale};
+use rom_engine::{AlgorithmKind, ChurnConfig, StreamingConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 12",
+        "avg. starving time ratio (%) vs steady-state size, group sizes 1-4",
+        scale,
+    );
+    println!(
+        "{}",
+        row([
+            "size".into(),
+            "K=1".into(),
+            "K=2".into(),
+            "K=3".into(),
+            "K=4".into(),
+        ])
+    );
+    for size in scale.sizes() {
+        let mut cells = vec![size.to_string()];
+        for k in 1..=4usize {
+            let reports = replicate_streaming(
+                |seed| {
+                    StreamingConfig::paper(
+                        ChurnConfig::paper(AlgorithmKind::MinimumDepth, size).with_seed(seed),
+                        k,
+                    )
+                },
+                scale.seeds,
+            );
+            cells.push(fmt(mean_over(&reports, |r| {
+                r.starving_ratio_percent.mean()
+            })));
+        }
+        println!("{}", row(cells));
+    }
+}

@@ -1,0 +1,196 @@
+//! # rom-bench: figure regeneration and benchmark harness
+//!
+//! One binary per evaluation figure of the paper (`fig04_disruptions` …
+//! `fig14_rost_cer`), each printing the same series the paper plots as
+//! CSV rows, plus criterion micro-benchmarks over the core operations.
+//!
+//! Every binary accepts:
+//!
+//! - `--paper` — run at the paper's §5 scale (network sizes up to 14 000
+//!   members over the 15 600-node topology). The default is a reduced
+//!   scale that finishes in seconds-to-minutes on a laptop.
+//! - `--seeds N` — number of replicated runs per point (default 3; each
+//!   uses an independent seed and the printed value is the mean).
+
+use rom_engine::{AlgorithmKind, ChurnConfig, ChurnSim, StreamingConfig, StreamingSim};
+use rom_engine::{ChurnReport, StreamingReport};
+use rom_stats::Summary;
+
+/// Scale and replication options shared by every figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Full §5 scale when true.
+    pub paper: bool,
+    /// Number of replicated seeds per data point.
+    pub seeds: u64,
+}
+
+impl Scale {
+    /// Parses `--paper` and `--seeds N` from the process arguments.
+    /// Unknown arguments abort with a usage message.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut scale = Scale {
+            paper: false,
+            seeds: 3,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper" => scale.paper = true,
+                "--seeds" => {
+                    let n = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage());
+                    scale.seeds = n;
+                }
+                "--help" | "-h" => usage(),
+                _ => usage(),
+            }
+        }
+        scale
+    }
+
+    /// The steady-state sizes swept by the size-axis figures
+    /// (Figs. 4, 7, 8, 10, 12).
+    #[must_use]
+    pub fn sizes(self) -> Vec<usize> {
+        if self.paper {
+            vec![2_000, 5_000, 8_000, 11_000, 14_000]
+        } else {
+            vec![500, 1_000, 2_000, 4_000]
+        }
+    }
+
+    /// The single size used by fixed-size figures (Figs. 5, 6, 9, 11, 13,
+    /// 14): the paper uses 8 000.
+    #[must_use]
+    pub fn focus_size(self) -> usize {
+        if self.paper {
+            8_000
+        } else {
+            2_000
+        }
+    }
+
+    /// The observer horizon for the member-trace figures (Figs. 6, 9):
+    /// the paper plots 300 minutes.
+    #[must_use]
+    pub fn observer_minutes(self) -> f64 {
+        if self.paper {
+            300.0
+        } else {
+            120.0
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: <figure-binary> [--paper] [--seeds N]");
+    std::process::exit(2)
+}
+
+/// The §5 churn configuration for one data point.
+#[must_use]
+pub fn churn_config(algorithm: AlgorithmKind, size: usize, seed: u64) -> ChurnConfig {
+    ChurnConfig::paper(algorithm, size).with_seed(seed)
+}
+
+/// Runs one churn configuration per seed and returns the reports.
+#[must_use]
+pub fn replicate_churn(make: impl Fn(u64) -> ChurnConfig, seeds: u64) -> Vec<ChurnReport> {
+    (1..=seeds)
+        .map(|seed| ChurnSim::new(make(seed)).run())
+        .collect()
+}
+
+/// Runs one streaming configuration per seed and returns the reports.
+#[must_use]
+pub fn replicate_streaming(
+    make: impl Fn(u64) -> StreamingConfig,
+    seeds: u64,
+) -> Vec<StreamingReport> {
+    (1..=seeds)
+        .map(|seed| StreamingSim::new(make(seed)).run())
+        .collect()
+}
+
+/// Mean of a per-report scalar across replicated runs.
+#[must_use]
+pub fn mean_over<R>(reports: &[R], f: impl Fn(&R) -> f64) -> f64 {
+    let s: Summary = reports.iter().map(f).collect();
+    s.mean()
+}
+
+/// Prints the standard figure banner.
+pub fn banner(figure: &str, caption: &str, scale: Scale) {
+    println!("# {figure} — {caption}");
+    println!(
+        "# scale: {} | seeds per point: {}",
+        if scale.paper {
+            "paper (§5)"
+        } else {
+            "reduced (use --paper for full scale)"
+        },
+        scale.seeds
+    );
+}
+
+/// Formats a float with enough precision for the tables.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Joins row cells with commas.
+#[must_use]
+pub fn row<I: IntoIterator<Item = String>>(cells: I) -> String {
+    cells.into_iter().collect::<Vec<_>>().join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults() {
+        let s = Scale {
+            paper: false,
+            seeds: 3,
+        };
+        assert_eq!(s.sizes(), vec![500, 1_000, 2_000, 4_000]);
+        assert_eq!(s.focus_size(), 2_000);
+        let p = Scale {
+            paper: true,
+            seeds: 3,
+        };
+        assert_eq!(p.sizes().last(), Some(&14_000));
+        assert_eq!(p.focus_size(), 8_000);
+        assert_eq!(p.observer_minutes(), 300.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.1234");
+        assert_eq!(fmt(12.3456), "12.346");
+        assert_eq!(fmt(1234.5), "1234.5");
+        assert_eq!(row(["a".into(), "b".into()]), "a,b");
+    }
+
+    #[test]
+    fn config_uses_seed() {
+        let c = churn_config(AlgorithmKind::Rost, 1_000, 7);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.target_size, 1_000);
+    }
+}

@@ -1,0 +1,269 @@
+//! Explicit Loss Notification (§4.2).
+//!
+//! "Each multicast member, upon detecting a packet loss, sends a
+//! notification packet containing only the missed sequence number to its
+//! children, who then infer that the packet loss does not originate from
+//! their parent... If a member continuously detects large gaps (e.g.,
+//! sequence gap > 3) between the sequence of both normal data and ELN
+//! packets, there must be a parent failure or link congestion/failure
+//! occurring and this member simply launches the rejoin process."
+
+use rom_overlay::{MulticastTree, NodeId};
+
+/// An ELN packet: the missed sequence numbers, propagated downstream so
+/// descendants do not mistake an upstream loss for a parent failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossNotification {
+    /// The member that originated the notification.
+    pub origin: NodeId,
+    /// The sequence numbers known to be missing upstream.
+    pub missing: Vec<u64>,
+}
+
+impl LossNotification {
+    /// Creates a notification for a single missing packet (the common
+    /// case; "a series of sequence numbers when necessary").
+    #[must_use]
+    pub fn single(origin: NodeId, seq: u64) -> Self {
+        LossNotification {
+            origin,
+            missing: vec![seq],
+        }
+    }
+}
+
+/// Who does what when a member fails, under ELN (§4.2).
+///
+/// Only the failed member's *children* detect a parent failure and launch
+/// the rejoin process; every deeper descendant receives ELN packets from
+/// its (live) parent, infers "the loss does not originate from my parent",
+/// and limits itself to data recovery — no duplicate rejoins, no duplicate
+/// repair storms up the subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElnScope {
+    /// The failed member's children: they must rejoin the tree.
+    pub rejoining: Vec<NodeId>,
+    /// Deeper descendants: they receive ELN, stay put, and recover data
+    /// from their recovery groups.
+    pub notified: Vec<NodeId>,
+}
+
+impl ElnScope {
+    /// Computes the ELN scope of `failed`'s departure from the tree state
+    /// *before* the removal.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rom_cer::ElnScope;
+    /// use rom_overlay::{paper_source, Location, MemberProfile, MulticastTree, NodeId};
+    /// use rom_sim::SimTime;
+    ///
+    /// let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+    /// let m = |id: u64| MemberProfile::new(NodeId(id), 2.0, SimTime::ZERO, 1e6, Location(0));
+    /// tree.attach(m(1), NodeId::SOURCE)?;
+    /// tree.attach(m(2), NodeId(1))?;
+    /// tree.attach(m(3), NodeId(2))?;
+    ///
+    /// let scope = ElnScope::of_failure(&tree, NodeId(1));
+    /// assert_eq!(scope.rejoining, vec![NodeId(2)]); // child rejoins
+    /// assert_eq!(scope.notified, vec![NodeId(3)]);  // grandchild waits on ELN
+    /// # Ok::<(), rom_overlay::TreeError>(())
+    /// ```
+    #[must_use]
+    pub fn of_failure(tree: &MulticastTree, failed: NodeId) -> Self {
+        let rejoining: Vec<NodeId> = tree.children(failed).to_vec();
+        let mut notified: Vec<NodeId> = tree
+            .descendants(failed)
+            .into_iter()
+            .filter(|d| !rejoining.contains(d))
+            .collect();
+        notified.sort();
+        ElnScope {
+            rejoining,
+            notified,
+        }
+    }
+
+    /// Total members affected by the failure.
+    #[must_use]
+    pub fn affected(&self) -> usize {
+        self.rejoining.len() + self.notified.len()
+    }
+}
+
+/// The per-member failure detector driven by data and ELN arrivals.
+///
+/// The member tracks the highest sequence number seen on each channel; a
+/// parent failure is suspected only when *both* channels have fallen more
+/// than the configured gap behind the live stream position — data alone
+/// stalling just means an upstream loss that the parent has ELN-covered.
+///
+/// # Examples
+///
+/// ```
+/// use rom_cer::GapDetector;
+///
+/// let mut det = GapDetector::new(3);
+/// det.on_data(10);
+/// // Stream has advanced to 12: gap of 2, within tolerance.
+/// assert!(!det.suspects_parent_failure(12));
+/// // Stream at 20 with neither data nor ELN: parent failure.
+/// assert!(det.suspects_parent_failure(20));
+/// // An ELN at 19 explains the silence — no rejoin.
+/// det.on_eln(19);
+/// assert!(!det.suspects_parent_failure(20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapDetector {
+    max_gap: u64,
+    last_data: Option<u64>,
+    last_eln: Option<u64>,
+}
+
+impl GapDetector {
+    /// Creates a detector tolerating sequence gaps up to `max_gap`
+    /// (the paper suggests 3).
+    #[must_use]
+    pub fn new(max_gap: u64) -> Self {
+        GapDetector {
+            max_gap,
+            last_data: None,
+            last_eln: None,
+        }
+    }
+
+    /// The paper's example configuration (gap > 3 ⇒ rejoin).
+    #[must_use]
+    pub fn paper() -> Self {
+        GapDetector::new(3)
+    }
+
+    /// Records a received data packet.
+    pub fn on_data(&mut self, seq: u64) {
+        self.last_data = Some(self.last_data.map_or(seq, |s| s.max(seq)));
+    }
+
+    /// Records a received ELN packet.
+    pub fn on_eln(&mut self, seq: u64) {
+        self.last_eln = Some(self.last_eln.map_or(seq, |s| s.max(seq)));
+    }
+
+    /// The highest sequence heard on either channel, if any.
+    #[must_use]
+    pub fn last_heard(&self) -> Option<u64> {
+        match (self.last_data, self.last_eln) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// True when both channels trail `live_seq` (the stream's current
+    /// sequence position) by more than the tolerated gap — the §4.2
+    /// criterion for launching a rejoin.
+    #[must_use]
+    pub fn suspects_parent_failure(&self, live_seq: u64) -> bool {
+        match self.last_heard() {
+            None => live_seq > self.max_gap,
+            Some(heard) => live_seq.saturating_sub(heard) > self.max_gap,
+        }
+    }
+
+    /// Resets the detector after a successful rejoin.
+    pub fn reset(&mut self) {
+        self.last_data = None;
+        self.last_eln = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_keeps_detector_calm() {
+        let mut d = GapDetector::paper();
+        d.on_data(100);
+        assert!(!d.suspects_parent_failure(103));
+        assert!(d.suspects_parent_failure(104));
+    }
+
+    #[test]
+    fn eln_explains_missing_data() {
+        let mut d = GapDetector::paper();
+        d.on_data(100);
+        // Data channel silent but ELNs keep arriving: upstream loss, not
+        // parent failure.
+        d.on_eln(110);
+        assert!(!d.suspects_parent_failure(112));
+        assert!(d.suspects_parent_failure(114));
+    }
+
+    #[test]
+    fn fresh_detector_waits_for_first_packets() {
+        let d = GapDetector::paper();
+        assert!(!d.suspects_parent_failure(3));
+        assert!(d.suspects_parent_failure(4));
+    }
+
+    #[test]
+    fn out_of_order_arrivals_keep_max() {
+        let mut d = GapDetector::paper();
+        d.on_data(50);
+        d.on_data(45); // late packet must not regress the high-water mark
+        assert_eq!(d.last_heard(), Some(50));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = GapDetector::paper();
+        d.on_data(100);
+        d.reset();
+        assert_eq!(d.last_heard(), None);
+    }
+
+    #[test]
+    fn eln_scope_partitions_the_subtree() {
+        use rom_overlay::{paper_source, Location, MemberProfile};
+        use rom_sim::SimTime;
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        let m = |id: u64, bw: f64| {
+            MemberProfile::new(NodeId(id), bw, SimTime::ZERO, 1e6, Location(id as u32))
+        };
+        tree.attach(m(1, 3.0), NodeId(0)).unwrap();
+        tree.attach(m(2, 2.0), NodeId(1)).unwrap();
+        tree.attach(m(3, 2.0), NodeId(1)).unwrap();
+        tree.attach(m(4, 1.0), NodeId(2)).unwrap();
+        tree.attach(m(5, 1.0), NodeId(3)).unwrap();
+
+        let scope = ElnScope::of_failure(&tree, NodeId(1));
+        assert_eq!(scope.rejoining, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(scope.notified, vec![NodeId(4), NodeId(5)]);
+        assert_eq!(scope.affected(), 4);
+        // Rejoiners + notified = exactly the descendants.
+        assert_eq!(scope.affected(), tree.descendants(NodeId(1)).len());
+    }
+
+    #[test]
+    fn eln_scope_of_leaf_failure_is_empty() {
+        use rom_overlay::{paper_source, Location, MemberProfile};
+        use rom_sim::SimTime;
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        tree.attach(
+            MemberProfile::new(NodeId(1), 2.0, SimTime::ZERO, 1e6, Location(1)),
+            NodeId(0),
+        )
+        .unwrap();
+        let scope = ElnScope::of_failure(&tree, NodeId(1));
+        assert!(scope.rejoining.is_empty());
+        assert!(scope.notified.is_empty());
+        assert_eq!(scope.affected(), 0);
+    }
+
+    #[test]
+    fn notification_construction() {
+        let n = LossNotification::single(NodeId(4), 77);
+        assert_eq!(n.origin, NodeId(4));
+        assert_eq!(n.missing, vec![77]);
+    }
+}

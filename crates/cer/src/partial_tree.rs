@@ -1,0 +1,293 @@
+//! Partial tree reconstruction from gossiped ancestor lists (§4.1).
+//!
+//! A member cannot see the whole multicast tree; it knows "a medium-sized
+//! (e.g., 100) subset of other nodes. The information of each node
+//! includes its own address, the addresses, layer numbers and out degrees
+//! of all its ancestors." From those records it reconstructs the partial
+//! tree `T` of Fig. 3 over which the MLC algorithm runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rom_overlay::{MulticastTree, NodeId};
+
+/// One gossiped record: a known member plus its root path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AncestorRecord {
+    /// The known member.
+    pub node: NodeId,
+    /// Its ancestors ordered root-first (so `ancestors[0]` is the source).
+    pub ancestors: Vec<NodeId>,
+}
+
+impl AncestorRecord {
+    /// Extracts the record for `node` from a full tree — what the member
+    /// itself would gossip. `None` when detached or unknown.
+    #[must_use]
+    pub fn from_tree(tree: &MulticastTree, node: NodeId) -> Option<Self> {
+        let mut path = tree.overlay_path(node)?;
+        path.pop(); // drop the node itself, keep root-first ancestors
+        Some(AncestorRecord {
+            node,
+            ancestors: path,
+        })
+    }
+}
+
+/// A locally reconstructed fragment of the multicast tree.
+///
+/// Only parent/child relations are represented; members the local node has
+/// never heard of simply do not appear (their subtrees collapse into the
+/// known ancestors, exactly like Fig. 3's solid circles).
+#[derive(Debug, Clone, Default)]
+pub struct PartialTree {
+    root: Option<NodeId>,
+    parent: BTreeMap<NodeId, NodeId>,
+    children: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// The members that were directly known (record subjects), as opposed
+    /// to nodes that only appear as someone's ancestor.
+    known: BTreeSet<NodeId>,
+}
+
+impl PartialTree {
+    /// Builds a partial tree from gossiped records.
+    ///
+    /// Records are merged; inconsistent parents (stale gossip) resolve in
+    /// favour of the first record seen. Records whose ancestor list is
+    /// empty define the root.
+    #[must_use]
+    pub fn from_records<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = &'a AncestorRecord>,
+    {
+        let mut tree = PartialTree::default();
+        for record in records {
+            tree.known.insert(record.node);
+            let mut path = record.ancestors.clone();
+            path.push(record.node);
+            if let Some(&first) = path.first() {
+                if tree.root.is_none() {
+                    tree.root = Some(first);
+                }
+            }
+            for pair in path.windows(2) {
+                let (parent, child) = (pair[0], pair[1]);
+                if child == parent {
+                    continue; // corrupt record; skip the degenerate edge
+                }
+                // First record wins on conflict.
+                let entry = tree.parent.entry(child).or_insert(parent);
+                if *entry == parent {
+                    tree.children.entry(parent).or_default().insert(child);
+                }
+            }
+        }
+        tree
+    }
+
+    /// The root, if any record mentioned one.
+    #[must_use]
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Number of distinct nodes in the fragment.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        let mut all: BTreeSet<NodeId> = self.parent.keys().copied().collect();
+        all.extend(self.parent.values().copied());
+        all.extend(self.known.iter().copied());
+        all.len()
+    }
+
+    /// The directly known members (record subjects).
+    #[must_use]
+    pub fn known_members(&self) -> Vec<NodeId> {
+        self.known.iter().copied().collect()
+    }
+
+    /// The node's parent within the fragment.
+    #[must_use]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(&node).copied()
+    }
+
+    /// The node's children within the fragment, in id order.
+    #[must_use]
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        self.children
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Depth of `node` below the fragment root (root = 0), by walking
+    /// parents. `None` for nodes outside the fragment.
+    #[must_use]
+    pub fn depth(&self, node: NodeId) -> Option<usize> {
+        if Some(node) == self.root {
+            return Some(0);
+        }
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+            if Some(cur) == self.root {
+                return Some(d);
+            }
+            if d > self.parent.len() {
+                return None; // defensive: malformed fragment
+            }
+        }
+        None
+    }
+
+    /// All fragment nodes at exactly `depth`, in id order.
+    #[must_use]
+    pub fn level(&self, depth: usize) -> Vec<NodeId> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        let mut current = vec![root];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for n in &current {
+                next.extend(self.children(*n));
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// All fragment descendants of `node` (excluding `node`), in BFS order.
+    #[must_use]
+    pub fn descendants(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut frontier = vec![node];
+        while let Some(n) = frontier.pop() {
+            for c in self.children(n) {
+                out.push(c);
+                frontier.push(c);
+            }
+        }
+        out
+    }
+
+    /// Loss correlation within the fragment: common root-path edges.
+    /// `None` when either node cannot be traced to the root.
+    #[must_use]
+    pub fn loss_correlation(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let path = |mut n: NodeId| -> Option<Vec<NodeId>> {
+            let mut p = vec![n];
+            while Some(n) != self.root {
+                n = self.parent(n)?;
+                p.push(n);
+                if p.len() > self.parent.len() + 2 {
+                    return None;
+                }
+            }
+            p.reverse();
+            Some(p)
+        };
+        let pa = path(a)?;
+        let pb = path(b)?;
+        let shared_nodes = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count();
+        Some(shared_nodes.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rom_overlay::{paper_source, Location, MemberProfile};
+    use rom_sim::SimTime;
+
+    fn record(node: u64, ancestors: &[u64]) -> AncestorRecord {
+        AncestorRecord {
+            node: NodeId(node),
+            ancestors: ancestors.iter().map(|&a| NodeId(a)).collect(),
+        }
+    }
+
+    #[test]
+    fn builds_fragment_from_records() {
+        // Fragment: 0 → 1 → {2, 3}, 0 → 4.
+        let records = vec![record(2, &[0, 1]), record(3, &[0, 1]), record(4, &[0])];
+        let t = PartialTree::from_records(&records);
+        assert_eq!(t.root(), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.children(NodeId(1)), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(t.children(NodeId(0)), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.known_members(), vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn levels_and_depths() {
+        let records = vec![record(2, &[0, 1]), record(3, &[0, 1]), record(4, &[0])];
+        let t = PartialTree::from_records(&records);
+        assert_eq!(t.level(0), vec![NodeId(0)]);
+        assert_eq!(t.level(1), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(t.level(2), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(t.depth(NodeId(0)), Some(0));
+        assert_eq!(t.depth(NodeId(3)), Some(2));
+        assert_eq!(t.depth(NodeId(99)), None);
+    }
+
+    #[test]
+    fn descendants_within_fragment() {
+        let records = vec![record(2, &[0, 1]), record(3, &[0, 1, 2])];
+        let t = PartialTree::from_records(&records);
+        let mut d = t.descendants(NodeId(1));
+        d.sort();
+        assert_eq!(d, vec![NodeId(2), NodeId(3)]);
+        assert!(t.descendants(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn fragment_correlation_matches_definition() {
+        let records = vec![record(2, &[0, 1]), record(3, &[0, 1]), record(4, &[0])];
+        let t = PartialTree::from_records(&records);
+        assert_eq!(t.loss_correlation(NodeId(2), NodeId(3)), Some(1));
+        assert_eq!(t.loss_correlation(NodeId(2), NodeId(4)), Some(0));
+        assert_eq!(t.loss_correlation(NodeId(2), NodeId(99)), None);
+    }
+
+    #[test]
+    fn conflicting_records_keep_first_parent() {
+        let records = vec![record(2, &[0, 1]), record(2, &[0, 3])];
+        let t = PartialTree::from_records(&records);
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn from_full_tree_roundtrip() {
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        let m = |id: u64| MemberProfile::new(NodeId(id), 2.0, SimTime::ZERO, 1e6, Location(0));
+        tree.attach(m(1), NodeId(0)).unwrap();
+        tree.attach(m(2), NodeId(1)).unwrap();
+        tree.attach(m(3), NodeId(1)).unwrap();
+
+        let rec = AncestorRecord::from_tree(&tree, NodeId(2)).unwrap();
+        assert_eq!(rec.ancestors, vec![NodeId(0), NodeId(1)]);
+
+        let records: Vec<AncestorRecord> = [2u64, 3]
+            .iter()
+            .map(|&n| AncestorRecord::from_tree(&tree, NodeId(n)).unwrap())
+            .collect();
+        let partial = PartialTree::from_records(&records);
+        // The fragment's correlation agrees with the full tree's.
+        assert_eq!(
+            partial.loss_correlation(NodeId(2), NodeId(3)),
+            crate::correlation::loss_correlation(&tree, NodeId(2), NodeId(3))
+        );
+    }
+
+    #[test]
+    fn empty_fragment() {
+        let t = PartialTree::from_records(&[]);
+        assert_eq!(t.root(), None);
+        assert_eq!(t.node_count(), 0);
+        assert!(t.level(0).is_empty());
+    }
+}

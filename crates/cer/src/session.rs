@@ -1,0 +1,246 @@
+//! The single-packet repair session state machine (§4.2).
+//!
+//! "Upon detecting a packet loss, [a member] sends a packet repair request
+//! to the first recovery node. The request also contains a list of other
+//! recovery members. The first recovery node searches its buffer or waits
+//! a certain time for the requested packet to arrive. If found or
+//! received, the requested packet is sent back to the requesting node,
+//! otherwise the first recovery node sends back a negative acknowledgement
+//! (NACK) packet and at the same time, it forwards the request to the
+//! second recovery node... This process continues until the requested
+//! packet is discovered or all recovery nodes are contacted. All repaired
+//! packets are sent back to the intermediate nodes in addition to the
+//! original requesting node."
+//!
+//! [`RepairSession`] tracks one such request as it walks the chain; the
+//! driving code (simulation or a real transport) feeds it NACK/serve
+//! events and reads off where the request should go next.
+
+use rom_overlay::NodeId;
+
+use crate::recovery::RecoveryGroup;
+
+/// Where a repair session currently stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairState {
+    /// The request is at chain position `position` (0-based into the
+    /// group), waiting for that member to serve or NACK.
+    InFlight {
+        /// Index into the recovery group.
+        position: usize,
+    },
+    /// The packet was served by the member at the recorded position.
+    Served {
+        /// The member that supplied the packet.
+        by: NodeId,
+    },
+    /// Every recovery member NACKed; the packet is unrecoverable through
+    /// this group.
+    Exhausted,
+}
+
+/// One in-flight repair request for a single sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use rom_cer::{RecoveryGroup, RepairSession, RepairState};
+/// use rom_overlay::NodeId;
+///
+/// let group = RecoveryGroup::from_ordered(vec![NodeId(1), NodeId(2), NodeId(3)]);
+/// let mut session = RepairSession::start(77, group).expect("non-empty group");
+/// assert_eq!(session.current_target(), Some(NodeId(1)));
+///
+/// // First member lacks the packet and forwards the request.
+/// assert_eq!(session.on_nack(), Some(NodeId(2)));
+/// // Second member serves it.
+/// session.on_served();
+/// assert_eq!(*session.state(), RepairState::Served { by: NodeId(2) });
+/// // The first member was an intermediary and also receives the packet.
+/// assert_eq!(session.intermediaries(), &[NodeId(1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairSession {
+    seq: u64,
+    group: RecoveryGroup,
+    state: RepairState,
+}
+
+impl RepairSession {
+    /// Starts a session for `seq` against `group`; the request goes to the
+    /// nearest member first. `None` when the group is empty (nothing to
+    /// ask).
+    #[must_use]
+    pub fn start(seq: u64, group: RecoveryGroup) -> Option<Self> {
+        if group.is_empty() {
+            return None;
+        }
+        Some(RepairSession {
+            seq,
+            group,
+            state: RepairState::InFlight { position: 0 },
+        })
+    }
+
+    /// The sequence number under repair.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> &RepairState {
+        &self.state
+    }
+
+    /// The member currently holding the request, while in flight.
+    #[must_use]
+    pub fn current_target(&self) -> Option<NodeId> {
+        match self.state {
+            RepairState::InFlight { position } => self.group.members().get(position).copied(),
+            _ => None,
+        }
+    }
+
+    /// Number of chain hops used so far (1 after `start`).
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        match self.state {
+            RepairState::InFlight { position } => position + 1,
+            RepairState::Served { by } => self
+                .group
+                .members()
+                .iter()
+                .position(|&m| m == by)
+                .map_or(self.group.len(), |p| p + 1),
+            RepairState::Exhausted => self.group.len(),
+        }
+    }
+
+    /// The current target NACKed and forwarded the request; returns the
+    /// next member in the chain, or `None` when the group is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not in flight (feeding events to a
+    /// finished session is a driver bug).
+    pub fn on_nack(&mut self) -> Option<NodeId> {
+        let RepairState::InFlight { position } = self.state else {
+            panic!("on_nack on a finished repair session");
+        };
+        let next = position + 1;
+        match self.group.members().get(next) {
+            Some(&member) => {
+                self.state = RepairState::InFlight { position: next };
+                Some(member)
+            }
+            None => {
+                self.state = RepairState::Exhausted;
+                None
+            }
+        }
+    }
+
+    /// The current target served the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not in flight.
+    pub fn on_served(&mut self) {
+        let RepairState::InFlight { position } = self.state else {
+            panic!("on_served on a finished repair session");
+        };
+        let by = self.group.members()[position];
+        self.state = RepairState::Served { by };
+    }
+
+    /// The chain members the request passed through *before* the serving
+    /// (or final) member — §4.2 sends the repaired packet to these
+    /// intermediaries as well. Empty while still at the first member.
+    #[must_use]
+    pub fn intermediaries(&self) -> &[NodeId] {
+        let upto = match self.state {
+            RepairState::InFlight { position } => position,
+            RepairState::Served { by } => self
+                .group
+                .members()
+                .iter()
+                .position(|&m| m == by)
+                .unwrap_or(0),
+            RepairState::Exhausted => self.group.len(),
+        };
+        &self.group.members()[..upto]
+    }
+
+    /// True once the session reached a terminal state.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        !matches!(self.state, RepairState::InFlight { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group3() -> RecoveryGroup {
+        RecoveryGroup::from_ordered(vec![NodeId(1), NodeId(2), NodeId(3)])
+    }
+
+    #[test]
+    fn empty_group_cannot_start() {
+        assert!(RepairSession::start(1, RecoveryGroup::from_ordered(vec![])).is_none());
+    }
+
+    #[test]
+    fn served_at_first_member() {
+        let mut s = RepairSession::start(5, group3()).unwrap();
+        assert_eq!(s.current_target(), Some(NodeId(1)));
+        assert_eq!(s.hops(), 1);
+        assert!(s.intermediaries().is_empty());
+        s.on_served();
+        assert_eq!(*s.state(), RepairState::Served { by: NodeId(1) });
+        assert!(s.is_finished());
+        assert_eq!(s.hops(), 1);
+    }
+
+    #[test]
+    fn walks_chain_on_nacks() {
+        let mut s = RepairSession::start(5, group3()).unwrap();
+        assert_eq!(s.on_nack(), Some(NodeId(2)));
+        assert_eq!(s.hops(), 2);
+        assert_eq!(s.on_nack(), Some(NodeId(3)));
+        assert_eq!(s.intermediaries(), &[NodeId(1), NodeId(2)]);
+        s.on_served();
+        assert_eq!(*s.state(), RepairState::Served { by: NodeId(3) });
+        // Intermediaries receive the repaired packet too (§4.2).
+        assert_eq!(s.intermediaries(), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn exhausts_after_all_nacks() {
+        let mut s = RepairSession::start(9, group3()).unwrap();
+        assert_eq!(s.on_nack(), Some(NodeId(2)));
+        assert_eq!(s.on_nack(), Some(NodeId(3)));
+        assert_eq!(s.on_nack(), None);
+        assert_eq!(*s.state(), RepairState::Exhausted);
+        assert!(s.is_finished());
+        assert_eq!(s.current_target(), None);
+        assert_eq!(s.hops(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished")]
+    fn events_after_finish_panic() {
+        let mut s = RepairSession::start(9, group3()).unwrap();
+        s.on_served();
+        let _ = s.on_nack();
+    }
+
+    #[test]
+    fn seq_is_carried() {
+        let s = RepairSession::start(123, group3()).unwrap();
+        assert_eq!(s.seq(), 123);
+    }
+}

@@ -1,0 +1,1141 @@
+//! The churn-driven tree simulation behind Figures 4–11.
+//!
+//! Members arrive in a Poisson stream, live out lognormal lifetimes, and
+//! depart abruptly; the configured algorithm places every join and rejoin,
+//! and (for ROST) runs periodic switching checks. The simulator measures:
+//!
+//! - **streaming disruptions** per member lifetime (Figs. 4–6): every
+//!   abrupt departure disrupts each of its tree descendants once;
+//! - **service delay** and **network stretch** (Figs. 7–9): overlay path
+//!   delay from the source, and its ratio to the direct unicast delay;
+//! - **protocol overhead** (Figs. 10–11): reconnections forced by the
+//!   optimization machinery itself — relaxed-ordered evictions and ROST
+//!   switch reparentings — as opposed to failure-induced rejoins.
+
+use std::collections::HashMap;
+
+use rom_net::{DelayOracle, TransitStubNetwork, UnderlayId};
+use rom_overlay::algorithms::{
+    JoinContext, JoinDecision, LongestFirst, MinimumDepth, RelaxedBandwidthOrdered,
+    RelaxedTimeOrdered, TreeAlgorithm,
+};
+use rom_overlay::{paper_source, MemberProfile, MulticastTree, NodeId, ViewSampler};
+use rom_rost::{OpId, RostJoin, SwitchOutcome, SwitchingProtocol};
+use rom_sim::{Schedule, SimRng, SimTime, Simulation};
+use rom_stats::{Summary, TimeSeries};
+
+use crate::config::{AlgorithmKind, ChurnConfig, StreamingConfig};
+use crate::proximity::OracleProximity;
+use crate::streaming::{StreamingReport, StreamingState};
+use crate::workload::Workload;
+
+/// Events of the churn simulation.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    /// A new member arrives (and the next arrival is scheduled).
+    Arrival,
+    /// A member's session ends abruptly.
+    Departure(NodeId),
+    /// An orphan subtree root (re)tries to find a parent.
+    Rejoin(NodeId),
+    /// A rejected new member retries its join.
+    JoinRetry(NodeId),
+    /// A ROST member runs its periodic switching check.
+    SwitchCheck(NodeId),
+    /// Locks of a completed switch are released.
+    ReleaseLocks(OpId),
+    /// Periodic tree-quality sampling (delay, stretch, depth).
+    Sample,
+    /// The tracked typical member joins (Figs. 6 and 9).
+    ObserverJoin,
+}
+
+/// The trace of the tracked "typical member" (Figs. 6 and 9).
+#[derive(Debug, Clone, Default)]
+pub struct ObserverTrace {
+    /// Minutes since the observer joined, one entry per disruption it
+    /// experienced (plot cumulatively for Fig. 6).
+    pub disruption_minutes: Vec<f64>,
+    /// `(minutes since join, service delay ms)` samples (Fig. 9).
+    pub delay_samples: Vec<(f64, f64)>,
+}
+
+/// Everything a churn run measures.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// The algorithm that produced the tree.
+    pub algorithm: AlgorithmKind,
+    /// Configured steady-state size M.
+    pub target_size: usize,
+    /// Mean attached population over the measurement window.
+    pub population: Summary,
+    /// Disruptions experienced per member lifetime (recorded at each
+    /// departure inside the window) — Fig. 4's y-axis.
+    pub disruptions_per_lifetime: Summary,
+    /// The raw per-member disruption counts, for Fig. 5's CDF.
+    pub disruption_counts: Vec<f64>,
+    /// Total disruption events observed inside the measurement window.
+    pub disruption_events: u64,
+    /// Length of the measurement window (seconds).
+    pub measure_secs: f64,
+    /// Mean member lifetime of the workload (seconds).
+    pub mean_lifetime_secs: f64,
+    /// Optimization-induced reconnections per member lifetime — Fig. 10.
+    pub reconnections_per_lifetime: Summary,
+    /// Per-member-sample service delay in ms — Fig. 7.
+    pub service_delay_ms: Summary,
+    /// Per-member-sample network stretch — Fig. 8.
+    pub stretch: Summary,
+    /// Per-member-sample tree depth.
+    pub depth: Summary,
+    /// Completed ROST switches over the whole run (including warmup,
+    /// where the seeded tree does most of its reordering).
+    pub switches: u64,
+    /// Eviction (replace/usurp) operations over the whole run.
+    pub evictions: u64,
+    /// Joins/rejoins that found no capacity in their view and had to
+    /// retry.
+    pub rejections: u64,
+    /// The typical-member trace, when an observer was configured.
+    pub observer: Option<ObserverTrace>,
+}
+
+/// The churn simulator. Construct with [`ChurnSim::new`], execute with
+/// [`ChurnSim::run`].
+///
+/// # Examples
+///
+/// ```
+/// use rom_engine::{AlgorithmKind, ChurnConfig, ChurnSim};
+///
+/// let mut cfg = ChurnConfig::quick(AlgorithmKind::Rost, 150);
+/// cfg.warmup_secs = 120.0;
+/// cfg.measure_secs = 300.0;
+/// let report = ChurnSim::new(cfg).run();
+/// assert!(report.population.mean() > 50.0);
+/// assert!(report.service_delay_ms.mean() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ChurnSim {
+    cfg: ChurnConfig,
+    oracle: DelayOracle,
+    workload: Workload,
+    tree: MulticastTree,
+    algorithm: Algorithm,
+    sampler: ViewSampler,
+    rng: SimRng,
+    rost: SwitchingProtocol,
+
+    /// All current members (attached or orphaned), for view sampling.
+    live: Vec<NodeId>,
+    live_pos: HashMap<NodeId, usize>,
+    /// Members that were rejected at join and are waiting to retry.
+    pending: HashMap<NodeId, MemberProfile>,
+    /// Members displaced by an eviction inside the current event, awaiting
+    /// their rejoin to be scheduled once the scheduler is in reach.
+    rejoin_backlog: Vec<NodeId>,
+
+    window_start: SimTime,
+    window_end: SimTime,
+
+    disruptions: HashMap<NodeId, u32>,
+    reconnections: HashMap<NodeId, u32>,
+    observer_id: Option<NodeId>,
+    observer_join: SimTime,
+    observer_disruptions: TimeSeries,
+    observer_delay: TimeSeries,
+
+    /// Streaming layer (Figs. 12-14); `None` for pure tree experiments.
+    streaming: Option<StreamingState>,
+
+    report: ChurnReport,
+}
+
+/// The concrete algorithm dispatch (kept as an enum rather than a
+/// `Box<dyn>` so the simulator stays `Send` and cheap to clone in tests).
+#[derive(Debug)]
+enum Algorithm {
+    MinDepth(MinimumDepth),
+    Longest(LongestFirst),
+    Bo(RelaxedBandwidthOrdered),
+    To(RelaxedTimeOrdered),
+    Rost(RostJoin),
+}
+
+impl Algorithm {
+    fn of(kind: AlgorithmKind) -> Self {
+        match kind {
+            AlgorithmKind::MinimumDepth => Algorithm::MinDepth(MinimumDepth),
+            AlgorithmKind::LongestFirst => Algorithm::Longest(LongestFirst),
+            AlgorithmKind::RelaxedBandwidthOrdered => Algorithm::Bo(RelaxedBandwidthOrdered),
+            AlgorithmKind::RelaxedTimeOrdered => Algorithm::To(RelaxedTimeOrdered),
+            AlgorithmKind::Rost => Algorithm::Rost(RostJoin),
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn TreeAlgorithm {
+        match self {
+            Algorithm::MinDepth(a) => a,
+            Algorithm::Longest(a) => a,
+            Algorithm::Bo(a) => a,
+            Algorithm::To(a) => a,
+            Algorithm::Rost(a) => a,
+        }
+    }
+}
+
+impl ChurnSim {
+    /// Builds a simulator: generates the underlay, seeds the equilibrium
+    /// population and constructs the initial tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ChurnConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: ChurnConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Builds a churn simulator with the packet-level streaming layer
+    /// attached (used by [`crate::StreamingSim`]).
+    pub(crate) fn new_with_streaming(cfg: StreamingConfig) -> Self {
+        let root_rng = SimRng::seed_from(cfg.churn.seed);
+        let state = StreamingState::new(&cfg, root_rng.fork("streaming"));
+        Self::build(cfg.churn, Some(state))
+    }
+
+    fn build(cfg: ChurnConfig, streaming: Option<StreamingState>) -> Self {
+        cfg.validate();
+        let root_rng = SimRng::seed_from(cfg.seed);
+        let mut topo_rng = root_rng.fork("topology");
+        let net = TransitStubNetwork::generate(&cfg.topology, &mut topo_rng);
+        let oracle = DelayOracle::build(&net);
+        let mut workload = Workload::new(
+            cfg.bandwidth,
+            cfg.lifetime,
+            cfg.arrival_rate(),
+            cfg.history_secs,
+            &net,
+            root_rng.fork("workload"),
+        );
+        let source_location = workload.random_location();
+        let tree = MulticastTree::new(paper_source(source_location), cfg.stream_rate);
+        let algorithm = Algorithm::of(cfg.algorithm);
+        let sampler = ViewSampler::new(cfg.view_size);
+        let rng = root_rng.fork("decisions");
+        let rost = SwitchingProtocol::new(cfg.rost.clone());
+        let window_start = SimTime::from_secs(cfg.warmup_secs);
+        let window_end = window_start + cfg.measure_secs;
+
+        let report = ChurnReport {
+            algorithm: cfg.algorithm,
+            target_size: cfg.target_size,
+            population: Summary::new(),
+            disruptions_per_lifetime: Summary::new(),
+            disruption_counts: Vec::new(),
+            disruption_events: 0,
+            measure_secs: cfg.measure_secs,
+            mean_lifetime_secs: cfg.mean_lifetime_secs(),
+            reconnections_per_lifetime: Summary::new(),
+            service_delay_ms: Summary::new(),
+            stretch: Summary::new(),
+            depth: Summary::new(),
+            switches: 0,
+            evictions: 0,
+            rejections: 0,
+            observer: None,
+        };
+
+        ChurnSim {
+            cfg,
+            oracle,
+            workload,
+            tree,
+            algorithm,
+            sampler,
+            rng,
+            rost,
+            live: Vec::new(),
+            live_pos: HashMap::new(),
+            pending: HashMap::new(),
+            rejoin_backlog: Vec::new(),
+            window_start,
+            window_end,
+            disruptions: HashMap::new(),
+            reconnections: HashMap::new(),
+            observer_id: None,
+            observer_join: SimTime::ZERO,
+            observer_disruptions: TimeSeries::new(60.0),
+            observer_delay: TimeSeries::new(60.0),
+            streaming,
+            report,
+        }
+    }
+
+    /// Read-only access to the current tree (for tests and tooling).
+    #[must_use]
+    pub fn tree(&self) -> &MulticastTree {
+        &self.tree
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    #[must_use]
+    pub fn run(self) -> ChurnReport {
+        self.run_inner().0
+    }
+
+    /// Like [`run`](Self::run), but calls `inspect` with the final tree
+    /// and simulation end time before returning — for tooling that wants
+    /// to examine the converged structure.
+    pub fn run_inspect(mut self, inspect: impl FnOnce(&MulticastTree, SimTime)) -> ChurnReport {
+        let mut sim: Simulation<Event> = Simulation::new();
+        self.seed(&mut sim);
+        let horizon = self.window_end;
+        sim.run_until(horizon, |now, event, sched| {
+            self.handle(now, event, sched);
+        });
+        inspect(&self.tree, horizon);
+        self.finish()
+    }
+
+    /// Runs with the streaming layer and returns the streaming report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator was built without a streaming layer.
+    pub(crate) fn run_streaming(self) -> StreamingReport {
+        let (churn, streaming) = self.run_inner();
+        streaming
+            .expect("built with new_with_streaming")
+            .into_report(churn)
+    }
+
+    fn run_inner(mut self) -> (ChurnReport, Option<StreamingState>) {
+        let mut sim: Simulation<Event> = Simulation::new();
+        self.seed(&mut sim);
+        let horizon = self.window_end;
+        sim.run_until(horizon, |now, event, sched| {
+            self.handle(now, event, sched);
+        });
+        let streaming = self.streaming.take();
+        (self.finish(), streaming)
+    }
+
+    /// Seeds the equilibrium population and the initial event schedule.
+    fn seed(&mut self, sim: &mut Simulation<Event>) {
+        // The source is a member of the group: it must be discoverable in
+        // partial views (it never departs, so it is never untracked).
+        let root = self.tree.root();
+        self.track_live(root);
+
+        // Seed the equilibrium population and their departures. Members
+        // are inserted in RANDOM order: inserting oldest-first would hand
+        // every algorithm a perfectly time-ordered (and hence artificially
+        // stable) initial tree. With random order each algorithm's own
+        // machinery — BO/TO evictions, ROST switching, longest-first's
+        // oldest-parent rule — has to establish its characteristic
+        // structure, as it would in an organically grown overlay.
+        let mut seed_members = self.workload.equilibrium_population(self.cfg.target_size);
+        self.rng.shuffle(&mut seed_members);
+        for member in seed_members {
+            let id = member.id;
+            let departure = member.departure_time();
+            self.track_live(id);
+            self.notify_joined(id, member.join_time);
+            if !self.place_new_member(member.clone(), SimTime::ZERO) {
+                self.pending.insert(id, member);
+                sim.schedule(
+                    SimTime::from_secs(self.cfg.retry_secs),
+                    Event::JoinRetry(id),
+                );
+            }
+            for orphan in std::mem::take(&mut self.rejoin_backlog) {
+                sim.schedule(SimTime::ZERO, Event::Rejoin(orphan));
+            }
+            sim.schedule(
+                departure.max(SimTime::from_secs(0.001)),
+                Event::Departure(id),
+            );
+            if self.is_rost() {
+                let stagger = self.rng.uniform() * self.cfg.rost.switching_interval_secs;
+                sim.schedule(SimTime::from_secs(stagger), Event::SwitchCheck(id));
+            }
+        }
+
+        sim.schedule(
+            SimTime::from_secs(self.workload.next_interarrival()),
+            Event::Arrival,
+        );
+        sim.schedule(self.window_start, Event::Sample);
+        if self.cfg.observer.is_some() {
+            sim.schedule(self.window_start, Event::ObserverJoin);
+        }
+    }
+
+    fn is_rost(&self) -> bool {
+        self.cfg.algorithm == AlgorithmKind::Rost
+    }
+
+    fn in_window(&self, now: SimTime) -> bool {
+        now >= self.window_start && now <= self.window_end
+    }
+
+    fn track_live(&mut self, id: NodeId) {
+        self.live_pos.insert(id, self.live.len());
+        self.live.push(id);
+        self.disruptions.insert(id, 0);
+        self.reconnections.insert(id, 0);
+    }
+
+    fn notify_joined(&mut self, id: NodeId, join: SimTime) {
+        if let Some(st) = self.streaming.as_mut() {
+            st.on_member_joined(id, join);
+        }
+    }
+
+    fn untrack_live(&mut self, id: NodeId) {
+        if let Some(pos) = self.live_pos.remove(&id) {
+            self.live.swap_remove(pos);
+            if let Some(&moved) = self.live.get(pos) {
+                self.live_pos.insert(moved, pos);
+            }
+        }
+    }
+
+    /// Candidate parents for a join/rejoin decision: the full attached
+    /// membership for centralized algorithms, a bounded random view for
+    /// distributed ones. Detached members are filtered out either way
+    /// (they cannot serve data), which also keeps a rejoining subtree from
+    /// selecting its own descendants.
+    fn candidates_for(&mut self, joiner: NodeId) -> Vec<NodeId> {
+        if self.algorithm.as_dyn().is_centralized() {
+            self.tree.attached_by_depth().collect()
+        } else {
+            let view = self
+                .sampler
+                .sample_excluding(&self.live, joiner, &mut self.rng);
+            view.into_iter()
+                .filter(|&m| self.tree.is_attached(m))
+                .collect()
+        }
+    }
+
+    /// Places a brand-new member; returns false when no capacity was found
+    /// (caller schedules a retry).
+    fn place_new_member(&mut self, member: MemberProfile, now: SimTime) -> bool {
+        let candidates = self.candidates_for(member.id);
+        let ctx = JoinContext {
+            tree: &self.tree,
+            joiner: &member,
+            candidates: &candidates,
+            now,
+        };
+        let prox = OracleProximity::new(&self.oracle);
+        match self.algorithm.as_dyn().select(&ctx, &prox) {
+            JoinDecision::Attach { parent } => {
+                self.tree
+                    .attach(member, parent)
+                    .expect("algorithm selected a valid parent");
+                true
+            }
+            JoinDecision::Replace { evict } => {
+                let outcome = self
+                    .tree
+                    .replace(evict, member, |p| p.bandwidth)
+                    .expect("algorithm selected a valid eviction");
+                self.account_eviction(&outcome.displaced, &outcome.adopted, now);
+                true
+            }
+            JoinDecision::Reject => false,
+        }
+    }
+
+    /// Attempts to reattach an orphan subtree root; returns false when no
+    /// capacity was found.
+    ///
+    /// Only *childless* rejoiners may take another member's position: a
+    /// childless usurper with larger bandwidth (or age) can absorb the
+    /// evictee's children, so eviction chains displace one member at a
+    /// time and terminate (the ordering key strictly decreases along the
+    /// chain). Letting whole orphan subtrees usurp instead displaces other
+    /// subtrees and melts the tree down in an eviction storm.
+    fn rejoin_orphan(&mut self, orphan: NodeId, now: SimTime) -> bool {
+        let profile = self
+            .tree
+            .profile(orphan)
+            .expect("orphan exists in tree")
+            .clone();
+        let has_children = !self.tree.children(orphan).is_empty();
+        let candidates = self.candidates_for(orphan);
+        let ctx = JoinContext {
+            tree: &self.tree,
+            joiner: &profile,
+            candidates: &candidates,
+            now,
+        };
+        let prox = OracleProximity::new(&self.oracle);
+        let decision = if has_children && self.algorithm.as_dyn().is_centralized() {
+            // Subtree roots orphaned by a failure reattach without
+            // evicting; the ordering repairs itself on later joins.
+            match rom_overlay::algorithms::min_depth_parent(&ctx, &prox) {
+                Some(parent) => JoinDecision::Attach { parent },
+                None => JoinDecision::Reject,
+            }
+        } else {
+            self.algorithm.as_dyn().select(&ctx, &prox)
+        };
+        match decision {
+            JoinDecision::Attach { parent } => {
+                self.tree
+                    .reattach(orphan, parent)
+                    .expect("algorithm selected a valid parent");
+                true
+            }
+            JoinDecision::Replace { evict } => {
+                let outcome = self
+                    .tree
+                    .usurp(evict, orphan, |p| p.bandwidth)
+                    .expect("algorithm selected a valid eviction");
+                self.account_eviction(&outcome.displaced, &outcome.adopted, now);
+                true
+            }
+            JoinDecision::Reject => false,
+        }
+    }
+
+    /// Books the reconnections of one eviction. The displaced members'
+    /// rejoin events are scheduled by the caller.
+    fn account_eviction(&mut self, displaced: &[NodeId], adopted: &[NodeId], _now: SimTime) {
+        self.report.evictions += 1;
+        for &m in displaced.iter().chain(adopted) {
+            *self.reconnections.entry(m).or_insert(0) += 1;
+        }
+        // The displaced must rejoin; the caller drains this backlog into
+        // the event queue.
+        self.rejoin_backlog.extend(displaced.iter().copied());
+    }
+
+    /// Schedules a rejoin for every member displaced during the current
+    /// event.
+    fn drain_rejoin_backlog(&mut self, sched: &mut Schedule<'_, Event>) {
+        let backlog = std::mem::take(&mut self.rejoin_backlog);
+        self.schedule_rejoins(&backlog, sched);
+    }
+
+    fn schedule_rejoins(&self, displaced: &[NodeId], sched: &mut Schedule<'_, Event>) {
+        for &orphan in displaced {
+            sched.after(self.cfg.rejoin_delay_secs, Event::Rejoin(orphan));
+        }
+    }
+
+    /// Overlay path delay from the source to `id` in milliseconds.
+    fn overlay_delay_ms(&self, id: NodeId) -> Option<f64> {
+        let path = self.tree.overlay_path(id)?;
+        let mut total = 0.0;
+        for hop in path.windows(2) {
+            let a = self.tree.profile(hop[0])?.location;
+            let b = self.tree.profile(hop[1])?.location;
+            total += self.oracle.delay_ms(UnderlayId(a.0), UnderlayId(b.0));
+        }
+        Some(total)
+    }
+
+    fn unicast_delay_ms(&self, id: NodeId) -> Option<f64> {
+        let root_loc = self.tree.profile(self.tree.root())?.location;
+        let loc = self.tree.profile(id)?.location;
+        Some(
+            self.oracle
+                .delay_ms(UnderlayId(root_loc.0), UnderlayId(loc.0)),
+        )
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Schedule<'_, Event>) {
+        self.dispatch(now, event, sched);
+        self.drain_rejoin_backlog(sched);
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event, sched: &mut Schedule<'_, Event>) {
+        match event {
+            Event::Arrival => {
+                let member = self.workload.arrival(now);
+                let id = member.id;
+                let departure = member.departure_time();
+                self.track_live(id);
+                self.notify_joined(id, now);
+                if self.place_new_member(member.clone(), now) {
+                    if self.is_rost() {
+                        sched.after(
+                            self.cfg.rost.switching_interval_secs,
+                            Event::SwitchCheck(id),
+                        );
+                    }
+                } else {
+                    if self.in_window(now) {
+                        self.report.rejections += 1;
+                    }
+                    self.pending.insert(id, member);
+                    sched.after(self.cfg.retry_secs, Event::JoinRetry(id));
+                }
+                sched.at(departure, Event::Departure(id));
+                sched.after(self.workload.next_interarrival(), Event::Arrival);
+            }
+
+            Event::JoinRetry(id) => {
+                let Some(member) = self.pending.remove(&id) else {
+                    return; // departed while waiting
+                };
+                if self.place_new_member(member.clone(), now) {
+                    if self.is_rost() {
+                        sched.after(
+                            self.cfg.rost.switching_interval_secs,
+                            Event::SwitchCheck(id),
+                        );
+                    }
+                } else {
+                    if self.in_window(now) {
+                        self.report.rejections += 1;
+                    }
+                    self.pending.insert(id, member);
+                    sched.after(self.cfg.retry_secs, Event::JoinRetry(id));
+                }
+            }
+
+            Event::Departure(id) => {
+                self.untrack_live(id);
+                if self.pending.remove(&id).is_some() {
+                    // Never made it into the tree.
+                    self.disruptions.remove(&id);
+                    self.reconnections.remove(&id);
+                    return;
+                }
+                let graceful =
+                    self.cfg.graceful_fraction > 0.0 && self.rng.chance(self.cfg.graceful_fraction);
+                let Ok(removed) = self.tree.remove(id) else {
+                    return; // defensive: already gone
+                };
+                if let Some(st) = self.streaming.as_mut() {
+                    if !graceful {
+                        st.on_failure(&removed.affected_descendants, now);
+                    }
+                    st.on_member_departed(id, now);
+                }
+                if graceful {
+                    // §3.3: the member notified its neighbours, so its
+                    // children reconnect seamlessly — no disruption, no
+                    // detection delay.
+                    self.rost.locks_mut().evict_node(id);
+                    for &orphan in &removed.orphaned_children {
+                        sched.now_next(Event::Rejoin(orphan));
+                    }
+                    if self.in_window(now) {
+                        let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
+                        let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
+                        self.report.disruptions_per_lifetime.add(d);
+                        self.report.disruption_counts.push(d);
+                        self.report.reconnections_per_lifetime.add(r);
+                    } else {
+                        self.disruptions.remove(&id);
+                        self.reconnections.remove(&id);
+                    }
+                    return;
+                }
+                // Abrupt departure: every descendant is disrupted once.
+                if self.in_window(now) {
+                    self.report.disruption_events += removed.affected_descendants.len() as u64;
+                }
+                for &m in &removed.affected_descendants {
+                    *self.disruptions.entry(m).or_insert(0) += 1;
+                    if Some(m) == self.observer_id {
+                        self.observer_disruptions.record(now, 1.0);
+                    }
+                }
+                // A departed node may hold or be covered by locks.
+                self.rost.locks_mut().evict_node(id);
+                self.schedule_rejoins(&removed.orphaned_children, sched);
+                // Book the member's lifetime totals if it completed inside
+                // the window.
+                if self.in_window(now) {
+                    let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
+                    let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
+                    self.report.disruptions_per_lifetime.add(d);
+                    self.report.disruption_counts.push(d);
+                    self.report.reconnections_per_lifetime.add(r);
+                } else {
+                    self.disruptions.remove(&id);
+                    self.reconnections.remove(&id);
+                }
+            }
+
+            Event::Rejoin(orphan) => {
+                if !self.tree.contains(orphan) || self.tree.is_attached(orphan) {
+                    return; // departed or already back
+                }
+                if self.rejoin_orphan(orphan, now) {
+                    if let Some(st) = self.streaming.as_mut() {
+                        st.on_restore(&self.tree, &self.oracle, &self.live, orphan, now);
+                    }
+                } else {
+                    if self.in_window(now) {
+                        self.report.rejections += 1;
+                    }
+                    sched.after(self.cfg.retry_secs, Event::Rejoin(orphan));
+                }
+            }
+
+            Event::SwitchCheck(id) => {
+                if !self.tree.contains(id) {
+                    return; // member departed; timer dies with it
+                }
+                match self.rost.attempt(&mut self.tree, id, now) {
+                    SwitchOutcome::Switched { record, op } => {
+                        self.report.switches += 1;
+                        for &m in &record.reparented {
+                            *self.reconnections.entry(m).or_insert(0) += 1;
+                        }
+                        for &m in &record.displaced {
+                            *self.reconnections.entry(m).or_insert(0) += 1;
+                        }
+                        self.schedule_rejoins(&record.displaced, sched);
+                        sched.after(self.cfg.rost.lock_hold_secs, Event::ReleaseLocks(op));
+                        sched.after(
+                            self.cfg.rost.switching_interval_secs,
+                            Event::SwitchCheck(id),
+                        );
+                    }
+                    SwitchOutcome::Busy => {
+                        sched.after(self.cfg.rost.lock_retry_secs, Event::SwitchCheck(id));
+                    }
+                    SwitchOutcome::NotEligible => {
+                        sched.after(
+                            self.cfg.rost.switching_interval_secs,
+                            Event::SwitchCheck(id),
+                        );
+                    }
+                }
+            }
+
+            Event::ReleaseLocks(op) => {
+                self.rost.release(op);
+            }
+
+            Event::Sample => {
+                self.sample_tree_quality(now);
+                if now + self.cfg.sample_interval_secs <= self.window_end {
+                    sched.after(self.cfg.sample_interval_secs, Event::Sample);
+                }
+            }
+
+            Event::ObserverJoin => {
+                let spec = self.cfg.observer.expect("scheduled only when configured");
+                let member = self
+                    .workload
+                    .custom_arrival(now, spec.bandwidth, spec.lifetime_secs);
+                let id = member.id;
+                self.observer_id = Some(id);
+                self.observer_join = now;
+                self.track_live(id);
+                self.notify_joined(id, now);
+                if self.place_new_member(member.clone(), now) {
+                    if self.is_rost() {
+                        sched.after(
+                            self.cfg.rost.switching_interval_secs,
+                            Event::SwitchCheck(id),
+                        );
+                    }
+                } else {
+                    self.pending.insert(id, member);
+                    sched.after(self.cfg.retry_secs, Event::JoinRetry(id));
+                }
+                sched.at(member_departure_capped(spec, now), Event::Departure(id));
+            }
+        }
+    }
+
+    fn sample_tree_quality(&mut self, now: SimTime) {
+        let mut population = 0u64;
+        let attached: Vec<NodeId> = self.tree.attached_by_depth().collect();
+        for id in attached {
+            if id == self.tree.root() {
+                continue;
+            }
+            population += 1;
+            let Some(delay) = self.overlay_delay_ms(id) else {
+                continue;
+            };
+            self.report.service_delay_ms.add(delay);
+            if let Some(depth) = self.tree.depth(id) {
+                self.report.depth.add(depth as f64);
+            }
+            if let Some(unicast) = self.unicast_delay_ms(id) {
+                if unicast > 1e-9 {
+                    self.report.stretch.add(delay / unicast);
+                }
+            }
+            if Some(id) == self.observer_id {
+                self.observer_delay.record(now, delay);
+            }
+        }
+        self.report.population.add(population as f64);
+    }
+
+    fn finish(mut self) -> ChurnReport {
+        if self.observer_id.is_some() {
+            let join = self.observer_join;
+            let trace = ObserverTrace {
+                disruption_minutes: self
+                    .observer_disruptions
+                    .points()
+                    .iter()
+                    .map(|&(t, _)| (t - join) / 60.0)
+                    .collect(),
+                delay_samples: self
+                    .observer_delay
+                    .points()
+                    .iter()
+                    .map(|&(t, v)| ((t - join) / 60.0, v))
+                    .collect(),
+            };
+            self.report.observer = Some(trace);
+        }
+        self.report
+    }
+}
+
+impl ChurnReport {
+    /// The unbiased Fig. 4 metric: disruption events per member, scaled to
+    /// one mean lifetime. Unlike
+    /// [`disruptions_per_lifetime`](ChurnReport::disruptions_per_lifetime)
+    /// (a tally over members that *departed* inside the window, biased
+    /// toward short sessions), this rate treats every member-second in the
+    /// window equally:
+    /// `events / (population × window) × mean lifetime`.
+    #[must_use]
+    pub fn disruptions_per_mean_lifetime(&self) -> f64 {
+        let pop = self.population.mean();
+        if pop <= 0.0 || self.measure_secs <= 0.0 {
+            return 0.0;
+        }
+        self.disruption_events as f64 / (pop * self.measure_secs) * self.mean_lifetime_secs
+    }
+}
+
+/// The observer's departure time, kept strictly after `now`.
+fn member_departure_capped(spec: crate::config::ObserverSpec, now: SimTime) -> SimTime {
+    now + spec.lifetime_secs.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ObserverSpec;
+
+    fn quick(kind: AlgorithmKind, size: usize, seed: u64) -> ChurnConfig {
+        let mut cfg = ChurnConfig::quick(kind, size);
+        cfg.seed = seed;
+        cfg.warmup_secs = 120.0;
+        cfg.measure_secs = 400.0;
+        cfg.sample_interval_secs = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn population_hovers_near_target() {
+        let report = ChurnSim::new(quick(AlgorithmKind::MinimumDepth, 200, 1)).run();
+        let mean = report.population.mean();
+        assert!(
+            (100.0..320.0).contains(&mean),
+            "population {mean} should hover near 200"
+        );
+    }
+
+    #[test]
+    fn every_algorithm_sustains_the_population() {
+        for kind in AlgorithmKind::ALL {
+            let mut cfg = quick(kind, 120, 2);
+            cfg.measure_secs = 200.0;
+            let report = ChurnSim::new(cfg).run();
+            assert!(report.population.mean() > 30.0, "{kind}: tree collapsed");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_produce_metrics() {
+        for kind in AlgorithmKind::ALL {
+            let report = ChurnSim::new(quick(kind, 150, 4)).run();
+            assert!(report.disruptions_per_lifetime.count() > 10, "{kind}");
+            assert!(report.service_delay_ms.count() > 100, "{kind}");
+            assert!(
+                report.stretch.mean() >= 1.0 - 1e-6,
+                "{kind}: stretch below 1"
+            );
+            assert!(report.depth.mean() >= 1.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn min_depth_and_longest_first_have_zero_overhead() {
+        // §6 Fig. 10: these algorithms impose no optimization
+        // reconnections at all.
+        for kind in [AlgorithmKind::MinimumDepth, AlgorithmKind::LongestFirst] {
+            let report = ChurnSim::new(quick(kind, 150, 5)).run();
+            assert_eq!(report.switches, 0, "{kind}");
+            assert_eq!(report.evictions, 0, "{kind}");
+            assert_eq!(report.reconnections_per_lifetime.mean(), 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn rost_switches_and_ordered_algorithms_evict() {
+        let rost = ChurnSim::new(quick(AlgorithmKind::Rost, 200, 6)).run();
+        assert!(rost.switches > 0, "ROST should perform switches");
+        assert_eq!(rost.evictions, 0, "ROST never evicts");
+
+        let bo = ChurnSim::new(quick(AlgorithmKind::RelaxedBandwidthOrdered, 200, 6)).run();
+        assert!(bo.evictions > 0, "relaxed BO should evict");
+        assert_eq!(bo.switches, 0);
+    }
+
+    #[test]
+    fn longest_first_builds_taller_trees_than_min_depth() {
+        // §2.1: longest-first "results in a tall tree".
+        let lf = ChurnSim::new(quick(AlgorithmKind::LongestFirst, 250, 7)).run();
+        let md = ChurnSim::new(quick(AlgorithmKind::MinimumDepth, 250, 7)).run();
+        assert!(
+            lf.depth.mean() > md.depth.mean(),
+            "longest-first depth {} should exceed min-depth {}",
+            lf.depth.mean(),
+            md.depth.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = ChurnSim::new(quick(AlgorithmKind::Rost, 100, 11)).run();
+        let b = ChurnSim::new(quick(AlgorithmKind::Rost, 100, 11)).run();
+        assert_eq!(
+            a.disruptions_per_lifetime.count(),
+            b.disruptions_per_lifetime.count()
+        );
+        assert_eq!(
+            a.disruptions_per_lifetime.mean(),
+            b.disruptions_per_lifetime.mean()
+        );
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.service_delay_ms.mean(), b.service_delay_ms.mean());
+    }
+
+    #[test]
+    fn observer_trace_recorded() {
+        let mut cfg = quick(AlgorithmKind::Rost, 150, 8);
+        cfg.observer = Some(ObserverSpec {
+            bandwidth: 2.0,
+            lifetime_secs: 36_000.0,
+        });
+        let report = ChurnSim::new(cfg).run();
+        let trace = report.observer.expect("observer configured");
+        assert!(
+            !trace.delay_samples.is_empty(),
+            "observer delay should be sampled"
+        );
+        for &(min, delay) in &trace.delay_samples {
+            assert!(min >= 0.0);
+            assert!(delay > 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod behavior_tests {
+    use super::*;
+    use crate::config::ObserverSpec;
+    use rom_net::TransitStubConfig;
+
+    fn tiny(kind: AlgorithmKind, seed: u64) -> ChurnConfig {
+        let mut cfg = ChurnConfig::quick(kind, 150);
+        cfg.seed = seed;
+        cfg.warmup_secs = 100.0;
+        cfg.measure_secs = 300.0;
+        cfg
+    }
+
+    /// Orphans stay detached for the configured rejoin delay: with a large
+    /// delay and ongoing churn, the mean attached population visibly
+    /// trails the zero-delay variant.
+    #[test]
+    fn rejoin_delay_keeps_orphans_detached() {
+        let run = |delay: f64| {
+            let mut cfg = tiny(AlgorithmKind::MinimumDepth, 3);
+            cfg.target_size = 400;
+            cfg.rejoin_delay_secs = delay;
+            ChurnSim::new(cfg).run().population.mean()
+        };
+        let instant = run(0.0);
+        let slow = run(60.0);
+        assert!(
+            slow < instant,
+            "60 s rejoin delay ({slow:.1}) should depress the attached population vs 0 s ({instant:.1})"
+        );
+    }
+
+    /// A capacity-starved overlay (every member a free-rider, a tiny
+    /// root) rejects joins and keeps retrying instead of crashing.
+    #[test]
+    fn capacity_starved_overlay_records_rejections() {
+        let mut cfg = tiny(AlgorithmKind::MinimumDepth, 4);
+        // Bandwidths in [0.5, 0.99]: all free-riders; only the source can
+        // serve, and it serves at most 100.
+        cfg.bandwidth = rom_stats::BoundedPareto::new(1.2, 0.5, 0.99).unwrap();
+        cfg.target_size = 300;
+        let report = ChurnSim::new(cfg).run();
+        assert!(
+            report.rejections > 0,
+            "an overlay without forwarding capacity must reject some joins"
+        );
+        // The root still serves its 100 slots.
+        assert!(report.population.mean() <= 101.0);
+        assert!(report.population.mean() > 50.0);
+    }
+
+    /// The observer is disrupted when (and only when) one of its ancestors
+    /// departs: its disruption count matches the general bookkeeping.
+    #[test]
+    fn observer_disruptions_recorded_in_trace() {
+        let mut cfg = tiny(AlgorithmKind::MinimumDepth, 5);
+        cfg.target_size = 300;
+        cfg.measure_secs = 900.0;
+        cfg.observer = Some(ObserverSpec {
+            bandwidth: 1.5,
+            lifetime_secs: 36_000.0,
+        });
+        let report = ChurnSim::new(cfg).run();
+        let trace = report.observer.expect("observer configured");
+        for w in trace.disruption_minutes.windows(2) {
+            assert!(w[0] <= w[1], "disruption times must be monotone");
+        }
+        for &m in &trace.disruption_minutes {
+            assert!(
+                (0.0..=15.1).contains(&m),
+                "disruption at minute {m} outside horizon"
+            );
+        }
+    }
+
+    /// Eviction accounting: every relaxed-BO eviction charges at least the
+    /// displaced member, so reconnections scale with evictions.
+    #[test]
+    fn eviction_overhead_scales_with_evictions() {
+        let report = ChurnSim::new(tiny(AlgorithmKind::RelaxedBandwidthOrdered, 6)).run();
+        assert!(report.evictions > 0);
+        assert!(report.reconnections_per_lifetime.mean() > 0.0);
+        // No switches without ROST.
+        assert_eq!(report.switches, 0);
+    }
+
+    /// ROST switch locks are released on schedule: a long lock-hold with a
+    /// short switching interval must not deadlock the tree (switches keep
+    /// happening throughout the run).
+    #[test]
+    fn switch_locks_release_and_switching_continues() {
+        let mut cfg = tiny(AlgorithmKind::Rost, 7);
+        cfg.target_size = 300;
+        cfg.rost.switching_interval_secs = 60.0;
+        cfg.rost.lock_hold_secs = 30.0;
+        cfg.rost.lock_retry_secs = 10.0;
+        let report = ChurnSim::new(cfg).run();
+        assert!(
+            report.switches > 5,
+            "switching must keep making progress under slow lock holds, got {}",
+            report.switches
+        );
+    }
+
+    /// The underlay honours the configured topology: delays are
+    /// non-negative (zero only for members sharing the root's stub node)
+    /// and stretch is never below one.
+    #[test]
+    fn members_live_on_stub_nodes_only() {
+        let mut cfg = tiny(AlgorithmKind::MinimumDepth, 8);
+        cfg.topology = TransitStubConfig::small();
+        cfg.target_size = 100;
+        let report = ChurnSim::new(cfg).run();
+        assert!(report.service_delay_ms.min() >= 0.0);
+        assert!(report.service_delay_ms.mean() > 0.0);
+        assert!(report.stretch.min() >= 1.0 - 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod graceful_tests {
+    use super::*;
+
+    fn cfg(graceful: f64, seed: u64) -> ChurnConfig {
+        let mut cfg = ChurnConfig::quick(AlgorithmKind::MinimumDepth, 400);
+        cfg.seed = seed;
+        cfg.warmup_secs = 150.0;
+        cfg.measure_secs = 500.0;
+        cfg.graceful_fraction = graceful;
+        cfg
+    }
+
+    #[test]
+    fn all_graceful_departures_disrupt_nobody() {
+        let report = ChurnSim::new(cfg(1.0, 1)).run();
+        assert_eq!(report.disruption_events, 0);
+        assert_eq!(report.disruptions_per_lifetime.mean(), 0.0);
+        // The tree still churns and stays populated.
+        assert!(report.population.mean() > 200.0);
+    }
+
+    #[test]
+    fn graceful_fraction_interpolates() {
+        let abrupt = ChurnSim::new(cfg(0.0, 2)).run().disruption_events;
+        let half = ChurnSim::new(cfg(0.5, 2)).run().disruption_events;
+        assert!(abrupt > 0);
+        assert!(
+            half < abrupt,
+            "half-graceful ({half}) should disrupt less than all-abrupt ({abrupt})"
+        );
+    }
+
+    #[test]
+    fn graceful_streaming_never_starves_from_churn() {
+        let mut streaming_cfg = crate::config::StreamingConfig::paper(cfg(1.0, 3), 2);
+        streaming_cfg.churn.rejoin_delay_secs = 15.0;
+        let report = crate::streaming::StreamingSim::new(streaming_cfg).run();
+        assert_eq!(
+            report.packets_starved, 0,
+            "graceful hand-offs leave no gaps to starve on"
+        );
+    }
+}
+
+#[cfg(test)]
+mod seeding_tests {
+    use super::*;
+
+    /// The t=0 equilibrium seed is effectively a flash crowd (§3.1 notes
+    /// "nodes may arrive in flash crowds"): the entire target population
+    /// must end up attached essentially immediately.
+    #[test]
+    fn flash_crowd_seeding_attaches_everyone() {
+        for kind in AlgorithmKind::ALL {
+            let mut cfg = ChurnConfig::quick(kind, 500);
+            cfg.seed = 13;
+            cfg.warmup_secs = 30.0; // barely any churn before we look
+            cfg.measure_secs = 60.0;
+            cfg.sample_interval_secs = 30.0;
+            let report = ChurnSim::new(cfg).run();
+            assert!(
+                report.population.mean() > 420.0,
+                "{kind}: only {:.0} of 500 seeded members attached",
+                report.population.mean()
+            );
+            assert!(
+                report.rejections < 50,
+                "{kind}: {} rejections",
+                report.rejections
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # rom-engine: the experiment engines
+//!
+//! Ties the substrates together into the two simulators behind the DSN
+//! 2006 evaluation:
+//!
+//! - [`ChurnSim`] — churn-driven tree simulation measuring disruptions,
+//!   service delay, stretch and protocol overhead (Figs. 4–11),
+//! - `StreamingSim` — packet-level streaming with CER recovery measuring
+//!   starving-time ratios (Figs. 12–14).
+//!
+//! Both are configured by plain structs whose defaults reproduce §5/§6 of
+//! the paper, are fully deterministic under a single `u64` seed, and
+//! return rich report structs ready for the figure-regeneration binaries
+//! in `rom-bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod churn;
+mod config;
+mod proximity;
+mod streaming;
+mod workload;
+
+pub use churn::{ChurnReport, ChurnSim, ObserverTrace};
+pub use config::{
+    AlgorithmKind, ChurnConfig, GroupSelection, ObserverSpec, RecoveryStrategy, StreamingConfig,
+};
+pub use proximity::OracleProximity;
+pub use streaming::{StreamingReport, StreamingSim};
+pub use workload::Workload;

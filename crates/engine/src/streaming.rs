@@ -1,0 +1,634 @@
+//! The packet-level streaming simulation behind Figures 12–14.
+//!
+//! §6: "The data is propagated from the tree root at a constant rate of 10
+//! packets per second... each node has a playback buffer size of 5
+//! seconds... It is assumed that a member needs 5 seconds to detect a
+//! failure of its parent, and another 10 seconds to rejoin the tree...
+//! We only consider packet losses incurred by node failures. A node's
+//! residual bandwidth is uniformly distributed in 0–9 packets/second, and
+//! it only uses the residual bandwidth to help others in error recovery."
+//!
+//! The streaming layer rides on top of [`ChurnSim`](crate::ChurnSim):
+//! departures open per-member *outages*; when a member's subtree
+//! reattaches the outage closes and the missing sequence range is repaired
+//! from the member's recovery group — a single source at its residual
+//! rate (the baseline) or CER's stripes across the group (§4.2). Every
+//! packet that misses its playback deadline contributes `1/rate` seconds
+//! to the member's *starving time*; the **starving time ratio** is
+//! starving time over view time.
+//!
+//! Between failures, delivery is deterministic (constant rate, fixed
+//! path delay far below the buffer), so per-packet events are unnecessary:
+//! accounting per outage is exact.
+
+use std::collections::HashMap;
+
+use rom_cer::{
+    find_mlc_group, random_group, AncestorRecord, MlcOptions, PartialTree, RecoveryGroup,
+    SeqRangeSet, StreamClock, StripePlan,
+};
+use rom_net::{DelayOracle, UnderlayId};
+use rom_overlay::{MulticastTree, NodeId};
+use rom_sim::{SimRng, SimTime};
+use rom_stats::Summary;
+
+use crate::churn::{ChurnReport, ChurnSim};
+use crate::config::{GroupSelection, RecoveryStrategy, StreamingConfig};
+
+/// Latency added per recovery-chain hop (request forwarding + NACKs).
+const CHAIN_HOP_SECS: f64 = 0.2;
+
+/// Aggregate results of one streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// Per-member starving-time ratio in percent — the Figs. 12–14 metric.
+    /// One observation per member whose view overlapped the measurement
+    /// window.
+    pub starving_ratio_percent: Summary,
+    /// Outages processed during the measurement window.
+    pub outages: u64,
+    /// Packets whose repair arrived by the playback deadline.
+    pub packets_repaired_on_time: u64,
+    /// Packets that missed their playback deadline (starved packets).
+    pub packets_starved: u64,
+    /// The underlying tree-level report.
+    pub churn: ChurnReport,
+}
+
+/// Per-member streaming bookkeeping.
+#[derive(Debug, Default)]
+struct MemberStream {
+    /// When the member's view started (never negative; seeded members
+    /// watch from the epoch).
+    view_start: f64,
+    /// Residual helper bandwidth in packets/second.
+    residual_pps: f64,
+    /// Open outage start, if the member is currently cut off.
+    outage_since: Option<SimTime>,
+    /// Packets the member never obtained (can't serve them to others).
+    holes: SeqRangeSet,
+    /// Packets that missed this member's playback deadline.
+    starved_packets: u64,
+}
+
+/// The streaming layer state, driven by hooks from the churn simulator.
+#[derive(Debug)]
+pub(crate) struct StreamingState {
+    clock: StreamClock,
+    group_size: usize,
+    strategy: RecoveryStrategy,
+    selection: GroupSelection,
+    loss_detection_secs: f64,
+    repair_cache_secs: f64,
+    residual_pps: (f64, f64),
+    view_size: usize,
+    window_start: SimTime,
+    window_end: SimTime,
+    rng: SimRng,
+    members: HashMap<NodeId, MemberStream>,
+    /// Ratios of members that already departed.
+    finished_ratios: Vec<f64>,
+    outages: u64,
+    repaired_on_time: u64,
+    starved: u64,
+}
+
+impl StreamingState {
+    pub(crate) fn new(cfg: &StreamingConfig, rng: SimRng) -> Self {
+        let window_start = SimTime::from_secs(cfg.churn.warmup_secs);
+        StreamingState {
+            clock: cfg.clock(),
+            group_size: cfg.recovery_group_size,
+            strategy: cfg.strategy,
+            selection: cfg.selection,
+            loss_detection_secs: cfg.loss_detection_secs,
+            repair_cache_secs: cfg.repair_cache_secs,
+            residual_pps: cfg.residual_pps,
+            view_size: cfg.churn.view_size,
+            window_start,
+            window_end: window_start + cfg.churn.measure_secs,
+            rng,
+            members: HashMap::new(),
+            finished_ratios: Vec::new(),
+            outages: 0,
+            repaired_on_time: 0,
+            starved: 0,
+        }
+    }
+
+    /// A member entered the overlay (fresh arrival or equilibrium seed).
+    pub(crate) fn on_member_joined(&mut self, id: NodeId, join: SimTime) {
+        let residual = self.rng.range_f64(
+            self.residual_pps.0,
+            self.residual_pps.1.max(self.residual_pps.0 + 1e-9),
+        );
+        self.members.insert(
+            id,
+            MemberStream {
+                view_start: join.as_secs().max(0.0),
+                residual_pps: residual,
+                ..MemberStream::default()
+            },
+        );
+    }
+
+    /// A member departed; fold its starving ratio into the results when
+    /// its view overlapped the measurement window.
+    pub(crate) fn on_member_departed(&mut self, id: NodeId, now: SimTime) {
+        if let Some(stream) = self.members.remove(&id) {
+            if let Some(ratio) = self.ratio_of(&stream, now) {
+                self.finished_ratios.push(ratio);
+            }
+        }
+    }
+
+    /// An abrupt departure cut `affected` members off the stream.
+    pub(crate) fn on_failure(&mut self, affected: &[NodeId], now: SimTime) {
+        for &m in affected {
+            if let Some(stream) = self.members.get_mut(&m) {
+                stream.outage_since.get_or_insert(now);
+            }
+        }
+    }
+
+    /// The subtree rooted at `orphan` is attached again: close the outage
+    /// of every member in it and run recovery for the missed range.
+    pub(crate) fn on_restore(
+        &mut self,
+        tree: &MulticastTree,
+        oracle: &DelayOracle,
+        live: &[NodeId],
+        orphan: NodeId,
+        now: SimTime,
+    ) {
+        let mut subtree = vec![orphan];
+        subtree.extend(tree.descendants(orphan));
+        for member in subtree {
+            let Some(t0) = self
+                .members
+                .get_mut(&member)
+                .and_then(|s| s.outage_since.take())
+            else {
+                continue;
+            };
+            self.repair_outage(tree, oracle, live, member, t0, now);
+        }
+    }
+
+    /// Finalizes ratios of members still alive at the end of the run.
+    pub(crate) fn into_report(mut self, churn: ChurnReport) -> StreamingReport {
+        let end = self.window_end;
+        let mut ratios = std::mem::take(&mut self.finished_ratios);
+        // Iterate survivors in id order so the floating-point sum (and
+        // hence the report) is identical across runs of the same seed.
+        let mut alive: Vec<&NodeId> = self.members.keys().collect();
+        alive.sort();
+        for id in alive {
+            if let Some(ratio) = self.ratio_of(&self.members[id], end) {
+                ratios.push(ratio);
+            }
+        }
+        StreamingReport {
+            starving_ratio_percent: ratios.into_iter().collect(),
+            outages: self.outages,
+            packets_repaired_on_time: self.repaired_on_time,
+            packets_starved: self.starved,
+            churn,
+        }
+    }
+
+    /// The member's starving-time ratio (in %) over the part of its view
+    /// that overlapped the measurement window; `None` when the overlap is
+    /// too short to be meaningful.
+    fn ratio_of(&self, stream: &MemberStream, now: SimTime) -> Option<f64> {
+        let start = stream.view_start.max(self.window_start.as_secs());
+        let end = now.as_secs().min(self.window_end.as_secs());
+        let view = end - start;
+        if view < 30.0 {
+            return None;
+        }
+        let starving_secs = stream.starved_packets as f64 / self.clock.rate_pps();
+        Some((starving_secs / view * 100.0).min(100.0))
+    }
+
+    /// Selects the member's recovery group at repair time: gather a view,
+    /// rebuild the partial tree from ancestor records, run Algorithm 1 (or
+    /// the random baseline) and order the result by network distance.
+    fn select_group(
+        &mut self,
+        tree: &MulticastTree,
+        oracle: &DelayOracle,
+        live: &[NodeId],
+        member: NodeId,
+    ) -> RecoveryGroup {
+        let view = self.rng.sample(live, self.view_size);
+        let records: Vec<AncestorRecord> = view
+            .iter()
+            .filter(|&&v| v != member)
+            .filter_map(|&v| AncestorRecord::from_tree(tree, v))
+            .collect();
+        let partial = PartialTree::from_records(&records);
+        let mut exclude = tree.ancestors(member);
+        exclude.push(member);
+        let options = MlcOptions { exclude };
+        let chosen = match self.selection {
+            GroupSelection::MinimumLossCorrelation => {
+                find_mlc_group(&partial, self.group_size, &options, &mut self.rng)
+            }
+            GroupSelection::Random => {
+                random_group(&partial, self.group_size, &options, &mut self.rng)
+            }
+        };
+        let member_loc = tree
+            .profile(member)
+            .map(|p| p.location)
+            .expect("repairing member exists");
+        let with_distance: Vec<(NodeId, f64)> = chosen
+            .into_iter()
+            .filter_map(|g| {
+                let loc = tree.profile(g)?.location;
+                Some((
+                    g,
+                    oracle.delay_ms(UnderlayId(member_loc.0), UnderlayId(loc.0)),
+                ))
+            })
+            .collect();
+        RecoveryGroup::ordered_by_distance(with_distance)
+    }
+
+    /// True if `server` can supply packet `seq` at time `now`.
+    fn has_packet(&self, tree: &MulticastTree, server: NodeId, seq: u64, now: SimTime) -> bool {
+        if !tree.is_attached(server) {
+            return false;
+        }
+        let Some(stream) = self.members.get(&server) else {
+            return false;
+        };
+        let gen = self.clock.generation_time(seq);
+        if gen.as_secs() < stream.view_start {
+            return false; // joined after this packet went by
+        }
+        if now - gen > self.repair_cache_secs {
+            return false; // evicted from the repair cache
+        }
+        !stream.holes.contains(seq)
+    }
+
+    /// Closes one outage `[t0, now)` for `member` and accounts the repair.
+    fn repair_outage(
+        &mut self,
+        tree: &MulticastTree,
+        oracle: &DelayOracle,
+        live: &[NodeId],
+        member: NodeId,
+        t0: SimTime,
+        now: SimTime,
+    ) {
+        let s0 = self.clock.seq_at(t0);
+        let s1 = self.clock.seq_at(now);
+        if s1 <= s0 {
+            return;
+        }
+        if now >= self.window_start && now <= self.window_end {
+            self.outages += 1;
+        }
+        let t_repair = t0 + self.loss_detection_secs;
+        let group = self.select_group(tree, oracle, live, member);
+
+        // Members able to participate right now, with their residual
+        // rates, in group (distance) order.
+        let available: Vec<(NodeId, f64, usize)> = group
+            .members()
+            .iter()
+            .enumerate()
+            .filter_map(|(hop, &g)| {
+                let stream = self.members.get(&g)?;
+                if !tree.is_attached(g) || stream.residual_pps <= 0.0 {
+                    return None;
+                }
+                Some((g, stream.residual_pps, hop))
+            })
+            .collect();
+
+        let in_window = now >= self.window_start && now <= self.window_end;
+        let mut starved_now = 0u64;
+        let mut repaired_now = 0u64;
+        let mut new_holes: Vec<u64> = Vec::new();
+
+        match self.strategy {
+            RecoveryStrategy::Cooperative => {
+                // Stripe the gap across the available members (§4.2). The
+                // full-coverage plan assigns every slot even when the
+                // group's residuals sum to less than a stream — each
+                // member then serves its (wider) stripe at its own rate,
+                // falling behind by exactly the bandwidth shortfall, and
+                // the playback buffer decides how much of that lateness
+                // turns into starvation.
+                let fractions: Vec<f64> = available
+                    .iter()
+                    .map(|&(_, pps, _)| pps / self.clock.rate_pps())
+                    .collect();
+                let plan = StripePlan::plan_full_coverage(&fractions);
+                let mut served_count: Vec<u64> = vec![0; available.len()];
+                for seq in s0..s1 {
+                    match plan.assigned_member(seq) {
+                        Some(idx) => {
+                            let (server, pps, hop) = available[idx];
+                            if self.has_packet(tree, server, seq, now) {
+                                served_count[idx] += 1;
+                                let arrival = t_repair
+                                    + hop as f64 * CHAIN_HOP_SECS
+                                    + served_count[idx] as f64 / pps;
+                                if arrival <= self.clock.playback_deadline(seq) {
+                                    repaired_now += 1;
+                                } else {
+                                    starved_now += 1;
+                                }
+                            } else {
+                                starved_now += 1;
+                                new_holes.push(seq);
+                            }
+                        }
+                        None => {
+                            // Residuals did not cover this stripe slot.
+                            starved_now += 1;
+                            new_holes.push(seq);
+                        }
+                    }
+                }
+            }
+            RecoveryStrategy::SingleSource => {
+                // The nearest live member alone serves everything it can
+                // at its residual rate; the rest of the group are fallback
+                // candidates, not parallel servers.
+                match available.first() {
+                    Some(&(server, pps, hop)) => {
+                        let mut served = 0u64;
+                        for seq in s0..s1 {
+                            if self.has_packet(tree, server, seq, now) {
+                                served += 1;
+                                let arrival =
+                                    t_repair + hop as f64 * CHAIN_HOP_SECS + served as f64 / pps;
+                                if arrival <= self.clock.playback_deadline(seq) {
+                                    repaired_now += 1;
+                                } else {
+                                    starved_now += 1;
+                                }
+                            } else {
+                                starved_now += 1;
+                                new_holes.push(seq);
+                            }
+                        }
+                    }
+                    None => {
+                        starved_now += s1 - s0;
+                        for seq in s0..s1 {
+                            new_holes.push(seq);
+                        }
+                    }
+                }
+            }
+        }
+
+        if in_window {
+            self.starved += starved_now;
+            self.repaired_on_time += repaired_now;
+        }
+        let stream = self
+            .members
+            .get_mut(&member)
+            .expect("repairing member exists");
+        stream.starved_packets += starved_now;
+        for seq in new_holes {
+            stream.holes.insert(seq);
+        }
+    }
+}
+
+/// The packet-level streaming simulator (Figs. 12–14).
+///
+/// # Examples
+///
+/// ```
+/// use rom_engine::{AlgorithmKind, ChurnConfig, StreamingConfig, StreamingSim};
+///
+/// let mut churn = ChurnConfig::quick(AlgorithmKind::MinimumDepth, 120);
+/// churn.warmup_secs = 120.0;
+/// churn.measure_secs = 300.0;
+/// let report = StreamingSim::new(StreamingConfig::paper(churn, 2)).run();
+/// assert!(report.starving_ratio_percent.count() > 50);
+/// ```
+#[derive(Debug)]
+pub struct StreamingSim {
+    inner: ChurnSim,
+}
+
+impl StreamingSim {
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`StreamingConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: StreamingConfig) -> Self {
+        cfg.validate();
+        StreamingSim {
+            inner: ChurnSim::new_with_streaming(cfg),
+        }
+    }
+
+    /// Runs to completion.
+    #[must_use]
+    pub fn run(self) -> StreamingReport {
+        self.inner.run_streaming()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AlgorithmKind, ChurnConfig};
+
+    fn quick_streaming(
+        group: usize,
+        strategy: RecoveryStrategy,
+        seed: u64,
+        size: usize,
+    ) -> StreamingConfig {
+        let mut churn = ChurnConfig::quick(AlgorithmKind::MinimumDepth, size);
+        churn.seed = seed;
+        churn.warmup_secs = 150.0;
+        churn.measure_secs = 500.0;
+        let mut cfg = StreamingConfig::paper(churn, group);
+        cfg.strategy = strategy;
+        cfg
+    }
+
+    #[test]
+    fn produces_ratios_and_outages() {
+        // Size well above the root's out-degree (100), so that real
+        // multi-level subtrees exist and departures actually disrupt.
+        let report =
+            StreamingSim::new(quick_streaming(2, RecoveryStrategy::Cooperative, 1, 400)).run();
+        assert!(report.starving_ratio_percent.count() > 50);
+        assert!(report.outages > 0, "some members must lose their parents");
+        let mean = report.starving_ratio_percent.mean();
+        assert!((0.0..=100.0).contains(&mean));
+    }
+
+    #[test]
+    fn larger_groups_starve_less() {
+        // Fig. 12's headline: group size 3 dramatically beats size 1.
+        let mut small = 0.0;
+        let mut large = 0.0;
+        for seed in 1..=3 {
+            small +=
+                StreamingSim::new(quick_streaming(1, RecoveryStrategy::Cooperative, seed, 200))
+                    .run()
+                    .starving_ratio_percent
+                    .mean();
+            large +=
+                StreamingSim::new(quick_streaming(3, RecoveryStrategy::Cooperative, seed, 200))
+                    .run()
+                    .starving_ratio_percent
+                    .mean();
+        }
+        assert!(
+            large < small,
+            "group size 3 ({large:.4}) should starve less than size 1 ({small:.4})"
+        );
+    }
+
+    #[test]
+    fn cooperative_beats_single_source() {
+        // Fig. 14's headline, at equal group size.
+        let mut single = 0.0;
+        let mut coop = 0.0;
+        for seed in 1..=3 {
+            single += StreamingSim::new(quick_streaming(
+                3,
+                RecoveryStrategy::SingleSource,
+                seed,
+                200,
+            ))
+            .run()
+            .starving_ratio_percent
+            .mean();
+            coop += StreamingSim::new(quick_streaming(3, RecoveryStrategy::Cooperative, seed, 200))
+                .run()
+                .starving_ratio_percent
+                .mean();
+        }
+        assert!(
+            coop < single,
+            "cooperative ({coop:.4}) should beat single-source ({single:.4})"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = StreamingSim::new(quick_streaming(2, RecoveryStrategy::Cooperative, 7, 120)).run();
+        let b = StreamingSim::new(quick_streaming(2, RecoveryStrategy::Cooperative, 7, 120)).run();
+        assert_eq!(a.outages, b.outages);
+        assert_eq!(a.packets_starved, b.packets_starved);
+        assert_eq!(
+            a.starving_ratio_percent.mean(),
+            b.starving_ratio_percent.mean()
+        );
+    }
+
+    #[test]
+    fn bigger_buffers_starve_less() {
+        // Fig. 13's trend.
+        let base = quick_streaming(1, RecoveryStrategy::Cooperative, 5, 200);
+        let mut tight = base.clone();
+        tight.buffer_secs = 5.0;
+        let mut roomy = base;
+        roomy.buffer_secs = 30.0;
+        let tight_ratio = StreamingSim::new(tight).run().starving_ratio_percent.mean();
+        let roomy_ratio = StreamingSim::new(roomy).run().starving_ratio_percent.mean();
+        assert!(
+            roomy_ratio <= tight_ratio,
+            "30 s buffer ({roomy_ratio:.4}) should not starve more than 5 s ({tight_ratio:.4})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod behavior_tests {
+    use super::*;
+    use crate::config::{AlgorithmKind, ChurnConfig, GroupSelection};
+
+    fn base(seed: u64) -> StreamingConfig {
+        let mut churn = ChurnConfig::quick(AlgorithmKind::MinimumDepth, 300);
+        churn.seed = seed;
+        churn.warmup_secs = 150.0;
+        churn.measure_secs = 500.0;
+        StreamingConfig::paper(churn, 2)
+    }
+
+    /// A tiny repair cache starves more: old packets age out of the
+    /// helpers' buffers before the request arrives.
+    #[test]
+    fn short_repair_cache_hurts() {
+        let mut starved_small = 0.0;
+        let mut starved_large = 0.0;
+        for seed in 1..=3 {
+            let mut small = base(seed);
+            small.repair_cache_secs = 6.0; // barely beyond the outage start
+            let mut large = base(seed);
+            large.repair_cache_secs = 300.0;
+            starved_small += StreamingSim::new(small).run().starving_ratio_percent.mean();
+            starved_large += StreamingSim::new(large).run().starving_ratio_percent.mean();
+        }
+        assert!(
+            starved_large <= starved_small,
+            "large cache ({starved_large:.4}) must not starve more than small ({starved_small:.4})"
+        );
+    }
+
+    /// Zero residual bandwidth everywhere: nobody can repair anything, so
+    /// the starving time equals the raw outage exposure, substantially
+    /// above the repaired case.
+    #[test]
+    fn no_residual_bandwidth_means_no_repairs() {
+        let mut crippled = base(4);
+        crippled.residual_pps = (0.0, 1e-6);
+        let crippled_report = StreamingSim::new(crippled).run();
+        assert_eq!(
+            crippled_report.packets_repaired_on_time, 0,
+            "repairs need residual bandwidth"
+        );
+        let healthy_report = StreamingSim::new(base(4)).run();
+        assert!(
+            healthy_report.starving_ratio_percent.mean()
+                < crippled_report.starving_ratio_percent.mean()
+        );
+    }
+
+    /// MLC and random group selection are in the same performance range
+    /// at small scale — the loss-correlation benefit only separates them
+    /// when deep subtrees make correlated recovery-node failures likely
+    /// (see the `ablation_group_selection` binary for the quantitative
+    /// comparison at realistic sizes).
+    #[test]
+    fn mlc_selection_comparable_to_random_at_small_scale() {
+        let run = |selection: GroupSelection| {
+            let mut total = 0.0;
+            for seed in 1..=4 {
+                let mut cfg = base(seed);
+                cfg.selection = selection;
+                total += StreamingSim::new(cfg).run().starving_ratio_percent.mean();
+            }
+            total / 4.0
+        };
+        let mlc = run(GroupSelection::MinimumLossCorrelation);
+        let random = run(GroupSelection::Random);
+        assert!(mlc > 0.0 && random > 0.0);
+        assert!(
+            mlc <= random * 2.0 && random <= mlc * 2.0,
+            "MLC ({mlc:.4}) and random ({random:.4}) should be within 2× at this scale"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! The churn workload: equilibrium seeding and Poisson arrivals.
+//!
+//! §5: member bandwidths follow a Bounded Pareto, lifetimes a lognormal,
+//! and "according to Little's Law, the node arrival rate λ is determined
+//! from dividing M by the mean value of lifetime". Members attach to
+//! randomly selected stub nodes of the underlay.
+//!
+//! Rather than churning from an empty overlay until the population
+//! converges (impractically slow under a heavy-tailed lifetime), the
+//! workload seeds the simulation with the population an organic run of
+//! length `H` (the *virtual history*) would contain: member ages follow
+//! the stationary age density `S(a)/∫₀ᴴ S` truncated at `H` (where `S` is
+//! the lifetime survival function), and each member's total lifetime is
+//! drawn conditioned on having survived its age. Truncation matters: the
+//! untruncated stationary process contains members weeks old that never
+//! churn, which no finite simulation — the paper's included — would ever
+//! see.
+
+use rom_net::{TransitStubNetwork, UnderlayId};
+use rom_overlay::{Location, MemberProfile, NodeId};
+use rom_sim::{SimRng, SimTime};
+use rom_stats::{BoundedPareto, LogNormal};
+
+/// Generates member profiles for one simulation run.
+#[derive(Debug)]
+pub struct Workload {
+    bandwidth: BoundedPareto,
+    lifetime: LogNormal,
+    arrival_rate: f64,
+    history_secs: f64,
+    stubs: Vec<UnderlayId>,
+    rng: SimRng,
+    next_id: u64,
+}
+
+impl Workload {
+    /// Creates a workload drawing member locations from `net`'s stub
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival rate is not positive or the network has no
+    /// stub nodes.
+    #[must_use]
+    pub fn new(
+        bandwidth: BoundedPareto,
+        lifetime: LogNormal,
+        arrival_rate: f64,
+        history_secs: f64,
+        net: &TransitStubNetwork,
+        rng: SimRng,
+    ) -> Self {
+        assert!(arrival_rate > 0.0, "arrival rate must be positive");
+        assert!(history_secs > 0.0, "virtual history must be positive");
+        let stubs: Vec<UnderlayId> = net.stub_nodes().collect();
+        assert!(!stubs.is_empty(), "network has no stub nodes");
+        Workload {
+            bandwidth,
+            lifetime,
+            arrival_rate,
+            history_secs,
+            stubs,
+            rng,
+            next_id: 1, // id 0 is the source
+        }
+    }
+
+    /// The configured Little's-law arrival rate.
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Picks a random stub location (also used to place the source).
+    pub fn random_location(&mut self) -> Location {
+        let stub = self.stubs[self.rng.index(self.stubs.len())];
+        Location(stub.0)
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Draws the next inter-arrival gap (exponential at rate λ).
+    pub fn next_interarrival(&mut self) -> f64 {
+        self.rng.exponential(self.arrival_rate)
+    }
+
+    /// Creates the profile of a member arriving at `now`.
+    pub fn arrival(&mut self, now: SimTime) -> MemberProfile {
+        let id = self.fresh_id();
+        let bandwidth = self.bandwidth.sample(&mut self.rng);
+        let lifetime = self.lifetime.sample(&mut self.rng).max(1.0);
+        let location = self.random_location();
+        MemberProfile::new(id, bandwidth, now, lifetime, location)
+    }
+
+    /// Creates a member with explicit properties (the Figs. 6/9 observer).
+    pub fn custom_arrival(&mut self, now: SimTime, bandwidth: f64, lifetime: f64) -> MemberProfile {
+        let id = self.fresh_id();
+        let location = self.random_location();
+        MemberProfile::new(id, bandwidth, now, lifetime, location)
+    }
+
+    /// Samples a member age from the truncated stationary age density
+    /// `S(a) / ∫₀ᴴ S` by rejection: `a ~ U(0, H)` accepted with
+    /// probability `S(a)`.
+    fn stationary_age(&mut self) -> f64 {
+        loop {
+            let a = self.rng.uniform() * self.history_secs;
+            if self.rng.uniform() < 1.0 - self.lifetime.cdf(a) {
+                return a;
+            }
+        }
+    }
+
+    /// Seeds an equilibrium population of `count` members as of time 0:
+    /// each has an age from the truncated stationary age distribution (so
+    /// `join_time = -age ≤ 0`) and a total lifetime drawn conditioned on
+    /// having survived that age, guaranteeing a positive residual.
+    /// Members are returned oldest-first — the order they would have
+    /// arrived in.
+    pub fn equilibrium_population(&mut self, count: usize) -> Vec<MemberProfile> {
+        let mut members = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = self.fresh_id();
+            let bandwidth = self.bandwidth.sample(&mut self.rng);
+            let age = self.stationary_age();
+            let total = self
+                .lifetime
+                .sample_conditional_exceeding(age, &mut self.rng)
+                .max(age + 1.0);
+            let location = self.random_location();
+            members.push(MemberProfile::new(
+                id,
+                bandwidth,
+                SimTime::from_secs(-age),
+                total,
+                location,
+            ));
+        }
+        members.sort_by_key(|m| m.join_time);
+        members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rom_net::TransitStubConfig;
+
+    fn workload(seed: u64) -> Workload {
+        let mut rng = SimRng::seed_from(seed);
+        let net = TransitStubNetwork::generate(&TransitStubConfig::small(), &mut rng);
+        Workload::new(
+            BoundedPareto::paper_bandwidth(),
+            LogNormal::paper_lifetime(),
+            0.5,
+            14_400.0,
+            &net,
+            rng.fork("workload"),
+        )
+    }
+
+    #[test]
+    fn arrivals_have_fresh_ids_and_valid_fields() {
+        let mut w = workload(1);
+        let a = w.arrival(SimTime::from_secs(10.0));
+        let b = w.arrival(SimTime::from_secs(11.0));
+        assert_ne!(a.id, b.id);
+        assert!(a.id.0 >= 1);
+        assert!(a.bandwidth >= 0.5 && a.bandwidth <= 100.0);
+        assert!(a.lifetime >= 1.0);
+        assert_eq!(a.join_time, SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn interarrival_mean_matches_rate() {
+        let mut w = workload(2);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| w.next_interarrival()).sum();
+        let mean = total / f64::from(n);
+        assert!(
+            (mean - 2.0).abs() < 0.1,
+            "mean gap {mean} should be ≈ 1/0.5"
+        );
+    }
+
+    #[test]
+    fn equilibrium_population_is_aged_and_alive() {
+        let mut w = workload(3);
+        let pop = w.equilibrium_population(500);
+        assert_eq!(pop.len(), 500);
+        for m in &pop {
+            // Joined in the past, departs in the future.
+            assert!(m.join_time <= SimTime::ZERO);
+            assert!(m.departure_time() > SimTime::ZERO, "{:?}", m);
+        }
+        // Oldest first.
+        for pair in pop.windows(2) {
+            assert!(pair[0].join_time <= pair[1].join_time);
+        }
+        // Ids unique.
+        let mut ids: Vec<u64> = pop.iter().map(|m| m.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 500);
+    }
+
+    #[test]
+    fn equilibrium_ages_are_heavy_tailed() {
+        // The stationary age distribution under a heavy-tailed lifetime
+        // has many very old members — the property time-ordering exploits.
+        let mut w = workload(4);
+        let pop = w.equilibrium_population(2_000);
+        let old = pop
+            .iter()
+            .filter(|m| m.age(SimTime::ZERO) > 3_600.0)
+            .count();
+        assert!(
+            old > 100,
+            "expected a sizeable fraction of members older than an hour, got {old}"
+        );
+        // ...but never older than the virtual history.
+        assert!(pop.iter().all(|m| m.age(SimTime::ZERO) <= 14_400.0));
+    }
+
+    #[test]
+    fn custom_arrival_respects_spec() {
+        let mut w = workload(5);
+        let obs = w.custom_arrival(SimTime::from_secs(50.0), 2.0, 18_000.0);
+        assert_eq!(obs.bandwidth, 2.0);
+        assert_eq!(obs.lifetime, 18_000.0);
+        assert_eq!(obs.join_time, SimTime::from_secs(50.0));
+    }
+
+    #[test]
+    fn locations_are_stub_nodes() {
+        let mut rng = SimRng::seed_from(6);
+        let net = TransitStubNetwork::generate(&TransitStubConfig::small(), &mut rng);
+        let transit = net.transit_count() as u32;
+        let mut w = Workload::new(
+            BoundedPareto::paper_bandwidth(),
+            LogNormal::paper_lifetime(),
+            1.0,
+            14_400.0,
+            &net,
+            rng.fork("w"),
+        );
+        for _ in 0..100 {
+            let loc = w.random_location();
+            assert!(loc.0 >= transit, "location {loc} is a transit node");
+        }
+    }
+}

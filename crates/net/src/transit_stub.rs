@@ -1,0 +1,537 @@
+//! GT-ITM-style transit-stub topology generation.
+//!
+//! The paper's underlay is a 15 600-node transit-stub network produced by
+//! the GT-ITM generator of Zegura et al. (INFOCOM '96), with link delays
+//! drawn uniformly from `[15, 25]` ms between transit nodes, `[5, 9]` ms
+//! between transit and stub nodes, and `[2, 4]` ms between stub nodes. This
+//! module recreates that model from scratch:
+//!
+//! - a set of *transit domains*, each an internally connected mesh of
+//!   transit (backbone) nodes, with the domains themselves connected;
+//! - per transit node, several *stub domains* — small access networks whose
+//!   single attachment edge to their transit gateway makes the hierarchy
+//!   strict (no multi-homing), which the [`crate::DelayOracle`] exploits.
+
+use rom_sim::SimRng;
+
+use crate::graph::{Graph, UnderlayId};
+
+/// Parameters of the transit-stub generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitStubConfig {
+    /// Number of transit (backbone) domains.
+    pub transit_domains: usize,
+    /// Transit nodes per transit domain.
+    pub transit_nodes_per_domain: usize,
+    /// Stub domains attached to each transit node.
+    pub stub_domains_per_transit: usize,
+    /// Stub nodes per stub domain.
+    pub stub_nodes_per_domain: usize,
+    /// Delay range (ms) for transit–transit links.
+    pub transit_transit_delay_ms: (f64, f64),
+    /// Delay range (ms) for transit–stub attachment links.
+    pub transit_stub_delay_ms: (f64, f64),
+    /// Delay range (ms) for stub–stub links.
+    pub stub_stub_delay_ms: (f64, f64),
+    /// Probability of each extra chord edge inside a domain (on top of the
+    /// ring that guarantees connectivity).
+    pub chord_probability: f64,
+}
+
+impl TransitStubConfig {
+    /// The paper's topology: 240 transit nodes and 15 360 stub nodes
+    /// (15 600 total), with the §5 delay ranges.
+    #[must_use]
+    pub fn paper() -> Self {
+        TransitStubConfig {
+            transit_domains: 10,
+            transit_nodes_per_domain: 24,
+            stub_domains_per_transit: 8,
+            stub_nodes_per_domain: 8,
+            ..TransitStubConfig::default()
+        }
+    }
+
+    /// A small topology for unit tests and quick experiments
+    /// (4 × 4 transit nodes, 2 × 4 stubs per transit node ⇒ 144 nodes).
+    #[must_use]
+    pub fn small() -> Self {
+        TransitStubConfig {
+            transit_domains: 4,
+            transit_nodes_per_domain: 4,
+            stub_domains_per_transit: 2,
+            stub_nodes_per_domain: 4,
+            ..TransitStubConfig::default()
+        }
+    }
+
+    /// A topology scaled so that it offers at least `members` stub nodes,
+    /// keeping the paper's delay ranges and roughly its transit:stub ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members == 0`.
+    #[must_use]
+    pub fn sized_for(members: usize) -> Self {
+        assert!(members > 0);
+        let mut cfg = TransitStubConfig::paper();
+        // Shrink the per-transit stub population until the next step down
+        // would not fit `members`, then shrink the core similarly.
+        while cfg.transit_domains > 2 && cfg.stub_node_count() / 2 >= members {
+            cfg.transit_domains /= 2;
+        }
+        while cfg.transit_nodes_per_domain > 2 && cfg.stub_node_count() / 2 >= members {
+            cfg.transit_nodes_per_domain /= 2;
+        }
+        cfg
+    }
+
+    /// Total transit nodes.
+    #[must_use]
+    pub fn transit_node_count(&self) -> usize {
+        self.transit_domains * self.transit_nodes_per_domain
+    }
+
+    /// Total stub nodes.
+    #[must_use]
+    pub fn stub_node_count(&self) -> usize {
+        self.transit_node_count() * self.stub_domains_per_transit * self.stub_nodes_per_domain
+    }
+
+    /// Total nodes in the generated graph.
+    #[must_use]
+    pub fn total_node_count(&self) -> usize {
+        self.transit_node_count() + self.stub_node_count()
+    }
+
+    /// Total number of stub domains.
+    #[must_use]
+    pub fn stub_domain_count(&self) -> usize {
+        self.transit_node_count() * self.stub_domains_per_transit
+    }
+
+    fn validate(&self) {
+        assert!(self.transit_domains > 0, "need at least one transit domain");
+        assert!(
+            self.transit_nodes_per_domain > 0,
+            "need at least one transit node per domain"
+        );
+        assert!(
+            self.stub_nodes_per_domain > 0,
+            "stub domains cannot be empty"
+        );
+        for (lo, hi) in [
+            self.transit_transit_delay_ms,
+            self.transit_stub_delay_ms,
+            self.stub_stub_delay_ms,
+        ] {
+            assert!(lo > 0.0 && hi > lo, "invalid delay range [{lo}, {hi})");
+        }
+        assert!(
+            (0.0..=1.0).contains(&self.chord_probability),
+            "chord probability must be in [0, 1]"
+        );
+    }
+}
+
+impl Default for TransitStubConfig {
+    /// The paper's delay ranges with a small default shape.
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_domains: 4,
+            transit_nodes_per_domain: 4,
+            stub_domains_per_transit: 2,
+            stub_nodes_per_domain: 4,
+            transit_transit_delay_ms: (15.0, 25.0),
+            transit_stub_delay_ms: (5.0, 9.0),
+            stub_stub_delay_ms: (2.0, 4.0),
+            chord_probability: 0.2,
+        }
+    }
+}
+
+/// One stub domain: a small access network hanging off a transit gateway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StubDomain {
+    /// The transit node this domain attaches to.
+    pub gateway: UnderlayId,
+    /// The stub node that carries the attachment edge.
+    pub attachment: UnderlayId,
+    /// All stub nodes in the domain (contiguous ids).
+    pub first_node: UnderlayId,
+    /// Number of nodes in the domain.
+    pub size: usize,
+}
+
+impl StubDomain {
+    /// Iterates over the nodes of this domain.
+    pub fn nodes(&self) -> impl Iterator<Item = UnderlayId> + '_ {
+        (0..self.size as u32).map(|i| UnderlayId(self.first_node.0 + i))
+    }
+
+    /// True if `node` belongs to this domain.
+    #[must_use]
+    pub fn contains(&self, node: UnderlayId) -> bool {
+        node.0 >= self.first_node.0 && node.0 < self.first_node.0 + self.size as u32
+    }
+}
+
+/// The role of an underlay node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Backbone node in the given transit domain.
+    Transit {
+        /// Index of the transit domain.
+        domain: usize,
+    },
+    /// Access node in the given stub domain.
+    Stub {
+        /// Index into [`TransitStubNetwork::stub_domains`].
+        domain: usize,
+    },
+}
+
+/// A generated transit-stub underlay.
+#[derive(Debug, Clone)]
+pub struct TransitStubNetwork {
+    config: TransitStubConfig,
+    graph: Graph,
+    kinds: Vec<NodeKind>,
+    stub_domains: Vec<StubDomain>,
+    gateway_delays: Vec<f64>,
+}
+
+impl TransitStubNetwork {
+    /// Generates a topology from `config` using randomness from `rng`.
+    ///
+    /// Layout: transit nodes occupy ids `0..T`, stub nodes `T..T+S`, with
+    /// each stub domain contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see the field docs).
+    #[must_use]
+    pub fn generate(config: &TransitStubConfig, rng: &mut SimRng) -> Self {
+        config.validate();
+        let t = config.transit_node_count();
+        let total = config.total_node_count();
+        let mut graph = Graph::with_nodes(total);
+        let mut kinds = Vec::with_capacity(total);
+
+        // Transit domains: ring + chords internally.
+        for d in 0..config.transit_domains {
+            let base = d * config.transit_nodes_per_domain;
+            for i in 0..config.transit_nodes_per_domain {
+                kinds.push(NodeKind::Transit { domain: d });
+                let _ = i;
+            }
+            connect_domain(
+                &mut graph,
+                base,
+                config.transit_nodes_per_domain,
+                config.transit_transit_delay_ms,
+                config.chord_probability,
+                rng,
+            );
+        }
+
+        // Inter-domain transit links: a ring of domains plus random extras,
+        // each realized between random nodes of the two domains.
+        let (lo, hi) = config.transit_transit_delay_ms;
+        if config.transit_domains > 1 {
+            for d in 0..config.transit_domains {
+                let e = (d + 1) % config.transit_domains;
+                if config.transit_domains == 2 && d == 1 {
+                    break; // avoid a duplicate edge in the 2-domain ring
+                }
+                let a = domain_node(config, d, rng);
+                let b = domain_node(config, e, rng);
+                graph.add_edge(a, b, rng.range_f64(lo, hi));
+            }
+            // Extra random inter-domain links for path diversity.
+            for d in 0..config.transit_domains {
+                for e in (d + 2)..config.transit_domains {
+                    if rng.chance(config.chord_probability) {
+                        let a = domain_node(config, d, rng);
+                        let b = domain_node(config, e, rng);
+                        graph.add_edge(a, b, rng.range_f64(lo, hi));
+                    }
+                }
+            }
+        }
+
+        // Stub domains.
+        let mut stub_domains = Vec::with_capacity(config.stub_domain_count());
+        let mut gateway_delays = Vec::with_capacity(config.stub_domain_count());
+        let mut next = t;
+        let (slo, shi) = config.stub_stub_delay_ms;
+        let (alo, ahi) = config.transit_stub_delay_ms;
+        for gw_idx in 0..t {
+            for _ in 0..config.stub_domains_per_transit {
+                let first = next;
+                next += config.stub_nodes_per_domain;
+                let domain_index = stub_domains.len();
+                for _ in 0..config.stub_nodes_per_domain {
+                    kinds.push(NodeKind::Stub {
+                        domain: domain_index,
+                    });
+                }
+                connect_domain(
+                    &mut graph,
+                    first,
+                    config.stub_nodes_per_domain,
+                    (slo, shi),
+                    config.chord_probability,
+                    rng,
+                );
+                let gateway = UnderlayId(gw_idx as u32);
+                let attachment = UnderlayId(first as u32);
+                let gw_delay = rng.range_f64(alo, ahi);
+                graph.add_edge(attachment, gateway, gw_delay);
+                gateway_delays.push(gw_delay);
+                stub_domains.push(StubDomain {
+                    gateway,
+                    attachment,
+                    first_node: attachment,
+                    size: config.stub_nodes_per_domain,
+                });
+            }
+        }
+
+        TransitStubNetwork {
+            config: config.clone(),
+            graph,
+            kinds,
+            stub_domains,
+            gateway_delays,
+        }
+    }
+
+    /// The generation parameters.
+    #[must_use]
+    pub fn config(&self) -> &TransitStubConfig {
+        &self.config
+    }
+
+    /// The underlying weighted graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The role of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn kind(&self, node: UnderlayId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// All stub domains.
+    #[must_use]
+    pub fn stub_domains(&self) -> &[StubDomain] {
+        &self.stub_domains
+    }
+
+    /// Delay of the attachment edge of stub domain `index`.
+    #[must_use]
+    pub fn gateway_delay_ms(&self, index: usize) -> f64 {
+        self.gateway_delays[index]
+    }
+
+    /// All stub node ids (the candidate member attachment points).
+    pub fn stub_nodes(&self) -> impl Iterator<Item = UnderlayId> + '_ {
+        let t = self.config.transit_node_count() as u32;
+        let total = self.config.total_node_count() as u32;
+        (t..total).map(UnderlayId)
+    }
+
+    /// Number of transit nodes (ids `0..transit_count`).
+    #[must_use]
+    pub fn transit_count(&self) -> usize {
+        self.config.transit_node_count()
+    }
+}
+
+/// Picks a random node of transit domain `d`.
+fn domain_node(config: &TransitStubConfig, d: usize, rng: &mut SimRng) -> UnderlayId {
+    let base = d * config.transit_nodes_per_domain;
+    UnderlayId((base + rng.index(config.transit_nodes_per_domain)) as u32)
+}
+
+/// Connects `size` contiguous nodes starting at `base` into a ring plus
+/// random chords, with delays drawn from `range`.
+fn connect_domain(
+    graph: &mut Graph,
+    base: usize,
+    size: usize,
+    range: (f64, f64),
+    chord_probability: f64,
+    rng: &mut SimRng,
+) {
+    let (lo, hi) = range;
+    if size == 1 {
+        return;
+    }
+    for i in 0..size {
+        let j = (i + 1) % size;
+        if size == 2 && i == 1 {
+            break; // 2-node ring would duplicate the edge
+        }
+        graph.add_edge(
+            UnderlayId((base + i) as u32),
+            UnderlayId((base + j) as u32),
+            rng.range_f64(lo, hi),
+        );
+    }
+    for i in 0..size {
+        for j in (i + 2)..size {
+            // Skip the ring's wrap-around pair.
+            if i == 0 && j == size - 1 {
+                continue;
+            }
+            if rng.chance(chord_probability) {
+                graph.add_edge(
+                    UnderlayId((base + i) as u32),
+                    UnderlayId((base + j) as u32),
+                    rng.range_f64(lo, hi),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section5() {
+        let cfg = TransitStubConfig::paper();
+        assert_eq!(cfg.total_node_count(), 15_600);
+        assert_eq!(cfg.stub_node_count(), 15_360);
+        assert_eq!(cfg.transit_node_count(), 240);
+        assert_eq!(cfg.transit_transit_delay_ms, (15.0, 25.0));
+        assert_eq!(cfg.transit_stub_delay_ms, (5.0, 9.0));
+        assert_eq!(cfg.stub_stub_delay_ms, (2.0, 4.0));
+    }
+
+    #[test]
+    fn small_network_is_connected_and_typed() {
+        let mut rng = SimRng::seed_from(1);
+        let net = TransitStubNetwork::generate(&TransitStubConfig::small(), &mut rng);
+        assert!(net.graph().is_connected());
+        assert_eq!(net.graph().node_count(), net.config().total_node_count());
+        let transit = net
+            .graph()
+            .nodes()
+            .filter(|&n| matches!(net.kind(n), NodeKind::Transit { .. }))
+            .count();
+        assert_eq!(transit, net.config().transit_node_count());
+        assert_eq!(net.stub_nodes().count(), net.config().stub_node_count());
+    }
+
+    #[test]
+    fn stub_domains_are_contiguous_and_sized() {
+        let mut rng = SimRng::seed_from(2);
+        let cfg = TransitStubConfig::small();
+        let net = TransitStubNetwork::generate(&cfg, &mut rng);
+        assert_eq!(net.stub_domains().len(), cfg.stub_domain_count());
+        for (i, dom) in net.stub_domains().iter().enumerate() {
+            assert_eq!(dom.size, cfg.stub_nodes_per_domain);
+            for node in dom.nodes() {
+                assert!(dom.contains(node));
+                assert_eq!(net.kind(node), NodeKind::Stub { domain: i });
+            }
+            assert!(!dom.contains(dom.gateway));
+            // The gateway is a transit node.
+            assert!(matches!(net.kind(dom.gateway), NodeKind::Transit { .. }));
+            assert!(net.gateway_delay_ms(i) >= 5.0 && net.gateway_delay_ms(i) < 9.0);
+        }
+    }
+
+    #[test]
+    fn delays_within_configured_ranges() {
+        let mut rng = SimRng::seed_from(3);
+        let net = TransitStubNetwork::generate(&TransitStubConfig::small(), &mut rng);
+        for node in net.graph().nodes() {
+            for link in net.graph().neighbors(node) {
+                let ends = (net.kind(node), net.kind(link.to));
+                let ok = match ends {
+                    (NodeKind::Transit { .. }, NodeKind::Transit { .. }) => {
+                        (15.0..25.0).contains(&link.delay_ms)
+                    }
+                    (NodeKind::Stub { domain: a }, NodeKind::Stub { domain: b }) => {
+                        assert_eq!(a, b, "stub-stub edges never cross domains");
+                        (2.0..4.0).contains(&link.delay_ms)
+                    }
+                    _ => (5.0..9.0).contains(&link.delay_ms),
+                };
+                assert!(ok, "edge {node}->{} delay {}", link.to, link.delay_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let gen = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            TransitStubNetwork::generate(&TransitStubConfig::small(), &mut rng)
+        };
+        let a = gen(77);
+        let b = gen(77);
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        for node in a.graph().nodes() {
+            assert_eq!(a.graph().neighbors(node), b.graph().neighbors(node));
+        }
+    }
+
+    #[test]
+    fn tiny_domains_do_not_duplicate_ring_edges() {
+        let cfg = TransitStubConfig {
+            transit_domains: 2,
+            transit_nodes_per_domain: 2,
+            stub_domains_per_transit: 1,
+            stub_nodes_per_domain: 2,
+            chord_probability: 1.0, // maximize chance of hitting the edge cases
+            ..TransitStubConfig::default()
+        };
+        let mut rng = SimRng::seed_from(5);
+        let net = TransitStubNetwork::generate(&cfg, &mut rng);
+        assert!(net.graph().is_connected());
+    }
+
+    #[test]
+    fn single_node_domains_supported() {
+        let cfg = TransitStubConfig {
+            transit_domains: 1,
+            transit_nodes_per_domain: 1,
+            stub_domains_per_transit: 2,
+            stub_nodes_per_domain: 1,
+            ..TransitStubConfig::default()
+        };
+        let mut rng = SimRng::seed_from(6);
+        let net = TransitStubNetwork::generate(&cfg, &mut rng);
+        assert!(net.graph().is_connected());
+        assert_eq!(net.graph().node_count(), 3);
+    }
+
+    #[test]
+    fn sized_for_covers_membership() {
+        for members in [10, 100, 2000, 14_000] {
+            let cfg = TransitStubConfig::sized_for(members);
+            assert!(
+                cfg.stub_node_count() >= members,
+                "{members} members need {} stubs",
+                cfg.stub_node_count()
+            );
+        }
+        // Full paper scale is preserved for the largest runs.
+        assert_eq!(
+            TransitStubConfig::sized_for(14_000).stub_node_count(),
+            15_360
+        );
+    }
+}

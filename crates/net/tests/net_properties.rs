@@ -1,0 +1,63 @@
+//! Property tests for the underlay: the hierarchical delay oracle is
+//! *exact* (equals brute-force Dijkstra) for arbitrary small transit-stub
+//! topologies, and delays form a metric.
+
+use proptest::prelude::*;
+use rom_net::{dijkstra, DelayOracle, TransitStubConfig, TransitStubNetwork, UnderlayId};
+use rom_sim::SimRng;
+
+fn arb_config() -> impl Strategy<Value = TransitStubConfig> {
+    (1usize..4, 1usize..4, 1usize..3, 1usize..5, 0.0f64..0.7).prop_map(
+        |(domains, per_domain, stub_domains, stub_nodes, chord)| TransitStubConfig {
+            transit_domains: domains,
+            transit_nodes_per_domain: per_domain,
+            stub_domains_per_transit: stub_domains,
+            stub_nodes_per_domain: stub_nodes,
+            chord_probability: chord,
+            ..TransitStubConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The oracle agrees with full-graph Dijkstra on every pair, for any
+    /// topology shape and seed.
+    #[test]
+    fn oracle_is_exact(cfg in arb_config(), seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let net = TransitStubNetwork::generate(&cfg, &mut rng);
+        prop_assert!(net.graph().is_connected());
+        let oracle = DelayOracle::build(&net);
+        let nodes: Vec<UnderlayId> = net.graph().nodes().collect();
+        for &src in nodes.iter().step_by(3) {
+            let sp = dijkstra(net.graph(), src);
+            for &dst in nodes.iter().step_by(2) {
+                let want = sp.distance(dst).expect("connected");
+                let got = oracle.delay_ms(src, dst);
+                prop_assert!((got - want).abs() < 1e-9, "({src},{dst}): {got} vs {want}");
+            }
+        }
+    }
+
+    /// Delays are symmetric, zero on the diagonal, and satisfy the
+    /// triangle inequality.
+    #[test]
+    fn delays_form_a_metric(cfg in arb_config(), seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let net = TransitStubNetwork::generate(&cfg, &mut rng);
+        let oracle = DelayOracle::build(&net);
+        let nodes: Vec<UnderlayId> = net.graph().nodes().step_by(2).collect();
+        for &a in &nodes {
+            prop_assert_eq!(oracle.delay_ms(a, a), 0.0);
+            for &b in &nodes {
+                let ab = oracle.delay_ms(a, b);
+                prop_assert!((ab - oracle.delay_ms(b, a)).abs() < 1e-9);
+                for &c in nodes.iter().step_by(2) {
+                    prop_assert!(ab <= oracle.delay_ms(a, c) + oracle.delay_ms(c, b) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Tree-construction algorithms.
+//!
+//! The paper evaluates five ways of deciding where a (re)joining member
+//! attaches (§5). Four are baselines implemented here; the fifth — ROST —
+//! lives in the `rom-rost` crate and reuses the minimum-depth join rule,
+//! adding its switching maintenance on top.
+//!
+//! | algorithm | knowledge | principle |
+//! |---|---|---|
+//! | [`MinimumDepth`] | partial view | shallowest parent with a free slot, nearest on ties |
+//! | [`LongestFirst`] | partial view | oldest parent with a free slot |
+//! | [`RelaxedBandwidthOrdered`] | global (centralized) | evict the shallowest smaller-bandwidth node |
+//! | [`RelaxedTimeOrdered`] | global (centralized) | evict the shallowest younger node |
+
+mod longest_first;
+mod min_depth;
+mod ordered;
+
+pub use longest_first::LongestFirst;
+pub use min_depth::MinimumDepth;
+pub use ordered::{RelaxedBandwidthOrdered, RelaxedTimeOrdered};
+
+use rom_sim::SimTime;
+
+use crate::id::NodeId;
+use crate::member::MemberProfile;
+use crate::proximity::Proximity;
+use crate::tree::MulticastTree;
+
+/// Everything an algorithm may consult when placing one member.
+#[derive(Debug)]
+pub struct JoinContext<'a> {
+    /// The current tree (read-only; the engine applies the decision).
+    pub tree: &'a MulticastTree,
+    /// The member being placed. For a rejoin this is the member's original
+    /// profile — its age is preserved.
+    pub joiner: &'a MemberProfile,
+    /// Candidate parents. For distributed algorithms this is the joiner's
+    /// partial view; for centralized ones the engine passes every attached
+    /// member. The engine guarantees candidates are attached and outside
+    /// the joiner's own subtree.
+    pub candidates: &'a [NodeId],
+    /// Current simulation time (for age/BTP computations).
+    pub now: SimTime,
+}
+
+/// An algorithm's placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinDecision {
+    /// Attach the joiner as a new leaf under `parent`.
+    Attach {
+        /// The chosen parent.
+        parent: NodeId,
+    },
+    /// Take over `evict`'s position; the evictee (and possibly some of its
+    /// children) must rejoin. Only centralized algorithms emit this.
+    Replace {
+        /// The member being evicted.
+        evict: NodeId,
+    },
+    /// No feasible placement among the candidates (the engine retries with
+    /// a fresh view).
+    Reject,
+}
+
+/// A strategy for placing joining and rejoining members.
+///
+/// Implementations must be deterministic functions of the context — any
+/// randomness (view sampling) happens before the call.
+pub trait TreeAlgorithm: std::fmt::Debug {
+    /// Short name used in reports (e.g. `"min-depth"`).
+    fn name(&self) -> &'static str;
+
+    /// True if the algorithm needs global topology information (§5 notes
+    /// the relaxed ordered baselines "assume a central administrator").
+    /// The engine then passes all attached members as candidates.
+    fn is_centralized(&self) -> bool {
+        false
+    }
+
+    /// Chooses a placement for `ctx.joiner`.
+    fn select(&self, ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> JoinDecision;
+}
+
+/// Shared helper: the minimum-depth parent choice used by both
+/// [`MinimumDepth`] itself and ROST's join rule — the shallowest candidate
+/// with a free slot, breaking layer ties by network delay and then by id
+/// (§3.3).
+#[must_use]
+pub fn min_depth_parent(ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> Option<NodeId> {
+    let mut best: Option<(usize, f64, NodeId)> = None;
+    for &cand in ctx.candidates {
+        if !ctx.tree.has_free_slot(cand) {
+            continue;
+        }
+        let Some(depth) = ctx.tree.depth(cand) else {
+            continue;
+        };
+        let key_delay = || {
+            let loc = ctx
+                .tree
+                .profile(cand)
+                .expect("candidate has a profile")
+                .location;
+            proximity.delay_ms(ctx.joiner.location, loc)
+        };
+        match best {
+            None => best = Some((depth, key_delay(), cand)),
+            Some((bd, bdelay, bid)) => {
+                if depth < bd {
+                    best = Some((depth, key_delay(), cand));
+                } else if depth == bd {
+                    let delay = key_delay();
+                    if delay < bdelay || (delay == bdelay && cand < bid) {
+                        best = Some((depth, delay, cand));
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(_, _, id)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Location;
+    use crate::proximity::{IndexProximity, ZeroProximity};
+
+    pub(crate) fn profile(id: u64, bw: f64, join_secs: f64, loc: u32) -> MemberProfile {
+        MemberProfile::new(
+            NodeId(id),
+            bw,
+            SimTime::from_secs(join_secs),
+            1e6,
+            Location(loc),
+        )
+    }
+
+    #[test]
+    fn min_depth_parent_prefers_shallow_then_near() {
+        let mut tree = MulticastTree::new(profile(0, 2.0, 0.0, 0), 1.0);
+        tree.attach(profile(1, 2.0, 0.0, 10), NodeId(0)).unwrap();
+        tree.attach(profile(2, 2.0, 0.0, 3), NodeId(0)).unwrap();
+        tree.attach(profile(3, 2.0, 0.0, 1), NodeId(1)).unwrap();
+        let joiner = profile(9, 1.0, 5.0, 2);
+        let candidates = vec![NodeId(1), NodeId(2), NodeId(3)];
+        let ctx = JoinContext {
+            tree: &tree,
+            joiner: &joiner,
+            candidates: &candidates,
+            now: SimTime::from_secs(5.0),
+        };
+        // Nodes 1 and 2 are both depth 1; node 2 (loc 3) is nearer to
+        // loc 2 than node 1 (loc 10).
+        assert_eq!(min_depth_parent(&ctx, &IndexProximity), Some(NodeId(2)));
+        // With flat proximity the tie breaks to the smaller id.
+        assert_eq!(min_depth_parent(&ctx, &ZeroProximity), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn min_depth_parent_skips_full_and_detached() {
+        let mut tree = MulticastTree::new(profile(0, 1.0, 0.0, 0), 1.0);
+        tree.attach(profile(1, 1.0, 0.0, 1), NodeId(0)).unwrap(); // root now full
+        tree.attach(profile(2, 0.0, 0.0, 2), NodeId(1)).unwrap(); // free-rider
+        let joiner = profile(9, 1.0, 5.0, 5);
+        let candidates = vec![NodeId(0), NodeId(2)];
+        let ctx = JoinContext {
+            tree: &tree,
+            joiner: &joiner,
+            candidates: &candidates,
+            now: SimTime::from_secs(5.0),
+        };
+        assert_eq!(min_depth_parent(&ctx, &ZeroProximity), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! The relaxed bandwidth-ordered and time-ordered centralized baselines.
+//!
+//! Strict BO/TO trees (§3.1) keep every layer ordered, which costs
+//! recursive rejoins on every churn event. The paper therefore evaluates
+//! *relaxed* variants (§5 algorithms 3–4): "when a member joins/rejoins the
+//! tree, it always searches from the high to low layers to see if there is
+//! a smaller-bandwidth or younger node, and if so, the located node is
+//! replaced with the new one. The evicted node, and possibly together with
+//! some of its children in the case of time ordering, are forced to rejoin
+//! the tree. This results in bandwidth/time ordering among parents and
+//! children... Note that both algorithms assume a central administrator
+//! providing global topological information."
+
+use crate::algorithms::{min_depth_parent, JoinContext, JoinDecision, TreeAlgorithm};
+use crate::id::NodeId;
+use crate::member::MemberProfile;
+use crate::proximity::Proximity;
+use rom_sim::SimTime;
+
+/// The ordering criterion a relaxed ordered tree maintains.
+trait OrderKey {
+    /// The sort key; *larger* keys deserve *higher* (shallower) positions.
+    fn key(profile: &MemberProfile, now: SimTime) -> f64;
+}
+
+/// Shared eviction search: the shallowest attached non-root member whose
+/// key is strictly smaller than the joiner's — the paper's "searches from
+/// the high to low layers to see if there is a smaller-bandwidth or
+/// younger node". Within the first layer containing a qualifying member,
+/// the *weakest* occupant is evicted (ties to the smallest id): evicting
+/// the weakest keeps displacement cascades short, since the evictee
+/// out-ranks almost nobody and simply reattaches.
+fn find_eviction<K: OrderKey>(ctx: &JoinContext<'_>) -> Option<NodeId> {
+    let joiner_key = K::key(ctx.joiner, ctx.now);
+    let tree = ctx.tree;
+    for depth in 1..=tree.max_depth() {
+        let mut weakest: Option<(f64, NodeId)> = None;
+        for cand in tree.layer(depth) {
+            let key = K::key(tree.profile(cand).expect("attached"), ctx.now);
+            if key < joiner_key {
+                let better = match weakest {
+                    None => true,
+                    Some((wk, wid)) => key < wk || (key == wk && cand < wid),
+                };
+                if better {
+                    weakest = Some((key, cand));
+                }
+            }
+        }
+        if let Some((_, evict)) = weakest {
+            return Some(evict);
+        }
+    }
+    None
+}
+
+fn ordered_select<K: OrderKey>(ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> JoinDecision {
+    if let Some(evict) = find_eviction::<K>(ctx) {
+        return JoinDecision::Replace { evict };
+    }
+    match min_depth_parent(ctx, proximity) {
+        Some(parent) => JoinDecision::Attach { parent },
+        None => JoinDecision::Reject,
+    }
+}
+
+struct BandwidthKey;
+
+impl OrderKey for BandwidthKey {
+    fn key(profile: &MemberProfile, _now: SimTime) -> f64 {
+        profile.bandwidth
+    }
+}
+
+struct AgeKey;
+
+impl OrderKey for AgeKey {
+    fn key(profile: &MemberProfile, now: SimTime) -> f64 {
+        profile.age(now)
+    }
+}
+
+/// The relaxed bandwidth-ordered algorithm (§5 algorithm 3): high-bandwidth
+/// members bubble toward the root by evicting weaker occupants, producing a
+/// short tree at the cost of eviction-driven reconnections and a central
+/// administrator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelaxedBandwidthOrdered;
+
+impl TreeAlgorithm for RelaxedBandwidthOrdered {
+    fn name(&self) -> &'static str {
+        "relaxed-bw-ordered"
+    }
+
+    fn is_centralized(&self) -> bool {
+        true
+    }
+
+    fn select(&self, ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> JoinDecision {
+        ordered_select::<BandwidthKey>(ctx, proximity)
+    }
+}
+
+/// The relaxed time-ordered algorithm (§5 algorithm 4): older members
+/// bubble toward the root by evicting younger occupants. More stable
+/// parents, but a taller tree than bandwidth ordering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelaxedTimeOrdered;
+
+impl TreeAlgorithm for RelaxedTimeOrdered {
+    fn name(&self) -> &'static str {
+        "relaxed-time-ordered"
+    }
+
+    fn is_centralized(&self) -> bool {
+        true
+    }
+
+    fn select(&self, ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> JoinDecision {
+        ordered_select::<AgeKey>(ctx, proximity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Location;
+    use crate::proximity::ZeroProximity;
+    use crate::tree::MulticastTree;
+
+    fn profile(id: u64, bw: f64, join_secs: f64) -> MemberProfile {
+        MemberProfile::new(
+            NodeId(id),
+            bw,
+            SimTime::from_secs(join_secs),
+            1e6,
+            Location(id as u32),
+        )
+    }
+
+    fn ctx<'a>(
+        tree: &'a MulticastTree,
+        joiner: &'a MemberProfile,
+        candidates: &'a [NodeId],
+        now_secs: f64,
+    ) -> JoinContext<'a> {
+        JoinContext {
+            tree,
+            joiner,
+            candidates,
+            now: SimTime::from_secs(now_secs),
+        }
+    }
+
+    #[test]
+    fn bo_evicts_shallowest_weaker_node() {
+        let mut tree = MulticastTree::new(profile(0, 10.0, 0.0), 1.0);
+        tree.attach(profile(1, 5.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 1.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(3, 0.5, 0.0), NodeId(1)).unwrap();
+        let joiner = profile(9, 3.0, 10.0);
+        let all: Vec<NodeId> = tree.attached_by_depth().collect();
+        let c = ctx(&tree, &joiner, &all, 10.0);
+        // Node 2 (bw 1 < 3) sits at depth 1; node 3 is weaker still but
+        // deeper — the shallowest weaker node wins.
+        assert_eq!(
+            RelaxedBandwidthOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Replace { evict: NodeId(2) }
+        );
+    }
+
+    #[test]
+    fn bo_picks_weakest_within_layer() {
+        let mut tree = MulticastTree::new(profile(0, 10.0, 0.0), 1.0);
+        tree.attach(profile(1, 2.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 1.0, 0.0), NodeId(0)).unwrap();
+        let joiner = profile(9, 3.0, 10.0);
+        let all: Vec<NodeId> = tree.attached_by_depth().collect();
+        let c = ctx(&tree, &joiner, &all, 10.0);
+        assert_eq!(
+            RelaxedBandwidthOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Replace { evict: NodeId(2) }
+        );
+    }
+
+    #[test]
+    fn bo_falls_back_to_min_depth_when_nothing_weaker() {
+        let mut tree = MulticastTree::new(profile(0, 10.0, 0.0), 1.0);
+        tree.attach(profile(1, 5.0, 0.0), NodeId(0)).unwrap();
+        let joiner = profile(9, 0.7, 10.0); // weaker than everyone
+        let all: Vec<NodeId> = tree.attached_by_depth().collect();
+        let c = ctx(&tree, &joiner, &all, 10.0);
+        assert_eq!(
+            RelaxedBandwidthOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Attach { parent: NodeId(0) }
+        );
+    }
+
+    #[test]
+    fn to_evicts_younger_node() {
+        let mut tree = MulticastTree::new(profile(0, 10.0, 0.0), 1.0);
+        tree.attach(profile(1, 5.0, 10.0), NodeId(0)).unwrap(); // age 90 at t=100
+        tree.attach(profile(2, 5.0, 80.0), NodeId(0)).unwrap(); // age 20
+        let joiner = profile(9, 1.0, 50.0); // age 50: older than node 2 only
+        let all: Vec<NodeId> = tree.attached_by_depth().collect();
+        let c = ctx(&tree, &joiner, &all, 100.0);
+        assert_eq!(
+            RelaxedTimeOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Replace { evict: NodeId(2) }
+        );
+    }
+
+    #[test]
+    fn to_attaches_when_youngest() {
+        let mut tree = MulticastTree::new(profile(0, 10.0, 0.0), 1.0);
+        tree.attach(profile(1, 5.0, 10.0), NodeId(0)).unwrap();
+        let joiner = profile(9, 9.0, 95.0); // youngest member
+        let all: Vec<NodeId> = tree.attached_by_depth().collect();
+        let c = ctx(&tree, &joiner, &all, 100.0);
+        assert_eq!(
+            RelaxedTimeOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Attach { parent: NodeId(0) }
+        );
+    }
+
+    #[test]
+    fn both_are_centralized() {
+        assert!(RelaxedBandwidthOrdered.is_centralized());
+        assert!(RelaxedTimeOrdered.is_centralized());
+        assert_eq!(RelaxedBandwidthOrdered.name(), "relaxed-bw-ordered");
+        assert_eq!(RelaxedTimeOrdered.name(), "relaxed-time-ordered");
+    }
+
+    #[test]
+    fn root_is_never_evicted() {
+        let tree = MulticastTree::new(profile(0, 0.1, 50.0), 1.0);
+        let joiner = profile(9, 99.0, 0.0);
+        let all: Vec<NodeId> = tree.attached_by_depth().collect();
+        let c = ctx(&tree, &joiner, &all, 100.0);
+        // Root is weaker and younger, but the search starts at depth 1;
+        // root also has no free slot (capacity 0) so the result is Reject.
+        assert_eq!(
+            RelaxedBandwidthOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Reject
+        );
+        assert_eq!(
+            RelaxedTimeOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Reject
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for overlay tree operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::NodeId;
+
+/// Why a tree mutation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// The referenced member is not in the tree.
+    UnknownMember(NodeId),
+    /// A member with this id is already present.
+    DuplicateMember(NodeId),
+    /// The chosen parent has no spare out-degree.
+    ParentFull(NodeId),
+    /// The chosen parent is itself detached from the root.
+    ParentDetached(NodeId),
+    /// The operation would have to move or remove the multicast source.
+    RootImmovable,
+    /// The member is not an orphan subtree root (for reattach).
+    NotAnOrphan(NodeId),
+    /// The operation would create a cycle (e.g. reattaching a subtree
+    /// beneath itself).
+    WouldCycle(NodeId),
+    /// The switch precondition failed: the node has no (non-root) parent.
+    NoSwitchableParent(NodeId),
+    /// The node cannot take over its parent's position because it cannot
+    /// serve even the demoted parent (zero out-degree capacity).
+    InsufficientCapacity(NodeId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownMember(n) => write!(f, "member {n} is not in the tree"),
+            TreeError::DuplicateMember(n) => write!(f, "member {n} is already in the tree"),
+            TreeError::ParentFull(n) => write!(f, "parent {n} has no spare out-degree"),
+            TreeError::ParentDetached(n) => write!(f, "parent {n} is detached from the root"),
+            TreeError::RootImmovable => write!(f, "the multicast source cannot be moved"),
+            TreeError::NotAnOrphan(n) => write!(f, "member {n} is not an orphan subtree root"),
+            TreeError::WouldCycle(n) => write!(f, "operation on {n} would create a cycle"),
+            TreeError::NoSwitchableParent(n) => {
+                write!(f, "member {n} has no parent it could switch with")
+            }
+            TreeError::InsufficientCapacity(n) => {
+                write!(
+                    f,
+                    "member {n} lacks the capacity to take over its parent's position"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+/// A violated structural invariant, reported by
+/// [`MulticastTree::check_invariants`](crate::MulticastTree::check_invariants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    description: String,
+}
+
+impl InvariantViolation {
+    pub(crate) fn new(description: String) -> Self {
+        InvariantViolation { description }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tree invariant violated: {}", self.description)
+    }
+}
+
+impl Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TreeError::UnknownMember(NodeId(4))
+            .to_string()
+            .contains("n4"));
+        assert!(TreeError::ParentFull(NodeId(1))
+            .to_string()
+            .contains("spare"));
+        assert!(TreeError::RootImmovable.to_string().contains("source"));
+        let v = InvariantViolation::new("depth mismatch".into());
+        assert!(v.to_string().contains("depth mismatch"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TreeError>();
+        assert_err::<InvariantViolation>();
+    }
+}

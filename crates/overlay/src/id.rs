@@ -1,0 +1,58 @@
+//! Identifiers for overlay members and their underlay attachment points.
+
+use std::fmt;
+
+/// Identifier of an overlay multicast member.
+///
+/// Every participant in a multicast session — the source and all receivers —
+/// has a unique `NodeId`. In this workspace ids are assigned sequentially by
+/// the workload generator; id 0 is conventionally the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The conventional id of the multicast source.
+    pub const SOURCE: NodeId = NodeId(0);
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An opaque underlay attachment point.
+///
+/// The overlay crate does not know about network topology; it only carries
+/// this token so that a [`Proximity`](crate::Proximity) implementation (the
+/// engine wires in `rom-net`'s delay oracle) can measure distances between
+/// members. The value is the underlay node index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location(pub u32);
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(Location(9).to_string(), "loc9");
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::SOURCE, NodeId(0));
+    }
+
+    #[test]
+    fn usable_as_map_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(NodeId(1), "a");
+        m.insert(NodeId(2), "b");
+        assert_eq!(m[&NodeId(1)], "a");
+    }
+}

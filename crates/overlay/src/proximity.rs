@@ -1,0 +1,75 @@
+//! Network-distance queries used for overlay tie-breaking.
+//!
+//! Tree construction occasionally needs to know how far apart two members
+//! are in the underlay (the minimum-depth algorithm breaks layer ties by
+//! picking the nearest parent; CER orders recovery nodes by network
+//! distance). The overlay crate stays topology-agnostic by consulting this
+//! trait; the experiment engine implements it with `rom-net`'s delay
+//! oracle.
+
+use crate::id::Location;
+
+/// A source of pairwise underlay delays.
+pub trait Proximity {
+    /// The unicast delay between two attachment points, in milliseconds.
+    fn delay_ms(&self, a: Location, b: Location) -> f64;
+}
+
+/// A proximity that reports zero for every pair.
+///
+/// Useful in unit tests and in experiments where network distance should
+/// not influence decisions (all ties then resolve to the first candidate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroProximity;
+
+impl Proximity for ZeroProximity {
+    fn delay_ms(&self, _a: Location, _b: Location) -> f64 {
+        0.0
+    }
+}
+
+/// A proximity defined by the absolute difference of location indices.
+///
+/// A deterministic stand-in for tests that need *distinguishable*
+/// distances without a full topology.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexProximity;
+
+impl Proximity for IndexProximity {
+    fn delay_ms(&self, a: Location, b: Location) -> f64 {
+        (f64::from(a.0) - f64::from(b.0)).abs()
+    }
+}
+
+impl<P: Proximity + ?Sized> Proximity for &P {
+    fn delay_ms(&self, a: Location, b: Location) -> f64 {
+        (**self).delay_ms(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_proximity_is_flat() {
+        assert_eq!(ZeroProximity.delay_ms(Location(1), Location(9)), 0.0);
+    }
+
+    #[test]
+    fn index_proximity_is_symmetric_metric() {
+        let p = IndexProximity;
+        assert_eq!(p.delay_ms(Location(3), Location(7)), 4.0);
+        assert_eq!(p.delay_ms(Location(7), Location(3)), 4.0);
+        assert_eq!(p.delay_ms(Location(5), Location(5)), 0.0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_borrows_for_generic_args)] // the borrow IS the point
+    fn references_implement_proximity() {
+        fn takes_prox<P: Proximity>(p: P) -> f64 {
+            p.delay_ms(Location(0), Location(2))
+        }
+        assert_eq!(takes_prox(&IndexProximity), 2.0);
+    }
+}

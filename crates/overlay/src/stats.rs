@@ -1,0 +1,209 @@
+//! Structural statistics over a multicast tree.
+//!
+//! The paper's analysis (§3.1, Fig. 1) argues in terms of tree *shape*:
+//! short/wide versus tall/narrow, and how many descendants sit beneath the
+//! members most likely to fail. [`TreeStats`] computes those shape
+//! quantities in one pass; the probes, examples and figure binaries use it
+//! to explain *why* an algorithm's disruption numbers come out as they do.
+
+use crate::id::NodeId;
+use crate::tree::MulticastTree;
+
+/// A one-pass structural snapshot of the attached part of a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of attached members, including the source.
+    pub attached: usize,
+    /// `depth_histogram[d]` = attached members at depth `d`.
+    pub depth_histogram: Vec<usize>,
+    /// Deepest attached layer.
+    pub max_depth: usize,
+    /// Mean depth over attached non-root members.
+    pub mean_depth: f64,
+    /// Attached members with at least one child.
+    pub internal: usize,
+    /// Attached members with no children.
+    pub leaves: usize,
+    /// Mean out-degree of internal members (the `d` of the paper's
+    /// `2d + 1` switch cost).
+    pub mean_internal_out_degree: f64,
+    /// Mean number of descendants per attached non-root member — exactly
+    /// the expected number of members disrupted by a uniformly random
+    /// departure.
+    pub mean_descendants: f64,
+    /// The largest single-member subtree (worst-case blast radius of one
+    /// departure), excluding the source.
+    pub max_descendants: usize,
+}
+
+impl MulticastTree {
+    /// Computes [`TreeStats`] for the currently attached members.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rom_overlay::{paper_source, Location, MemberProfile, MulticastTree, NodeId};
+    /// use rom_sim::SimTime;
+    ///
+    /// let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+    /// let m = |id: u64| MemberProfile::new(NodeId(id), 2.0, SimTime::ZERO, 1e6, Location(0));
+    /// tree.attach(m(1), NodeId::SOURCE)?;
+    /// tree.attach(m(2), NodeId(1))?;
+    ///
+    /// let stats = tree.stats();
+    /// assert_eq!(stats.attached, 3);
+    /// assert_eq!(stats.max_depth, 2);
+    /// assert_eq!(stats.max_descendants, 1); // node 1's subtree below it
+    /// # Ok::<(), rom_overlay::TreeError>(())
+    /// ```
+    #[must_use]
+    pub fn stats(&self) -> TreeStats {
+        let mut depth_histogram = Vec::new();
+        let mut internal = 0usize;
+        let mut leaves = 0usize;
+        let mut fanout_total = 0usize;
+        let mut depth_total = 0usize;
+        let mut non_root = 0usize;
+
+        // Descendant counts bottom-up: children before parents, which the
+        // reverse of breadth-first order guarantees.
+        let order: Vec<NodeId> = self.attached_by_depth().collect();
+        let mut descendants: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::with_capacity(order.len());
+        for &id in order.iter().rev() {
+            let child_total: usize = self
+                .children(id)
+                .iter()
+                .map(|c| descendants.get(c).copied().unwrap_or(0) + 1)
+                .sum();
+            descendants.insert(id, child_total);
+        }
+
+        let mut desc_total = 0usize;
+        let mut max_descendants = 0usize;
+        for &id in &order {
+            let depth = self.depth(id).expect("attached");
+            if depth_histogram.len() <= depth {
+                depth_histogram.resize(depth + 1, 0);
+            }
+            depth_histogram[depth] += 1;
+            let kids = self.children(id).len();
+            if kids > 0 {
+                internal += 1;
+                fanout_total += kids;
+            } else {
+                leaves += 1;
+            }
+            if id != self.root() {
+                non_root += 1;
+                depth_total += depth;
+                let d = descendants[&id];
+                desc_total += d;
+                max_descendants = max_descendants.max(d);
+            }
+        }
+
+        TreeStats {
+            attached: order.len(),
+            max_depth: depth_histogram.len().saturating_sub(1),
+            depth_histogram,
+            mean_depth: if non_root == 0 {
+                0.0
+            } else {
+                depth_total as f64 / non_root as f64
+            },
+            internal,
+            leaves,
+            mean_internal_out_degree: if internal == 0 {
+                0.0
+            } else {
+                fanout_total as f64 / internal as f64
+            },
+            mean_descendants: if non_root == 0 {
+                0.0
+            } else {
+                desc_total as f64 / non_root as f64
+            },
+            max_descendants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Location;
+    use crate::member::MemberProfile;
+    use crate::tree::paper_source;
+    use rom_sim::SimTime;
+
+    fn profile(id: u64, bw: f64) -> MemberProfile {
+        MemberProfile::new(NodeId(id), bw, SimTime::ZERO, 1e6, Location(id as u32))
+    }
+
+    /// root ── 1 ── 2 ── 3, root ── 4 (a small mixed tree).
+    fn sample() -> MulticastTree {
+        let mut t = MulticastTree::new(paper_source(Location(0)), 1.0);
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 1.0), NodeId(2)).unwrap();
+        t.attach(profile(4, 1.0), NodeId(0)).unwrap();
+        t
+    }
+
+    #[test]
+    fn counts_and_histogram() {
+        let s = sample().stats();
+        assert_eq!(s.attached, 5);
+        assert_eq!(s.depth_histogram, vec![1, 2, 1, 1]);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.internal, 3); // root, 1, 2
+        assert_eq!(s.leaves, 2); // 3, 4
+                                 // Depths of non-root members: 1, 2, 3, 1 → mean 1.75.
+        assert!((s.mean_depth - 1.75).abs() < 1e-12);
+        // Fanouts of internal members: 2, 1, 1 → mean 4/3.
+        assert!((s.mean_internal_out_degree - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descendant_statistics() {
+        let s = sample().stats();
+        // Descendants: n1→2, n2→1, n3→0, n4→0 → mean 0.75, max 2.
+        assert!((s.mean_descendants - 0.75).abs() < 1e-12);
+        assert_eq!(s.max_descendants, 2);
+    }
+
+    #[test]
+    fn depth_and_descendant_sums_obey_the_pair_identity() {
+        // Σ depth(non-root) counts every (ancestor-including-root, node)
+        // pair; Σ descendants(non-root) counts every (non-root ancestor,
+        // node) pair. Their difference is exactly the number of non-root
+        // members (each contributes one pair with the root).
+        let t = sample();
+        let s = t.stats();
+        let non_root = (s.attached - 1) as f64;
+        let depth_sum = s.mean_depth * non_root;
+        let desc_sum = s.mean_descendants * non_root;
+        assert!((depth_sum - desc_sum - non_root).abs() < 1e-9);
+    }
+
+    #[test]
+    fn root_only_tree() {
+        let t = MulticastTree::new(paper_source(Location(0)), 1.0);
+        let s = t.stats();
+        assert_eq!(s.attached, 1);
+        assert_eq!(s.mean_depth, 0.0);
+        assert_eq!(s.mean_descendants, 0.0);
+        assert_eq!(s.internal, 0);
+        assert_eq!(s.leaves, 1);
+    }
+
+    #[test]
+    fn detached_members_excluded() {
+        let mut t = sample();
+        t.remove(NodeId(1)).unwrap(); // orphans 2's subtree
+        let s = t.stats();
+        assert_eq!(s.attached, 2); // root and 4
+        assert_eq!(s.max_depth, 1);
+    }
+}

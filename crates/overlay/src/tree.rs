@@ -1,0 +1,1382 @@
+//! The overlay multicast tree.
+//!
+//! [`MulticastTree`] is the shared substrate of every construction
+//! algorithm in this workspace: a single-source data-delivery tree whose
+//! nodes have out-degree limits derived from their outbound bandwidths
+//! (§1 of the paper). Besides plain attach/detach it implements the two
+//! restructuring primitives the paper's algorithms need:
+//!
+//! - [`replace`](MulticastTree::replace) — a newcomer takes over an
+//!   existing node's position (the relaxed bandwidth-/time-ordered
+//!   baselines), displacing the evictee and any children beyond the
+//!   newcomer's capacity;
+//! - [`swap_with_parent`](MulticastTree::swap_with_parent) — ROST's
+//!   switching operation (§3.3, Fig. 2): a child exchanges positions with
+//!   its parent, excess grandchildren spilling into the promoted node's
+//!   spare slots.
+//!
+//! When a node departs, its children become *orphan subtree roots*: their
+//! subtrees stay intact but are detached from the source until the engine
+//! rejoins them. The tree is therefore transiently a forest, and most
+//! queries distinguish *attached* members (reachable from the source) from
+//! detached ones.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rom_sim::SimTime;
+
+use crate::error::{InvariantViolation, TreeError};
+use crate::id::NodeId;
+use crate::member::MemberProfile;
+
+#[derive(Debug, Clone)]
+struct TreeSlot {
+    profile: MemberProfile,
+    capacity: usize,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    depth: usize,
+    attached: bool,
+}
+
+/// What [`MulticastTree::remove`] hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovedMember {
+    /// The departed member's profile.
+    pub profile: MemberProfile,
+    /// Children of the departed member, now orphan subtree roots that must
+    /// rejoin the tree.
+    pub orphaned_children: Vec<NodeId>,
+    /// All descendants of the departed member (the members that experience
+    /// a streaming disruption when the departure is abrupt).
+    pub affected_descendants: Vec<NodeId>,
+}
+
+/// What [`MulticastTree::replace`] hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaceOutcome {
+    /// Members that must rejoin: the evictee itself plus any of its former
+    /// children that did not fit under the newcomer.
+    pub displaced: Vec<NodeId>,
+    /// Former children of the evictee now served by the newcomer.
+    pub adopted: Vec<NodeId>,
+}
+
+/// What [`MulticastTree::swap_with_parent`] hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchRecord {
+    /// The node that moved up.
+    pub promoted: NodeId,
+    /// The former parent that moved down.
+    pub demoted: NodeId,
+    /// Number of members whose parent changed — the paper's ≈ 2d + 1
+    /// protocol-overhead unit for one switch.
+    pub parent_changes: usize,
+    /// The members whose parent pointer changed (the promoted node, the
+    /// demoted node, the siblings that followed, and the grandchildren the
+    /// demoted node kept). Length equals `parent_changes`.
+    pub reparented: Vec<NodeId>,
+    /// Former children of the promoted node that were reconnected to it
+    /// (they did not fit under the demoted node).
+    pub spilled_to_promoted: Vec<NodeId>,
+    /// Members that fit nowhere and must rejoin (only possible when the
+    /// promoted node's capacity shrank concurrently; normally empty).
+    pub displaced: Vec<NodeId>,
+}
+
+/// A single-source overlay multicast tree with degree constraints.
+///
+/// # Examples
+///
+/// ```
+/// use rom_overlay::{Location, MemberProfile, MulticastTree, NodeId};
+/// use rom_sim::SimTime;
+///
+/// let source = MemberProfile::new(NodeId::SOURCE, 100.0, SimTime::ZERO, 1e9, Location(0));
+/// let mut tree = MulticastTree::new(source, 1.0);
+///
+/// let m = MemberProfile::new(NodeId(1), 2.0, SimTime::ZERO, 600.0, Location(1));
+/// tree.attach(m, NodeId::SOURCE)?;
+/// assert_eq!(tree.depth(NodeId(1)), Some(1));
+/// assert_eq!(tree.attached_count(), 2);
+/// # Ok::<(), rom_overlay::TreeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulticastTree {
+    stream_rate: f64,
+    root: NodeId,
+    nodes: HashMap<NodeId, TreeSlot>,
+    /// Attached members bucketed by depth; `BTreeSet` keeps iteration
+    /// deterministic.
+    depth_index: Vec<BTreeSet<NodeId>>,
+    orphan_roots: BTreeSet<NodeId>,
+}
+
+impl MulticastTree {
+    /// Creates a tree containing only the multicast source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream_rate` is not positive.
+    #[must_use]
+    pub fn new(source: MemberProfile, stream_rate: f64) -> Self {
+        assert!(stream_rate > 0.0, "stream rate must be positive");
+        let root = source.id;
+        let capacity = source.out_capacity(stream_rate);
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            root,
+            TreeSlot {
+                profile: source,
+                capacity,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                attached: true,
+            },
+        );
+        let mut depth_index = vec![BTreeSet::new()];
+        depth_index[0].insert(root);
+        MulticastTree {
+            stream_rate,
+            root,
+            nodes,
+            depth_index,
+            orphan_roots: BTreeSet::new(),
+        }
+    }
+
+    /// The multicast source.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The stream rate capacities are measured against.
+    #[must_use]
+    pub fn stream_rate(&self) -> f64 {
+        self.stream_rate
+    }
+
+    /// Total members, attached or not (including the source).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the source is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of members currently connected to the source.
+    #[must_use]
+    pub fn attached_count(&self) -> usize {
+        self.depth_index.iter().map(BTreeSet::len).sum()
+    }
+
+    /// True if `id` is present (attached or orphaned).
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// True if `id` is present and connected to the source.
+    #[must_use]
+    pub fn is_attached(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).is_some_and(|s| s.attached)
+    }
+
+    /// The member's profile, if present.
+    #[must_use]
+    pub fn profile(&self, id: NodeId) -> Option<&MemberProfile> {
+        self.nodes.get(&id).map(|s| &s.profile)
+    }
+
+    /// The member's parent; `None` for the root, orphan roots and unknown
+    /// ids.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes.get(&id).and_then(|s| s.parent)
+    }
+
+    /// The member's children (empty slice for unknown ids).
+    #[must_use]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        self.nodes.get(&id).map_or(&[], |s| &s.children)
+    }
+
+    /// The member's depth below the source (root = 0); `None` when the
+    /// member is detached or unknown.
+    #[must_use]
+    pub fn depth(&self, id: NodeId) -> Option<usize> {
+        let slot = self.nodes.get(&id)?;
+        slot.attached.then_some(slot.depth)
+    }
+
+    /// The member's out-degree capacity.
+    #[must_use]
+    pub fn capacity(&self, id: NodeId) -> usize {
+        self.nodes.get(&id).map_or(0, |s| s.capacity)
+    }
+
+    /// Unused forwarding slots of `id` (0 for unknown ids).
+    #[must_use]
+    pub fn free_slots(&self, id: NodeId) -> usize {
+        self.nodes
+            .get(&id)
+            .map_or(0, |s| s.capacity.saturating_sub(s.children.len()))
+    }
+
+    /// True if `id` can accept one more child.
+    #[must_use]
+    pub fn has_free_slot(&self, id: NodeId) -> bool {
+        self.free_slots(id) > 0
+    }
+
+    /// Current orphan subtree roots, in id order.
+    pub fn orphan_roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.orphan_roots.iter().copied()
+    }
+
+    /// All member ids, attached and detached, in arbitrary order.
+    pub fn member_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Attached members in breadth-first (depth, then id) order — the
+    /// "search from high to low layers" order of the relaxed ordered
+    /// algorithms.
+    pub fn attached_by_depth(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.depth_index
+            .iter()
+            .flat_map(|layer| layer.iter().copied())
+    }
+
+    /// The attached members at exactly `depth`.
+    pub fn layer(&self, depth: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.depth_index
+            .get(depth)
+            .into_iter()
+            .flat_map(|layer| layer.iter().copied())
+    }
+
+    /// The deepest attached layer index.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.depth_index
+            .iter()
+            .rposition(|layer| !layer.is_empty())
+            .unwrap_or(0)
+    }
+
+    /// Ancestors of `id` from its parent up to the subtree root (the source
+    /// for attached members). Empty for roots and unknown ids.
+    #[must_use]
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// True if `ancestor` lies on the path from `id` to its subtree root.
+    #[must_use]
+    pub fn is_ancestor(&self, ancestor: NodeId, id: NodeId) -> bool {
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// All descendants of `id` (excluding `id`), breadth-first.
+    #[must_use]
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut frontier = vec![id];
+        while let Some(n) = frontier.pop() {
+            for &c in self.children(n) {
+                out.push(c);
+                frontier.push(c);
+            }
+        }
+        out
+    }
+
+    /// Number of members in the subtree rooted at `id`, including `id`
+    /// itself (0 for unknown ids).
+    #[must_use]
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        if self.contains(id) {
+            1 + self.descendants(id).len()
+        } else {
+            0
+        }
+    }
+
+    /// The overlay path from the source to `id` (inclusive), or `None` when
+    /// `id` is detached or unknown.
+    #[must_use]
+    pub fn overlay_path(&self, id: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_attached(id) {
+            return None;
+        }
+        let mut path = self.ancestors(id);
+        path.reverse();
+        path.push(id);
+        Some(path)
+    }
+
+    fn index_insert(&mut self, id: NodeId, depth: usize) {
+        if self.depth_index.len() <= depth {
+            self.depth_index.resize_with(depth + 1, BTreeSet::new);
+        }
+        self.depth_index[depth].insert(id);
+    }
+
+    fn index_remove(&mut self, id: NodeId, depth: usize) {
+        if let Some(layer) = self.depth_index.get_mut(depth) {
+            layer.remove(&id);
+        }
+    }
+
+    /// Marks the subtree rooted at `id` attached/detached and rebuilds its
+    /// depths starting from `base_depth`. Returns the subtree size.
+    fn restamp_subtree(&mut self, id: NodeId, base_depth: usize, attached: bool) -> usize {
+        let mut count = 0;
+        let mut frontier = vec![(id, base_depth)];
+        while let Some((n, d)) = frontier.pop() {
+            count += 1;
+            let slot = self.nodes.get_mut(&n).expect("subtree member exists");
+            let was_attached = slot.attached;
+            let old_depth = slot.depth;
+            slot.attached = attached;
+            slot.depth = d;
+            let children = slot.children.clone();
+            if was_attached {
+                self.index_remove(n, old_depth);
+            }
+            if attached {
+                self.index_insert(n, d);
+            }
+            for c in children {
+                frontier.push((c, d + 1));
+            }
+        }
+        count
+    }
+
+    /// Attaches a brand-new member as a leaf under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::DuplicateMember`] if the id is already present,
+    /// [`TreeError::UnknownMember`] / [`TreeError::ParentDetached`] /
+    /// [`TreeError::ParentFull`] if the parent cannot serve it.
+    pub fn attach(&mut self, profile: MemberProfile, parent: NodeId) -> Result<(), TreeError> {
+        let id = profile.id;
+        if self.contains(id) {
+            return Err(TreeError::DuplicateMember(id));
+        }
+        let parent_slot = self
+            .nodes
+            .get(&parent)
+            .ok_or(TreeError::UnknownMember(parent))?;
+        if !parent_slot.attached {
+            return Err(TreeError::ParentDetached(parent));
+        }
+        if parent_slot.children.len() >= parent_slot.capacity {
+            return Err(TreeError::ParentFull(parent));
+        }
+        let depth = parent_slot.depth + 1;
+        let capacity = profile.out_capacity(self.stream_rate);
+        self.nodes
+            .get_mut(&parent)
+            .expect("checked")
+            .children
+            .push(id);
+        self.nodes.insert(
+            id,
+            TreeSlot {
+                profile,
+                capacity,
+                parent: Some(parent),
+                children: Vec::new(),
+                depth,
+                attached: true,
+            },
+        );
+        self.index_insert(id, depth);
+        Ok(())
+    }
+
+    /// Reattaches the orphan subtree rooted at `orphan` under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NotAnOrphan`] if `orphan` is not currently an orphan
+    /// subtree root, [`TreeError::WouldCycle`] if `parent` lies inside the
+    /// orphan's own subtree, plus the same parent errors as
+    /// [`attach`](Self::attach).
+    pub fn reattach(&mut self, orphan: NodeId, parent: NodeId) -> Result<(), TreeError> {
+        if !self.orphan_roots.contains(&orphan) {
+            return Err(TreeError::NotAnOrphan(orphan));
+        }
+        let parent_slot = self
+            .nodes
+            .get(&parent)
+            .ok_or(TreeError::UnknownMember(parent))?;
+        if !parent_slot.attached {
+            // Covers both detached parents and parents inside this orphan's
+            // own subtree (which are necessarily detached).
+            if parent == orphan || self.is_ancestor(orphan, parent) {
+                return Err(TreeError::WouldCycle(parent));
+            }
+            return Err(TreeError::ParentDetached(parent));
+        }
+        if parent_slot.children.len() >= parent_slot.capacity {
+            return Err(TreeError::ParentFull(parent));
+        }
+        let base_depth = parent_slot.depth + 1;
+        self.nodes
+            .get_mut(&parent)
+            .expect("checked")
+            .children
+            .push(orphan);
+        self.nodes.get_mut(&orphan).expect("orphan exists").parent = Some(parent);
+        self.orphan_roots.remove(&orphan);
+        self.restamp_subtree(orphan, base_depth, true);
+        Ok(())
+    }
+
+    /// Removes a member (abrupt departure). Its children become orphan
+    /// subtree roots; the returned record lists them along with every
+    /// affected descendant.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::RootImmovable`] for the source,
+    /// [`TreeError::UnknownMember`] otherwise.
+    pub fn remove(&mut self, id: NodeId) -> Result<RemovedMember, TreeError> {
+        if id == self.root {
+            return Err(TreeError::RootImmovable);
+        }
+        if !self.contains(id) {
+            return Err(TreeError::UnknownMember(id));
+        }
+        let affected_descendants = self.descendants(id);
+        let slot = self.nodes.get(&id).expect("checked").clone();
+
+        // Detach from the parent (if any).
+        if let Some(p) = slot.parent {
+            let siblings = &mut self.nodes.get_mut(&p).expect("parent exists").children;
+            siblings.retain(|&c| c != id);
+        }
+        if slot.attached {
+            self.index_remove(id, slot.depth);
+        }
+        self.orphan_roots.remove(&id);
+
+        // Children become orphan roots; their subtrees go detached.
+        let orphaned_children = slot.children.clone();
+        for &c in &orphaned_children {
+            self.nodes.get_mut(&c).expect("child exists").parent = None;
+            self.orphan_roots.insert(c);
+            self.restamp_subtree(c, 0, false);
+        }
+
+        self.nodes.remove(&id);
+        Ok(RemovedMember {
+            profile: slot.profile,
+            orphaned_children,
+            affected_descendants,
+        })
+    }
+
+    /// A newcomer takes over `evict`'s position (relaxed ordered
+    /// algorithms, §5): it inherits the evictee's parent and as many of the
+    /// evictee's children as its capacity allows, preferring to keep the
+    /// children ranked highest by `keep_priority`. The evictee and any
+    /// overflow children become orphan roots listed in the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::RootImmovable`] if `evict` is the source,
+    /// [`TreeError::DuplicateMember`] if the newcomer is already present,
+    /// [`TreeError::UnknownMember`] if the evictee is absent or detached.
+    pub fn replace(
+        &mut self,
+        evict: NodeId,
+        newcomer: MemberProfile,
+        keep_priority: impl Fn(&MemberProfile) -> f64,
+    ) -> Result<ReplaceOutcome, TreeError> {
+        if evict == self.root {
+            return Err(TreeError::RootImmovable);
+        }
+        if self.contains(newcomer.id) {
+            return Err(TreeError::DuplicateMember(newcomer.id));
+        }
+        let evict_slot = self
+            .nodes
+            .get(&evict)
+            .ok_or(TreeError::UnknownMember(evict))?;
+        if !evict_slot.attached {
+            return Err(TreeError::UnknownMember(evict));
+        }
+        let parent = evict_slot.parent.expect("attached non-root has a parent");
+        let depth = evict_slot.depth;
+        let mut former_children = evict_slot.children.clone();
+
+        let new_id = newcomer.id;
+        let new_capacity = newcomer.out_capacity(self.stream_rate);
+
+        // Swap the parent's child pointer.
+        let siblings = &mut self.nodes.get_mut(&parent).expect("parent exists").children;
+        let pos = siblings.iter().position(|&c| c == evict).expect("linked");
+        siblings[pos] = new_id;
+
+        // Rank the evictee's children: highest priority kept.
+        former_children.sort_by(|a, b| {
+            let pa = keep_priority(&self.nodes[a].profile);
+            let pb = keep_priority(&self.nodes[b].profile);
+            pb.partial_cmp(&pa)
+                .expect("priorities are never NaN")
+                .then_with(|| a.cmp(b))
+        });
+        let adopted: Vec<NodeId> = former_children.iter().copied().take(new_capacity).collect();
+        let overflow: Vec<NodeId> = former_children.iter().copied().skip(new_capacity).collect();
+
+        // Install the newcomer.
+        self.nodes.insert(
+            new_id,
+            TreeSlot {
+                profile: newcomer,
+                capacity: new_capacity,
+                parent: Some(parent),
+                children: adopted.clone(),
+                depth,
+                attached: true,
+            },
+        );
+        self.index_insert(new_id, depth);
+        for &c in &adopted {
+            self.nodes.get_mut(&c).expect("child exists").parent = Some(new_id);
+        }
+        // Depths below the adopted children are unchanged (same level).
+
+        // Evictee becomes a childless orphan root.
+        let evict_slot = self.nodes.get_mut(&evict).expect("checked");
+        evict_slot.parent = None;
+        evict_slot.children.clear();
+        evict_slot.attached = false;
+        self.index_remove(evict, depth);
+        self.orphan_roots.insert(evict);
+
+        // Overflow children become orphan subtree roots.
+        for &c in &overflow {
+            self.nodes.get_mut(&c).expect("child exists").parent = None;
+            self.orphan_roots.insert(c);
+            self.restamp_subtree(c, 0, false);
+        }
+
+        let mut displaced = vec![evict];
+        displaced.extend(overflow);
+        Ok(ReplaceOutcome { displaced, adopted })
+    }
+
+    /// Like [`replace`](Self::replace), but the usurper is an existing
+    /// orphan subtree root rejoining the tree (relaxed ordered algorithms
+    /// apply the same eviction rule to rejoins as to joins, §5). The
+    /// usurper keeps its own children; the evictee's children are adopted
+    /// only into the usurper's *remaining* capacity, ranked by
+    /// `keep_priority`.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NotAnOrphan`] if `usurper` is not an orphan subtree
+    /// root, plus the same errors as [`replace`](Self::replace).
+    pub fn usurp(
+        &mut self,
+        evict: NodeId,
+        usurper: NodeId,
+        keep_priority: impl Fn(&MemberProfile) -> f64,
+    ) -> Result<ReplaceOutcome, TreeError> {
+        if evict == self.root {
+            return Err(TreeError::RootImmovable);
+        }
+        if !self.orphan_roots.contains(&usurper) {
+            return Err(TreeError::NotAnOrphan(usurper));
+        }
+        let evict_slot = self
+            .nodes
+            .get(&evict)
+            .ok_or(TreeError::UnknownMember(evict))?;
+        if !evict_slot.attached {
+            return Err(TreeError::UnknownMember(evict));
+        }
+        let parent = evict_slot.parent.expect("attached non-root has a parent");
+        let depth = evict_slot.depth;
+        let mut former_children = evict_slot.children.clone();
+
+        let usurper_slot = &self.nodes[&usurper];
+        let spare = usurper_slot
+            .capacity
+            .saturating_sub(usurper_slot.children.len());
+
+        // Swap the parent's child pointer.
+        let siblings = &mut self.nodes.get_mut(&parent).expect("parent exists").children;
+        let pos = siblings.iter().position(|&c| c == evict).expect("linked");
+        siblings[pos] = usurper;
+
+        former_children.sort_by(|a, b| {
+            let pa = keep_priority(&self.nodes[a].profile);
+            let pb = keep_priority(&self.nodes[b].profile);
+            pb.partial_cmp(&pa)
+                .expect("priorities are never NaN")
+                .then_with(|| a.cmp(b))
+        });
+        let adopted: Vec<NodeId> = former_children.iter().copied().take(spare).collect();
+        let overflow: Vec<NodeId> = former_children.iter().copied().skip(spare).collect();
+
+        {
+            let u = self.nodes.get_mut(&usurper).expect("checked");
+            u.parent = Some(parent);
+            u.children.extend(adopted.iter().copied());
+        }
+        self.orphan_roots.remove(&usurper);
+        for &c in &adopted {
+            self.nodes.get_mut(&c).expect("child exists").parent = Some(usurper);
+        }
+
+        // Evictee becomes a childless orphan root.
+        {
+            let e = self.nodes.get_mut(&evict).expect("checked");
+            e.parent = None;
+            e.children.clear();
+            e.attached = false;
+        }
+        self.index_remove(evict, depth);
+        self.orphan_roots.insert(evict);
+
+        for &c in &overflow {
+            self.nodes.get_mut(&c).expect("child exists").parent = None;
+            self.orphan_roots.insert(c);
+            self.restamp_subtree(c, 0, false);
+        }
+
+        // The usurper's whole subtree (its old children plus the adopted
+        // ones) becomes attached at the evictee's former depth.
+        self.restamp_subtree(usurper, depth, true);
+
+        let mut displaced = vec![evict];
+        displaced.extend(overflow);
+        Ok(ReplaceOutcome { displaced, adopted })
+    }
+
+    /// ROST's switching operation (§3.3, Fig. 2): `child` exchanges
+    /// positions with its parent. The promoted child adopts its former
+    /// siblings plus the demoted parent; the demoted parent keeps as many
+    /// of the child's former children as fit, spilling the rest — highest
+    /// `priority` first, as the paper prescribes — into the promoted
+    /// node's spare slots.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownMember`] if `child` is absent,
+    /// [`TreeError::RootImmovable`] if `child` is the source,
+    /// [`TreeError::NoSwitchableParent`] if `child` is detached, an orphan
+    /// root, or a direct child of the source with no non-root parent.
+    pub fn swap_with_parent(
+        &mut self,
+        child: NodeId,
+        priority: impl Fn(&MemberProfile) -> f64,
+    ) -> Result<SwitchRecord, TreeError> {
+        if child == self.root {
+            return Err(TreeError::RootImmovable);
+        }
+        let child_slot = self
+            .nodes
+            .get(&child)
+            .ok_or(TreeError::UnknownMember(child))?;
+        if !child_slot.attached {
+            return Err(TreeError::NoSwitchableParent(child));
+        }
+        let parent = child_slot
+            .parent
+            .ok_or(TreeError::NoSwitchableParent(child))?;
+        if parent == self.root {
+            return Err(TreeError::NoSwitchableParent(child));
+        }
+        let child_capacity = child_slot.capacity;
+        let child_children = child_slot.children.clone();
+        let parent_slot = &self.nodes[&parent];
+        let grandparent = parent_slot
+            .parent
+            .expect("attached non-root parent has a parent");
+        let parent_capacity = parent_slot.capacity;
+        let parent_depth = parent_slot.depth;
+        // Former siblings of the child (they will follow the promoted node).
+        let siblings: Vec<NodeId> = parent_slot
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| c != child)
+            .collect();
+
+        if child_capacity == 0 {
+            // The child cannot serve even the demoted parent.
+            return Err(TreeError::InsufficientCapacity(child));
+        }
+
+        // The promoted node's new children: former siblings + the demoted
+        // parent. Under ROST's bandwidth guard (child bw ≥ parent bw) all
+        // siblings fit, because |siblings| + 1 ≤ parent capacity ≤ child
+        // capacity; without the guard the lowest-priority siblings are
+        // displaced to keep the tree legal.
+        let mut ranked_siblings = siblings.clone();
+        ranked_siblings.sort_by(|a, b| {
+            let pa = priority(&self.nodes[a].profile);
+            let pb = priority(&self.nodes[b].profile);
+            pb.partial_cmp(&pa)
+                .expect("priorities are never NaN")
+                .then_with(|| a.cmp(b))
+        });
+        let sibling_keep = ranked_siblings.len().min(child_capacity - 1);
+        let followed: Vec<NodeId> = ranked_siblings[..sibling_keep].to_vec();
+        let displaced_siblings: Vec<NodeId> = ranked_siblings[sibling_keep..].to_vec();
+        let mut promoted_children: Vec<NodeId> = followed.clone();
+        promoted_children.push(parent);
+
+        // Distribute the child's former children: the demoted parent keeps
+        // the lowest-priority ones, the highest-priority spill to the
+        // promoted node's spare slots (paper: "chooses f, the node with the
+        // largest BTP, and reconnects to node b").
+        let mut ranked = child_children.clone();
+        ranked.sort_by(|a, b| {
+            let pa = priority(&self.nodes[a].profile);
+            let pb = priority(&self.nodes[b].profile);
+            pb.partial_cmp(&pa)
+                .expect("priorities are never NaN")
+                .then_with(|| a.cmp(b))
+        });
+        let keep_count = ranked.len().min(parent_capacity);
+        let spill_count = ranked.len() - keep_count;
+        let spilled: Vec<NodeId> = ranked[..spill_count].to_vec();
+        let kept: Vec<NodeId> = ranked[spill_count..].to_vec();
+
+        let spare = child_capacity.saturating_sub(promoted_children.len());
+        let (to_promoted, mut displaced): (Vec<NodeId>, Vec<NodeId>) = if spilled.len() <= spare {
+            (spilled, Vec::new())
+        } else {
+            let (a, b) = spilled.split_at(spare);
+            (a.to_vec(), b.to_vec())
+        };
+        promoted_children.extend(to_promoted.iter().copied());
+        displaced.extend(displaced_siblings.iter().copied());
+
+        // Count parent-pointer changes before surgery: the promoted child,
+        // the demoted parent, every sibling that followed the promotion,
+        // and every former child of the promoted node that stays with the
+        // demoted parent. Spilled nodes keep their parent (the promoted
+        // node) and displaced nodes are counted by the rejoin they
+        // trigger, not here.
+        let parent_changes = 2 + followed.len() + kept.len();
+        let mut reparented = vec![child, parent];
+        reparented.extend(followed.iter().copied());
+        reparented.extend(kept.iter().copied());
+
+        // --- pointer surgery ---
+        let gp_children = &mut self
+            .nodes
+            .get_mut(&grandparent)
+            .expect("grandparent exists")
+            .children;
+        let pos = gp_children
+            .iter()
+            .position(|&c| c == parent)
+            .expect("linked");
+        gp_children[pos] = child;
+
+        {
+            let child_slot = self.nodes.get_mut(&child).expect("exists");
+            child_slot.parent = Some(grandparent);
+            child_slot.children = promoted_children.clone();
+        }
+        {
+            let parent_slot = self.nodes.get_mut(&parent).expect("exists");
+            parent_slot.parent = Some(child);
+            parent_slot.children = kept.clone();
+        }
+        for &s in &followed {
+            self.nodes.get_mut(&s).expect("exists").parent = Some(child);
+        }
+        for &k in &kept {
+            self.nodes.get_mut(&k).expect("exists").parent = Some(parent);
+        }
+        for &t in &to_promoted {
+            self.nodes.get_mut(&t).expect("exists").parent = Some(child);
+        }
+        for &d in &displaced {
+            self.nodes.get_mut(&d).expect("exists").parent = None;
+            self.orphan_roots.insert(d);
+            self.restamp_subtree(d, 0, false);
+        }
+
+        // Depths: everything under the promoted child may have shifted.
+        self.restamp_subtree(child, parent_depth, true);
+
+        Ok(SwitchRecord {
+            promoted: child,
+            demoted: parent,
+            parent_changes,
+            reparented,
+            spilled_to_promoted: to_promoted,
+            displaced,
+        })
+    }
+
+    /// Mean out-degree of attached members that have at least one child —
+    /// the `d` of the paper's `2d + 1` switch-overhead estimate.
+    #[must_use]
+    pub fn mean_internal_out_degree(&self) -> f64 {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for slot in self.nodes.values() {
+            if slot.attached && !slot.children.is_empty() {
+                total += slot.children.len();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// Test helper: forcibly detaches `id` (with its subtree) into orphan
+    /// state without removing any member.
+    #[cfg(test)]
+    pub(crate) fn remove_parent_link_for_test(&mut self, id: NodeId) {
+        let parent = self.nodes[&id].parent.expect("test node has a parent");
+        self.nodes
+            .get_mut(&parent)
+            .expect("parent exists")
+            .children
+            .retain(|&c| c != id);
+        self.nodes.get_mut(&id).expect("exists").parent = None;
+        self.orphan_roots.insert(id);
+        self.restamp_subtree(id, 0, false);
+    }
+
+    /// Verifies every structural invariant; used by tests and property
+    /// tests after each mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |msg: String| Err(InvariantViolation::new(msg));
+
+        // Root sanity.
+        let root_slot = match self.nodes.get(&self.root) {
+            Some(s) => s,
+            None => return fail("root is missing".into()),
+        };
+        if !root_slot.attached || root_slot.depth != 0 || root_slot.parent.is_some() {
+            return fail("root must be attached at depth 0 with no parent".into());
+        }
+
+        let mut reachable = 0usize;
+        for (&id, slot) in &self.nodes {
+            // Degree constraint.
+            if slot.children.len() > slot.capacity {
+                return fail(format!(
+                    "{id} has {} children but capacity {}",
+                    slot.children.len(),
+                    slot.capacity
+                ));
+            }
+            // Parent/child pointer symmetry.
+            if let Some(p) = slot.parent {
+                let Some(pslot) = self.nodes.get(&p) else {
+                    return fail(format!("{id} points at missing parent {p}"));
+                };
+                if !pslot.children.contains(&id) {
+                    return fail(format!("{p} does not list child {id}"));
+                }
+                if slot.attached {
+                    if !pslot.attached {
+                        return fail(format!("attached {id} under detached parent {p}"));
+                    }
+                    if slot.depth != pslot.depth + 1 {
+                        return fail(format!(
+                            "{id} depth {} but parent depth {}",
+                            slot.depth, pslot.depth
+                        ));
+                    }
+                }
+            } else if id != self.root && !self.orphan_roots.contains(&id) {
+                return fail(format!("{id} has no parent but is not an orphan root"));
+            }
+            for &c in &slot.children {
+                match self.nodes.get(&c) {
+                    Some(cslot) if cslot.parent == Some(id) => {}
+                    Some(_) => return fail(format!("{c} does not point back at parent {id}")),
+                    None => return fail(format!("{id} lists missing child {c}")),
+                }
+            }
+            // Depth-index agreement.
+            if slot.attached {
+                reachable += 1;
+                let in_index = self
+                    .depth_index
+                    .get(slot.depth)
+                    .is_some_and(|l| l.contains(&id));
+                if !in_index {
+                    return fail(format!("{id} missing from depth index at {}", slot.depth));
+                }
+            }
+        }
+
+        // Index contains nothing extra.
+        let indexed: usize = self.depth_index.iter().map(BTreeSet::len).sum();
+        if indexed != reachable {
+            return fail(format!(
+                "depth index holds {indexed} ids but {reachable} attached members exist"
+            ));
+        }
+
+        // Attached members are exactly those reachable from the root
+        // (also proves acyclicity of the attached part).
+        let mut seen = 0usize;
+        let mut frontier = vec![self.root];
+        let mut visited = std::collections::HashSet::new();
+        while let Some(n) = frontier.pop() {
+            if !visited.insert(n) {
+                return fail(format!("cycle through {n}"));
+            }
+            seen += 1;
+            frontier.extend(self.children(n).iter().copied());
+        }
+        if seen != reachable {
+            return fail(format!(
+                "{seen} members reachable from root but {reachable} marked attached"
+            ));
+        }
+
+        // Orphan roots really are detached roots.
+        for &o in &self.orphan_roots {
+            match self.nodes.get(&o) {
+                Some(s) if s.parent.is_none() && !s.attached => {}
+                _ => return fail(format!("{o} is not a valid orphan root")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience constructor for the paper's source node: bandwidth 100
+/// ("resembling the capability of a powerful source server", §5),
+/// effectively infinite lifetime, id [`NodeId::SOURCE`].
+#[must_use]
+pub fn paper_source(location: crate::id::Location) -> MemberProfile {
+    MemberProfile::new(NodeId::SOURCE, 100.0, SimTime::ZERO, 1e12, location)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Location;
+
+    fn profile(id: u64, bw: f64) -> MemberProfile {
+        MemberProfile::new(NodeId(id), bw, SimTime::ZERO, 1e6, Location(id as u32))
+    }
+
+    fn tree_with_capacity(root_bw: f64) -> MulticastTree {
+        MulticastTree::new(profile(0, root_bw), 1.0)
+    }
+
+    #[test]
+    fn new_tree_has_only_root() {
+        let t = tree_with_capacity(100.0);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.attached_count(), 1);
+        assert_eq!(t.depth(NodeId(0)), Some(0));
+        assert_eq!(t.capacity(NodeId(0)), 100);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn attach_builds_layers() {
+        let mut t = tree_with_capacity(2.0);
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 1.0), NodeId(0)).unwrap();
+        t.attach(profile(3, 0.5), NodeId(1)).unwrap();
+        assert_eq!(t.depth(NodeId(3)), Some(2));
+        assert_eq!(t.max_depth(), 2);
+        assert_eq!(t.layer(1).collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3)]);
+        assert_eq!(
+            t.overlay_path(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn attach_errors() {
+        let mut t = tree_with_capacity(1.0);
+        t.attach(profile(1, 0.5), NodeId(0)).unwrap();
+        // Root is now full.
+        assert_eq!(
+            t.attach(profile(2, 1.0), NodeId(0)),
+            Err(TreeError::ParentFull(NodeId(0)))
+        );
+        // Free-rider (capacity 0) cannot accept children.
+        assert_eq!(
+            t.attach(profile(3, 1.0), NodeId(1)),
+            Err(TreeError::ParentFull(NodeId(1)))
+        );
+        assert_eq!(
+            t.attach(profile(1, 1.0), NodeId(0)),
+            Err(TreeError::DuplicateMember(NodeId(1)))
+        );
+        assert_eq!(
+            t.attach(profile(4, 1.0), NodeId(99)),
+            Err(TreeError::UnknownMember(NodeId(99)))
+        );
+    }
+
+    #[test]
+    fn remove_orphans_children_and_reports_descendants() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(4, 1.0), NodeId(2)).unwrap();
+
+        let removed = t.remove(NodeId(1)).unwrap();
+        assert_eq!(removed.profile.id, NodeId(1));
+        assert_eq!(removed.orphaned_children, vec![NodeId(2), NodeId(3)]);
+        let mut affected = removed.affected_descendants.clone();
+        affected.sort();
+        assert_eq!(affected, vec![NodeId(2), NodeId(3), NodeId(4)]);
+
+        assert!(!t.contains(NodeId(1)));
+        assert!(!t.is_attached(NodeId(2)));
+        assert!(!t.is_attached(NodeId(4)));
+        assert_eq!(t.depth(NodeId(4)), None);
+        assert_eq!(
+            t.orphan_roots().collect::<Vec<_>>(),
+            vec![NodeId(2), NodeId(3)]
+        );
+        assert_eq!(t.attached_count(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reattach_restores_subtree() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 1.0), NodeId(2)).unwrap();
+        t.remove(NodeId(1)).unwrap();
+
+        t.reattach(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(t.depth(NodeId(2)), Some(1));
+        assert_eq!(t.depth(NodeId(3)), Some(2));
+        assert!(t.orphan_roots().next().is_none());
+        assert_eq!(t.attached_count(), 3);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reattach_rejects_cycles_and_non_orphans() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(2)).unwrap();
+        t.remove(NodeId(1)).unwrap(); // orphan root: 2 (with child 3)
+
+        assert_eq!(
+            t.reattach(NodeId(3), NodeId(0)),
+            Err(TreeError::NotAnOrphan(NodeId(3)))
+        );
+        assert_eq!(
+            t.reattach(NodeId(2), NodeId(3)),
+            Err(TreeError::WouldCycle(NodeId(3)))
+        );
+        assert_eq!(
+            t.reattach(NodeId(2), NodeId(2)),
+            Err(TreeError::WouldCycle(NodeId(2)))
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cannot_remove_root() {
+        let mut t = tree_with_capacity(1.0);
+        assert_eq!(t.remove(NodeId(0)), Err(TreeError::RootImmovable));
+    }
+
+    #[test]
+    fn replace_adopts_children_and_displaces_overflow() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 1.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(4, 0.5), NodeId(1)).unwrap();
+
+        // Newcomer with capacity 2 replaces node 1 (3 children): keeps the
+        // two highest-bandwidth children, displaces the rest.
+        let outcome = t
+            .replace(NodeId(1), profile(5, 2.5), |p| p.bandwidth)
+            .unwrap();
+        assert_eq!(outcome.adopted, vec![NodeId(3), NodeId(2)]);
+        assert_eq!(outcome.displaced, vec![NodeId(1), NodeId(4)]);
+
+        assert_eq!(t.parent(NodeId(5)), Some(NodeId(0)));
+        assert_eq!(t.depth(NodeId(5)), Some(1));
+        assert_eq!(t.depth(NodeId(3)), Some(2));
+        assert!(!t.is_attached(NodeId(1)));
+        assert!(!t.is_attached(NodeId(4)));
+        assert_eq!(
+            t.orphan_roots().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(4)]
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replace_guards() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        assert_eq!(
+            t.replace(NodeId(0), profile(5, 2.0), |p| p.bandwidth),
+            Err(TreeError::RootImmovable)
+        );
+        assert_eq!(
+            t.replace(NodeId(1), profile(1, 2.0), |p| p.bandwidth),
+            Err(TreeError::DuplicateMember(NodeId(1)))
+        );
+        assert_eq!(
+            t.replace(NodeId(9), profile(5, 2.0), |p| p.bandwidth),
+            Err(TreeError::UnknownMember(NodeId(9)))
+        );
+    }
+
+    /// Reconstructs the paper's Fig. 2 switching example.
+    #[test]
+    fn swap_matches_paper_figure_2() {
+        // g (root, large capacity)
+        //   a (capacity 2): children b, c
+        //     b (capacity 3): children d, e, f
+        // BTPs are proxied by bandwidth here: b=12 > a=10, f largest of
+        // d/e/f.
+        let mut t = tree_with_capacity(10.0); // g = node 0
+        let a = profile(1, 2.0);
+        let b = profile(2, 3.0);
+        let c = profile(3, 0.5);
+        let d = profile(4, 0.3);
+        let e = profile(5, 0.4);
+        let f = profile(6, 0.5);
+        t.attach(a, NodeId(0)).unwrap();
+        t.attach(b, NodeId(1)).unwrap();
+        t.attach(c, NodeId(1)).unwrap();
+        t.attach(d, NodeId(2)).unwrap();
+        t.attach(e, NodeId(2)).unwrap();
+        t.attach(f, NodeId(2)).unwrap();
+
+        let record = t.swap_with_parent(NodeId(2), |p| p.bandwidth).unwrap();
+        assert_eq!(record.promoted, NodeId(2));
+        assert_eq!(record.demoted, NodeId(1));
+        // b is now the child of g; a is b's child; c follows b; f (largest
+        // priority among d,e,f) spills to b; d,e stay with a.
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(t.parent(NodeId(6)), Some(NodeId(2)));
+        assert_eq!(t.parent(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(t.parent(NodeId(5)), Some(NodeId(1)));
+        assert_eq!(record.spilled_to_promoted, vec![NodeId(6)]);
+        assert!(record.displaced.is_empty());
+        // Parent changes: b, a, c, d, e — five pointers (2d+1 with d=2).
+        assert_eq!(record.parent_changes, 5);
+        // Depths updated.
+        assert_eq!(t.depth(NodeId(2)), Some(1));
+        assert_eq!(t.depth(NodeId(1)), Some(2));
+        assert_eq!(t.depth(NodeId(4)), Some(3));
+        assert_eq!(t.depth(NodeId(6)), Some(2));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_guards() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 3.0), NodeId(1)).unwrap();
+        // Child of root cannot switch above the root.
+        assert_eq!(
+            t.swap_with_parent(NodeId(1), |p| p.bandwidth),
+            Err(TreeError::NoSwitchableParent(NodeId(1)))
+        );
+        assert_eq!(
+            t.swap_with_parent(NodeId(0), |p| p.bandwidth),
+            Err(TreeError::RootImmovable)
+        );
+        assert_eq!(
+            t.swap_with_parent(NodeId(9), |p| p.bandwidth),
+            Err(TreeError::UnknownMember(NodeId(9)))
+        );
+        // Orphans cannot switch.
+        t.remove(NodeId(1)).unwrap();
+        assert_eq!(
+            t.swap_with_parent(NodeId(2), |p| p.bandwidth),
+            Err(TreeError::NoSwitchableParent(NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn swap_preserves_membership_and_capacity() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 5.0), NodeId(1)).unwrap();
+        for i in 3..8 {
+            t.attach(profile(i, 0.5), NodeId(2)).unwrap();
+        }
+        let before = t.len();
+        let record = t.swap_with_parent(NodeId(2), |p| p.bandwidth).unwrap();
+        assert_eq!(t.len(), before);
+        t.check_invariants().unwrap();
+        // Demoted parent (capacity 2) keeps 2, the rest spill to node 2
+        // (capacity 5, 2 slots used by node 1 + nothing else → 3 spare).
+        assert_eq!(t.children(NodeId(1)).len(), 2);
+        assert_eq!(record.spilled_to_promoted.len(), 3);
+        assert!(record.displaced.is_empty());
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let mut t = tree_with_capacity(5.0);
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(2)).unwrap();
+        assert_eq!(
+            t.ancestors(NodeId(3)),
+            vec![NodeId(2), NodeId(1), NodeId(0)]
+        );
+        assert!(t.is_ancestor(NodeId(0), NodeId(3)));
+        assert!(t.is_ancestor(NodeId(1), NodeId(3)));
+        assert!(!t.is_ancestor(NodeId(3), NodeId(1)));
+        let mut desc = t.descendants(NodeId(1));
+        desc.sort();
+        assert_eq!(desc, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(t.subtree_size(NodeId(1)), 3);
+        assert_eq!(t.subtree_size(NodeId(99)), 0);
+    }
+
+    #[test]
+    fn attached_by_depth_is_breadth_first() {
+        let mut t = tree_with_capacity(5.0);
+        t.attach(profile(2, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(2)).unwrap();
+        let order: Vec<NodeId> = t.attached_by_depth().collect();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn mean_internal_out_degree() {
+        let mut t = tree_with_capacity(5.0);
+        assert_eq!(t.mean_internal_out_degree(), 0.0);
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(1)).unwrap();
+        // Root has 2 children, node 1 has 1 → mean 1.5.
+        assert_eq!(t.mean_internal_out_degree(), 1.5);
+    }
+
+    #[test]
+    fn usurp_rejoins_orphan_at_evicted_position() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 1.0), NodeId(2)).unwrap();
+        t.attach(profile(4, 0.5), NodeId(0)).unwrap();
+        // Orphan node 2 (with child 3) by removing node 1.
+        t.remove(NodeId(1)).unwrap();
+        assert!(t.orphan_roots().any(|o| o == NodeId(2)));
+
+        // Node 2 usurps node 4's position at depth 1.
+        let outcome = t.usurp(NodeId(4), NodeId(2), |p| p.bandwidth).unwrap();
+        assert_eq!(outcome.displaced, vec![NodeId(4)]);
+        assert!(outcome.adopted.is_empty());
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(0)));
+        assert_eq!(t.depth(NodeId(2)), Some(1));
+        assert_eq!(t.depth(NodeId(3)), Some(2));
+        assert!(!t.is_attached(NodeId(4)));
+        assert_eq!(t.orphan_roots().collect::<Vec<_>>(), vec![NodeId(4)]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn usurp_adopts_into_spare_capacity_only() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap(); // capacity 2
+        t.attach(profile(2, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(3, 1.5), NodeId(2)).unwrap();
+        t.attach(profile(4, 0.5), NodeId(2)).unwrap();
+        t.attach(profile(5, 0.4), NodeId(1)).unwrap(); // node 1 has 1 child
+                                                       // Orphan node 1 (child 5 still under it).
+        t.remove_parent_link_for_test(NodeId(1));
+
+        // Node 1 (capacity 2, one child) usurps node 2 (two children):
+        // one adopted (highest bw = node 3), one displaced (node 4).
+        let outcome = t.usurp(NodeId(2), NodeId(1), |p| p.bandwidth).unwrap();
+        assert_eq!(outcome.adopted, vec![NodeId(3)]);
+        assert_eq!(outcome.displaced, vec![NodeId(2), NodeId(4)]);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.depth(NodeId(5)), Some(2));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn usurp_guards() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(0)).unwrap();
+        // Node 1 is attached, not an orphan.
+        assert_eq!(
+            t.usurp(NodeId(2), NodeId(1), |p| p.bandwidth),
+            Err(TreeError::NotAnOrphan(NodeId(1)))
+        );
+        t.remove_parent_link_for_test(NodeId(1));
+        assert_eq!(
+            t.usurp(NodeId(0), NodeId(1), |p| p.bandwidth),
+            Err(TreeError::RootImmovable)
+        );
+        assert_eq!(
+            t.usurp(NodeId(42), NodeId(1), |p| p.bandwidth),
+            Err(TreeError::UnknownMember(NodeId(42)))
+        );
+    }
+
+    #[test]
+    fn paper_source_has_capacity_100() {
+        let src = paper_source(Location(0));
+        assert_eq!(src.out_capacity(1.0), 100);
+        assert_eq!(src.id, NodeId::SOURCE);
+    }
+}

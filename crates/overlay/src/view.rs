@@ -1,0 +1,157 @@
+//! Partial membership views.
+//!
+//! The paper's protocols are fully distributed: a joining member "queries
+//! the existing members for information about other participants until it
+//! obtains a certain number (say, 100) of known members" (§3.3), and during
+//! the multicast "nodes periodically exchange neighbor information with
+//! each other, so each node will know about a medium-sized (e.g., 100)
+//! subset of other nodes" (§4.1).
+//!
+//! In the simulation we model the *steady state* of that gossip process:
+//! whenever a member needs a view, [`ViewSampler`] draws a uniform random
+//! subset of the current membership of the configured size. Centralized
+//! baselines (the relaxed ordered algorithms) bypass the sampler and see
+//! everything.
+
+use rom_sim::SimRng;
+
+use crate::id::NodeId;
+
+/// Draws bounded random membership views, modelling gossip in steady state.
+///
+/// # Examples
+///
+/// ```
+/// use rom_overlay::{NodeId, ViewSampler};
+/// use rom_sim::SimRng;
+///
+/// let sampler = ViewSampler::new(3);
+/// let live: Vec<NodeId> = (0..10).map(NodeId).collect();
+/// let mut rng = SimRng::seed_from(1);
+/// let view = sampler.sample(&live, &mut rng);
+/// assert_eq!(view.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewSampler {
+    view_size: usize,
+}
+
+impl ViewSampler {
+    /// The paper's default view size of 100 known members.
+    pub const PAPER_VIEW_SIZE: usize = 100;
+
+    /// Creates a sampler producing views of at most `view_size` members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view_size` is zero.
+    #[must_use]
+    pub fn new(view_size: usize) -> Self {
+        assert!(view_size > 0, "view size must be positive");
+        ViewSampler { view_size }
+    }
+
+    /// The paper's configuration (100 members).
+    #[must_use]
+    pub fn paper() -> Self {
+        ViewSampler::new(Self::PAPER_VIEW_SIZE)
+    }
+
+    /// Maximum view size.
+    #[must_use]
+    pub fn view_size(&self) -> usize {
+        self.view_size
+    }
+
+    /// Samples a view from `membership` (distinct members, uniform without
+    /// replacement). Returns the whole membership when it is smaller than
+    /// the view size.
+    #[must_use]
+    pub fn sample(&self, membership: &[NodeId], rng: &mut SimRng) -> Vec<NodeId> {
+        rng.sample(membership, self.view_size)
+    }
+
+    /// Samples a view excluding one member (a joiner never discovers
+    /// itself; a rejoining member must not pick its own descendants —
+    /// callers filter those separately).
+    #[must_use]
+    pub fn sample_excluding(
+        &self,
+        membership: &[NodeId],
+        exclude: NodeId,
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        let filtered: Vec<NodeId> = membership
+            .iter()
+            .copied()
+            .filter(|&m| m != exclude)
+            .collect();
+        rng.sample(&filtered, self.view_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn view_is_bounded_and_distinct() {
+        let sampler = ViewSampler::new(10);
+        let live = members(100);
+        let mut rng = SimRng::seed_from(2);
+        let view = sampler.sample(&live, &mut rng);
+        assert_eq!(view.len(), 10);
+        let mut sorted = view.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn small_membership_returned_whole() {
+        let sampler = ViewSampler::new(10);
+        let live = members(4);
+        let mut rng = SimRng::seed_from(3);
+        let mut view = sampler.sample(&live, &mut rng);
+        view.sort();
+        assert_eq!(view, live);
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let sampler = ViewSampler::new(50);
+        let live = members(30);
+        let mut rng = SimRng::seed_from(4);
+        let view = sampler.sample_excluding(&live, NodeId(7), &mut rng);
+        assert_eq!(view.len(), 29);
+        assert!(!view.contains(&NodeId(7)));
+    }
+
+    #[test]
+    fn views_cover_membership_over_time() {
+        // Uniformity smoke test: over many draws every member appears.
+        let sampler = ViewSampler::new(5);
+        let live = members(20);
+        let mut rng = SimRng::seed_from(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.extend(sampler.sample(&live, &mut rng));
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn paper_default() {
+        assert_eq!(ViewSampler::paper().view_size(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_view_rejected() {
+        let _ = ViewSampler::new(0);
+    }
+}

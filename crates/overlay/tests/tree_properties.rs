@@ -1,0 +1,195 @@
+//! Property-based tests: the multicast tree's structural invariants
+//! survive arbitrary interleavings of every mutation the protocols
+//! perform.
+
+use proptest::prelude::*;
+use rom_overlay::{Location, MemberProfile, MulticastTree, NodeId, TreeError};
+use rom_sim::SimTime;
+
+/// One randomized mutation, to be resolved against the current tree state.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Attach a fresh member (bandwidth chosen from the value) under the
+    /// k-th attached member with a free slot.
+    Attach { bw_tenths: u8, pick: u16 },
+    /// Remove the k-th non-root member.
+    Remove { pick: u16 },
+    /// Reattach the k-th orphan root under the j-th attached member with a
+    /// free slot.
+    Reattach { pick: u16, parent_pick: u16 },
+    /// Swap the k-th attached member with its parent.
+    Swap { pick: u16 },
+    /// A fresh member replaces the k-th attached non-root member.
+    Replace { bw_tenths: u8, pick: u16 },
+    /// The k-th orphan root usurps the j-th attached non-root member.
+    Usurp { pick: u16, evict_pick: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u16>()).prop_map(|(bw_tenths, pick)| Op::Attach { bw_tenths, pick }),
+        2 => any::<u16>().prop_map(|pick| Op::Remove { pick }),
+        2 => (any::<u16>(), any::<u16>()).prop_map(|(pick, parent_pick)| Op::Reattach { pick, parent_pick }),
+        2 => any::<u16>().prop_map(|pick| Op::Swap { pick }),
+        1 => (any::<u8>(), any::<u16>()).prop_map(|(bw_tenths, pick)| Op::Replace { bw_tenths, pick }),
+        1 => (any::<u16>(), any::<u16>()).prop_map(|(pick, evict_pick)| Op::Usurp { pick, evict_pick }),
+    ]
+}
+
+fn pick_from(items: &[NodeId], pick: u16) -> Option<NodeId> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[pick as usize % items.len()])
+    }
+}
+
+fn attached_with_free_slot(tree: &MulticastTree) -> Vec<NodeId> {
+    tree.attached_by_depth()
+        .filter(|&n| tree.has_free_slot(n))
+        .collect()
+}
+
+fn attached_non_root(tree: &MulticastTree) -> Vec<NodeId> {
+    tree.attached_by_depth()
+        .filter(|&n| n != tree.root())
+        .collect()
+}
+
+fn profile(id: u64, bw: f64) -> MemberProfile {
+    MemberProfile::new(NodeId(id), bw, SimTime::ZERO, 1e6, Location(id as u32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold after every single mutation in a random sequence.
+    #[test]
+    fn invariants_survive_random_mutation_sequences(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = MulticastTree::new(profile(0, 4.0), 1.0);
+        let mut next_id = 1u64;
+        for op in ops {
+            match op {
+                Op::Attach { bw_tenths, pick } => {
+                    let parents = attached_with_free_slot(&tree);
+                    if let Some(parent) = pick_from(&parents, pick) {
+                        let bw = f64::from(bw_tenths) / 10.0; // 0.0 ..= 25.5
+                        tree.attach(profile(next_id, bw), parent).unwrap();
+                        next_id += 1;
+                    }
+                }
+                Op::Remove { pick } => {
+                    let victims: Vec<NodeId> =
+                        tree.member_ids().filter(|&n| n != tree.root()).collect();
+                    let mut victims = victims;
+                    victims.sort();
+                    if let Some(v) = pick_from(&victims, pick) {
+                        tree.remove(v).unwrap();
+                    }
+                }
+                Op::Reattach { pick, parent_pick } => {
+                    let orphans: Vec<NodeId> = tree.orphan_roots().collect();
+                    let parents = attached_with_free_slot(&tree);
+                    if let (Some(o), Some(p)) = (pick_from(&orphans, pick), pick_from(&parents, parent_pick)) {
+                        tree.reattach(o, p).unwrap();
+                    }
+                }
+                Op::Swap { pick } => {
+                    let nodes = attached_non_root(&tree);
+                    if let Some(n) = pick_from(&nodes, pick) {
+                        match tree.swap_with_parent(n, |p| p.bandwidth) {
+                            Ok(_)
+                            | Err(TreeError::NoSwitchableParent(_))
+                            | Err(TreeError::InsufficientCapacity(_)) => {}
+                            Err(e) => panic!("unexpected swap error: {e}"),
+                        }
+                    }
+                }
+                Op::Replace { bw_tenths, pick } => {
+                    let targets = attached_non_root(&tree);
+                    if let Some(t) = pick_from(&targets, pick) {
+                        let bw = f64::from(bw_tenths) / 10.0;
+                        tree.replace(t, profile(next_id, bw), |p| p.bandwidth).unwrap();
+                        next_id += 1;
+                    }
+                }
+                Op::Usurp { pick, evict_pick } => {
+                    let orphans: Vec<NodeId> = tree.orphan_roots().collect();
+                    let targets = attached_non_root(&tree);
+                    if let (Some(o), Some(t)) = (pick_from(&orphans, pick), pick_from(&targets, evict_pick)) {
+                        tree.usurp(t, o, |p| p.bandwidth).unwrap();
+                    }
+                }
+            }
+            if let Err(v) = tree.check_invariants() {
+                panic!("after {:?}: {v}", tree.member_ids().count());
+            }
+        }
+    }
+
+    /// Membership conservation: mutations never lose or duplicate members
+    /// except through explicit removal.
+    #[test]
+    fn membership_is_conserved(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut tree = MulticastTree::new(profile(0, 4.0), 1.0);
+        let mut next_id = 1u64;
+        let mut expected: std::collections::BTreeSet<u64> = [0].into_iter().collect();
+        for op in ops {
+            match op {
+                Op::Attach { bw_tenths, pick } => {
+                    let parents = attached_with_free_slot(&tree);
+                    if let Some(parent) = pick_from(&parents, pick) {
+                        tree.attach(profile(next_id, f64::from(bw_tenths) / 10.0), parent).unwrap();
+                        expected.insert(next_id);
+                        next_id += 1;
+                    }
+                }
+                Op::Remove { pick } => {
+                    let mut victims: Vec<NodeId> =
+                        tree.member_ids().filter(|&n| n != tree.root()).collect();
+                    victims.sort();
+                    if let Some(v) = pick_from(&victims, pick) {
+                        tree.remove(v).unwrap();
+                        expected.remove(&v.0);
+                    }
+                }
+                Op::Swap { pick } => {
+                    let nodes = attached_non_root(&tree);
+                    if let Some(n) = pick_from(&nodes, pick) {
+                        let _ = tree.swap_with_parent(n, |p| p.bandwidth);
+                    }
+                }
+                _ => {}
+            }
+            let actual: std::collections::BTreeSet<u64> =
+                tree.member_ids().map(|n| n.0).collect();
+            prop_assert_eq!(&actual, &expected);
+        }
+    }
+
+    /// Depths reported by the index always match the distance to the root
+    /// along parent pointers.
+    #[test]
+    fn depth_equals_ancestor_count(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut tree = MulticastTree::new(profile(0, 4.0), 1.0);
+        let mut next_id = 1u64;
+        for op in ops {
+            if let Op::Attach { bw_tenths, pick } = op {
+                let parents = attached_with_free_slot(&tree);
+                if let Some(parent) = pick_from(&parents, pick) {
+                    tree.attach(profile(next_id, f64::from(bw_tenths) / 10.0), parent).unwrap();
+                    next_id += 1;
+                }
+            } else if let Op::Swap { pick } = op {
+                let nodes = attached_non_root(&tree);
+                if let Some(n) = pick_from(&nodes, pick) {
+                    let _ = tree.swap_with_parent(n, |p| p.bandwidth);
+                }
+            }
+            for id in tree.attached_by_depth() {
+                let depth = tree.depth(id).unwrap();
+                prop_assert_eq!(depth, tree.ancestors(id).len());
+            }
+        }
+    }
+}

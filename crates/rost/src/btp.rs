@@ -1,0 +1,164 @@
+//! The Bandwidth-Time Product (BTP), ROST's ordering criterion.
+//!
+//! §3.2: "a metric called Bandwidth-Time Product (BTP), which is defined as
+//! the product of a node's outbound bandwidth and its age. The basic idea
+//! of the algorithm is to move nodes with large BTPs higher in the tree...
+//! Since either a large bandwidth or a long service time helps to increase
+//! BTP, a node can be encouraged to contribute more bandwidth resource or
+//! longer service time as a trade for service quality."
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rom_overlay::MemberProfile;
+use rom_sim::SimTime;
+
+/// A bandwidth-time product value.
+///
+/// The multicast source is pre-assigned [`Btp::INFINITE`] "and always
+/// remains at the top of the tree" (§3.3); a freshly joined member starts
+/// at zero and grows at a rate proportional to its bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use rom_rost::Btp;
+/// use rom_overlay::{Location, MemberProfile, NodeId};
+/// use rom_sim::SimTime;
+///
+/// let m = MemberProfile::new(NodeId(1), 2.0, SimTime::ZERO, 600.0, Location(0));
+/// let b = Btp::of(&m, SimTime::from_secs(30.0));
+/// assert_eq!(b.value(), 60.0);
+/// assert!(b < Btp::INFINITE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Btp(f64);
+
+impl Btp {
+    /// The source's BTP: larger than any finite product.
+    pub const INFINITE: Btp = Btp(f64::INFINITY);
+
+    /// A zero product (a member the instant it joins).
+    pub const ZERO: Btp = Btp(0.0);
+
+    /// Creates a BTP from a raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0, "BTP cannot be negative or NaN");
+        Btp(value)
+    }
+
+    /// The BTP of `member` at `now`: bandwidth × age.
+    #[must_use]
+    pub fn of(member: &MemberProfile, now: SimTime) -> Self {
+        Btp::new(member.btp(now))
+    }
+
+    /// The raw product.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True for the source's sentinel value.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+}
+
+impl Eq for Btp {}
+
+impl PartialOrd for Btp {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Btp {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("BTP is never NaN")
+    }
+}
+
+impl fmt::Display for Btp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{:.2}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rom_overlay::{Location, NodeId};
+
+    fn member(bw: f64, join_secs: f64) -> MemberProfile {
+        MemberProfile::new(
+            NodeId(1),
+            bw,
+            SimTime::from_secs(join_secs),
+            1e6,
+            Location(0),
+        )
+    }
+
+    #[test]
+    fn grows_linearly_with_age() {
+        let m = member(3.0, 100.0);
+        assert_eq!(Btp::of(&m, SimTime::from_secs(100.0)), Btp::ZERO);
+        assert_eq!(Btp::of(&m, SimTime::from_secs(110.0)).value(), 30.0);
+        assert_eq!(Btp::of(&m, SimTime::from_secs(120.0)).value(), 60.0);
+    }
+
+    #[test]
+    fn higher_bandwidth_overtakes_given_time() {
+        // §3.3: "If its bandwidth is larger than its parent, then there
+        // must be some time point in the future when its BTP exceeds its
+        // parent".
+        let parent = member(1.0, 0.0);
+        let child = member(4.0, 300.0); // joins later, 4× the bandwidth
+        let early = SimTime::from_secs(310.0);
+        let late = SimTime::from_secs(500.0);
+        assert!(Btp::of(&child, early) < Btp::of(&parent, early));
+        assert!(Btp::of(&child, late) > Btp::of(&parent, late));
+    }
+
+    #[test]
+    fn infinite_dominates() {
+        let m = member(100.0, 0.0);
+        let b = Btp::of(&m, SimTime::from_secs(1e9));
+        assert!(b < Btp::INFINITE);
+        assert!(Btp::INFINITE.is_infinite());
+        assert!(!b.is_infinite());
+        assert_eq!(Btp::INFINITE.to_string(), "∞");
+    }
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![Btp::new(5.0), Btp::INFINITE, Btp::ZERO, Btp::new(2.0)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Btp::ZERO, Btp::new(2.0), Btp::new(5.0), Btp::INFINITE]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = Btp::new(-1.0);
+    }
+
+    #[test]
+    fn display_finite() {
+        assert_eq!(Btp::new(1.5).to_string(), "1.50");
+    }
+}

@@ -1,0 +1,72 @@
+//! ROST's join rule.
+//!
+//! §3.3: a new member gathers a partial view (up to ~100 members), sends
+//! JOIN requests, and among the accepting parents "chooses the one with
+//! the smallest tree depth... If multiple such parents exist at the same
+//! layer, it chooses the nearest parent in terms of network delay" — i.e.
+//! the minimum-depth rule over the member's partial view. New members
+//! always start low: "placing a new member at the leaf layer first and
+//! then adjusting its position according to its behavior" protects the
+//! tree from short-lived clients; climbing happens only through switching.
+
+use rom_overlay::algorithms::{min_depth_parent, JoinContext, JoinDecision, TreeAlgorithm};
+use rom_overlay::Proximity;
+
+/// ROST's join-time placement: minimum depth over the partial view.
+///
+/// Distinct from `rom_overlay::algorithms::MinimumDepth` only in name —
+/// the difference between the two *protocols* is the switching maintenance
+/// this crate adds on top, plus the referee verification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RostJoin;
+
+impl TreeAlgorithm for RostJoin {
+    fn name(&self) -> &'static str {
+        "rost"
+    }
+
+    fn select(&self, ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> JoinDecision {
+        match min_depth_parent(ctx, proximity) {
+            Some(parent) => JoinDecision::Attach { parent },
+            None => JoinDecision::Reject,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rom_overlay::algorithms::MinimumDepth;
+    use rom_overlay::{
+        paper_source, Location, MemberProfile, MulticastTree, NodeId, ZeroProximity,
+    };
+    use rom_sim::SimTime;
+
+    #[test]
+    fn join_matches_min_depth() {
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        tree.attach(
+            MemberProfile::new(NodeId(1), 2.0, SimTime::ZERO, 1e6, Location(1)),
+            NodeId(0),
+        )
+        .unwrap();
+        let joiner = MemberProfile::new(NodeId(9), 1.0, SimTime::ZERO, 1e6, Location(9));
+        let candidates = vec![NodeId(0), NodeId(1)];
+        let ctx = JoinContext {
+            tree: &tree,
+            joiner: &joiner,
+            candidates: &candidates,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(
+            RostJoin.select(&ctx, &ZeroProximity),
+            MinimumDepth.select(&ctx, &ZeroProximity)
+        );
+    }
+
+    #[test]
+    fn is_distributed_and_named() {
+        assert!(!RostJoin.is_centralized());
+        assert_eq!(RostJoin.name(), "rost");
+    }
+}

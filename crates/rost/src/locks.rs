@@ -1,0 +1,181 @@
+//! The distributed-lock abstraction behind ROST's switching operation.
+//!
+//! §3.3: "When a node decides to switch with its parent, it first tries to
+//! 'lock' a set of relevant nodes, including its parent, its grandparent
+//! and all of its children and siblings, in order to maintain a consistent
+//! state... If any of these nodes is already in the process of another
+//! switching, or operations such as overlay failure recovery, the lock
+//! cannot be acquired and the initiating node waits."
+//!
+//! In the simulation the table is a centralized stand-in for the
+//! distributed handshakes; acquisition is all-or-nothing, exactly like the
+//! protocol's outcome.
+
+use std::collections::HashMap;
+
+use rom_overlay::NodeId;
+
+/// Identifier of one locking operation (a switch or a recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+/// An all-or-nothing multi-node lock table.
+///
+/// # Examples
+///
+/// ```
+/// use rom_rost::{LockTable, OpId};
+/// use rom_overlay::NodeId;
+///
+/// let mut locks = LockTable::new();
+/// assert!(locks.try_lock_all(OpId(1), &[NodeId(1), NodeId(2)]));
+/// // Overlapping set: refused, nothing newly locked.
+/// assert!(!locks.try_lock_all(OpId(2), &[NodeId(2), NodeId(3)]));
+/// assert!(!locks.is_locked(NodeId(3)));
+/// locks.release(OpId(1));
+/// assert!(locks.try_lock_all(OpId(2), &[NodeId(2), NodeId(3)]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    holders: HashMap<NodeId, OpId>,
+    ops: HashMap<OpId, Vec<NodeId>>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Attempts to lock every node in `set` for `op`. Either all locks are
+    /// taken and `true` is returned, or none are and `false` is returned.
+    /// Duplicate ids within `set` are tolerated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` already holds locks (operations lock once).
+    pub fn try_lock_all(&mut self, op: OpId, set: &[NodeId]) -> bool {
+        assert!(
+            !self.ops.contains_key(&op),
+            "operation {op:?} already holds locks"
+        );
+        if set.iter().any(|n| self.holders.contains_key(n)) {
+            return false;
+        }
+        let mut held = Vec::with_capacity(set.len());
+        for &n in set {
+            if self.holders.insert(n, op).is_none() {
+                held.push(n);
+            }
+        }
+        self.ops.insert(op, held);
+        true
+    }
+
+    /// Releases every lock held by `op`. Releasing an unknown op is a
+    /// no-op (the op may have locked nothing).
+    pub fn release(&mut self, op: OpId) {
+        if let Some(held) = self.ops.remove(&op) {
+            for n in held {
+                self.holders.remove(&n);
+            }
+        }
+    }
+
+    /// True if any operation currently holds `node`.
+    #[must_use]
+    pub fn is_locked(&self, node: NodeId) -> bool {
+        self.holders.contains_key(&node)
+    }
+
+    /// The operation holding `node`, if any.
+    #[must_use]
+    pub fn holder(&self, node: NodeId) -> Option<OpId> {
+        self.holders.get(&node).copied()
+    }
+
+    /// Number of currently locked nodes.
+    #[must_use]
+    pub fn locked_count(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Drops locks held on `node` regardless of owner — used when a locked
+    /// node crashes mid-operation (the failure detector supersedes the
+    /// lock). The owning operation keeps its other locks.
+    pub fn evict_node(&mut self, node: NodeId) {
+        if let Some(op) = self.holders.remove(&node) {
+            if let Some(held) = self.ops.get_mut(&op) {
+                held.retain(|&n| n != node);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_or_nothing() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock_all(OpId(1), &[NodeId(1), NodeId(2), NodeId(3)]));
+        assert_eq!(t.locked_count(), 3);
+        assert!(!t.try_lock_all(OpId(2), &[NodeId(9), NodeId(3)]));
+        // Nothing from the failed attempt leaked.
+        assert!(!t.is_locked(NodeId(9)));
+        assert_eq!(t.locked_count(), 3);
+    }
+
+    #[test]
+    fn release_frees_everything() {
+        let mut t = LockTable::new();
+        t.try_lock_all(OpId(1), &[NodeId(1), NodeId(2)]);
+        t.release(OpId(1));
+        assert_eq!(t.locked_count(), 0);
+        assert!(t.try_lock_all(OpId(2), &[NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut t = LockTable::new();
+        t.release(OpId(42));
+        assert_eq!(t.locked_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_ids_tolerated() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock_all(OpId(1), &[NodeId(1), NodeId(1)]));
+        t.release(OpId(1));
+        assert!(!t.is_locked(NodeId(1)));
+    }
+
+    #[test]
+    fn holder_lookup() {
+        let mut t = LockTable::new();
+        t.try_lock_all(OpId(7), &[NodeId(1)]);
+        assert_eq!(t.holder(NodeId(1)), Some(OpId(7)));
+        assert_eq!(t.holder(NodeId(2)), None);
+    }
+
+    #[test]
+    fn evict_node_keeps_other_locks() {
+        let mut t = LockTable::new();
+        t.try_lock_all(OpId(1), &[NodeId(1), NodeId(2)]);
+        t.evict_node(NodeId(1));
+        assert!(!t.is_locked(NodeId(1)));
+        assert!(t.is_locked(NodeId(2)));
+        t.release(OpId(1));
+        assert_eq!(t.locked_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_lock_by_same_op_panics() {
+        let mut t = LockTable::new();
+        t.try_lock_all(OpId(1), &[NodeId(1)]);
+        t.try_lock_all(OpId(1), &[NodeId(2)]);
+    }
+}

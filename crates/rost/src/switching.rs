@@ -1,0 +1,336 @@
+//! The BTP-based switching protocol (§3.3).
+//!
+//! Every switching interval a member compares its BTP with its parent's.
+//! "If its BTP exceeds that of its parent, and its bandwidth is no less
+//! than the parent's bandwidth, then the switching operation is triggered.
+//! The bandwidth comparing avoids unnecessary switching since if the child
+//! has a smaller bandwidth, the BTP will eventually be exceeded by the
+//! parent, and it will ultimately be placed below the parent."
+//!
+//! The operation locks the parent, grandparent, children and siblings; on
+//! contention the member backs off for [`RostConfig::lock_retry_secs`] and
+//! tries again.
+
+use rom_overlay::{MulticastTree, NodeId, SwitchRecord, TreeError};
+use rom_sim::SimTime;
+
+use crate::btp::Btp;
+use crate::config::RostConfig;
+use crate::locks::{LockTable, OpId};
+
+/// Result of one switching attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchOutcome {
+    /// The switch happened; the record carries the reconnection counts and
+    /// the operation still holds its locks (release after
+    /// [`RostConfig::lock_hold_secs`]).
+    Switched {
+        /// The tree surgery record.
+        record: SwitchRecord,
+        /// The lock-holding operation to release later.
+        op: OpId,
+    },
+    /// The BTP/bandwidth condition does not hold — check again next
+    /// interval.
+    NotEligible,
+    /// Some node in the lock set is busy with another operation — retry
+    /// after the configured back-off.
+    Busy,
+}
+
+/// Driver state for ROST switching over one tree.
+///
+/// # Examples
+///
+/// ```
+/// use rom_overlay::{Location, MemberProfile, MulticastTree, NodeId, paper_source};
+/// use rom_rost::{RostConfig, SwitchOutcome, SwitchingProtocol};
+/// use rom_sim::SimTime;
+///
+/// let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+/// // A weak early parent and a strong late child.
+/// let weak = MemberProfile::new(NodeId(1), 1.0, SimTime::ZERO, 1e6, Location(1));
+/// let strong = MemberProfile::new(NodeId(2), 5.0, SimTime::from_secs(60.0), 1e6, Location(2));
+/// tree.attach(weak, NodeId::SOURCE)?;
+/// tree.attach(strong, NodeId(1))?;
+///
+/// let mut rost = SwitchingProtocol::new(RostConfig::paper());
+/// // Early on the child's BTP is still smaller.
+/// assert_eq!(rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(70.0)), SwitchOutcome::NotEligible);
+/// // Five minutes later it has overtaken: 5·(t−60) > 1·t for t > 75.
+/// match rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(400.0)) {
+///     SwitchOutcome::Switched { op, .. } => rost.release(op),
+///     other => panic!("expected a switch, got {other:?}"),
+/// }
+/// assert_eq!(tree.parent(NodeId(2)), Some(NodeId::SOURCE));
+/// assert_eq!(tree.parent(NodeId(1)), Some(NodeId(2)));
+/// # Ok::<(), rom_overlay::TreeError>(())
+/// ```
+#[derive(Debug)]
+pub struct SwitchingProtocol {
+    config: RostConfig,
+    locks: LockTable,
+    next_op: u64,
+}
+
+impl SwitchingProtocol {
+    /// Creates a driver with the given configuration.
+    #[must_use]
+    pub fn new(config: RostConfig) -> Self {
+        SwitchingProtocol {
+            config,
+            locks: LockTable::new(),
+            next_op: 0,
+        }
+    }
+
+    /// The protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> &RostConfig {
+        &self.config
+    }
+
+    /// Access to the lock table, so the engine can also lock nodes engaged
+    /// in failure recovery (the paper treats recovery as a competing
+    /// locker).
+    pub fn locks_mut(&mut self) -> &mut LockTable {
+        &mut self.locks
+    }
+
+    /// Read-only view of the lock table.
+    #[must_use]
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Allocates a fresh operation id (also used by the engine for
+    /// recovery locks).
+    pub fn allocate_op(&mut self) -> OpId {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        op
+    }
+
+    /// The §3.3 switching condition: BTP strictly exceeds the parent's and
+    /// bandwidth is no less than the parent's. False for detached members,
+    /// children of the source, and unknown ids.
+    #[must_use]
+    pub fn eligible(tree: &MulticastTree, node: NodeId, now: SimTime) -> bool {
+        Self::eligible_with(tree, node, now, true)
+    }
+
+    /// Like [`eligible`](Self::eligible), optionally skipping the
+    /// bandwidth guard (ablation; see
+    /// [`RostConfig::without_bandwidth_guard`]).
+    #[must_use]
+    pub fn eligible_with(
+        tree: &MulticastTree,
+        node: NodeId,
+        now: SimTime,
+        bandwidth_guard: bool,
+    ) -> bool {
+        let Some(parent) = tree.parent(node) else {
+            return false;
+        };
+        if parent == tree.root() || !tree.is_attached(node) {
+            return false;
+        }
+        let child_profile = tree.profile(node).expect("node exists");
+        let parent_profile = tree.profile(parent).expect("parent exists");
+        Btp::of(child_profile, now) > Btp::of(parent_profile, now)
+            && (!bandwidth_guard || child_profile.bandwidth >= parent_profile.bandwidth)
+    }
+
+    /// The nodes a switch by `node` must lock: itself, its parent,
+    /// grandparent, children and siblings (§3.3).
+    #[must_use]
+    pub fn lock_set(tree: &MulticastTree, node: NodeId) -> Vec<NodeId> {
+        let mut set = vec![node];
+        if let Some(parent) = tree.parent(node) {
+            set.push(parent);
+            if let Some(gp) = tree.parent(parent) {
+                set.push(gp);
+            }
+            set.extend(tree.children(parent).iter().copied().filter(|&s| s != node));
+        }
+        set.extend(tree.children(node).iter().copied());
+        set
+    }
+
+    /// Runs one switching check for `node` at `now`.
+    ///
+    /// On success the locks stay held under the returned [`OpId`]; call
+    /// [`release`](Self::release) once [`RostConfig::lock_hold_secs`] have
+    /// elapsed.
+    pub fn attempt(
+        &mut self,
+        tree: &mut MulticastTree,
+        node: NodeId,
+        now: SimTime,
+    ) -> SwitchOutcome {
+        if !Self::eligible_with(tree, node, now, self.config.bandwidth_guard) {
+            return SwitchOutcome::NotEligible;
+        }
+        let set = Self::lock_set(tree, node);
+        let op = self.allocate_op();
+        if !self.locks.try_lock_all(op, &set) {
+            return SwitchOutcome::Busy;
+        }
+        match tree.swap_with_parent(node, |p| p.btp(now)) {
+            Ok(record) => SwitchOutcome::Switched { record, op },
+            // The capacity guard can only fire for a zero-capacity child,
+            // which the bandwidth condition excludes (its parent would
+            // need capacity 0 too and could never have had a child); keep
+            // the lock table clean regardless.
+            Err(TreeError::InsufficientCapacity(_)) => {
+                self.locks.release(op);
+                SwitchOutcome::NotEligible
+            }
+            Err(e) => unreachable!("eligibility pre-checked: {e}"),
+        }
+    }
+
+    /// Releases the locks of a completed switch.
+    pub fn release(&mut self, op: OpId) {
+        self.locks.release(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rom_overlay::{paper_source, Location, MemberProfile};
+
+    fn profile(id: u64, bw: f64, join_secs: f64) -> MemberProfile {
+        MemberProfile::new(
+            NodeId(id),
+            bw,
+            SimTime::from_secs(join_secs),
+            1e6,
+            Location(id as u32),
+        )
+    }
+
+    /// root → 1 → 2, where 2 out-bandwidths 1.
+    fn two_level_tree() -> MulticastTree {
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        tree.attach(profile(1, 1.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 4.0, 100.0), NodeId(1)).unwrap();
+        tree
+    }
+
+    #[test]
+    fn eligibility_needs_btp_and_bandwidth() {
+        let tree = two_level_tree();
+        // t=120: BTP(1)=120, BTP(2)=80 → not yet.
+        assert!(!SwitchingProtocol::eligible(
+            &tree,
+            NodeId(2),
+            SimTime::from_secs(120.0)
+        ));
+        // t=200: BTP(1)=200, BTP(2)=400 → eligible.
+        assert!(SwitchingProtocol::eligible(
+            &tree,
+            NodeId(2),
+            SimTime::from_secs(200.0)
+        ));
+    }
+
+    #[test]
+    fn bandwidth_guard_blocks_weaker_children() {
+        // §3.3: even with a larger BTP, a smaller-bandwidth child must not
+        // switch (the parent would overtake it again).
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        tree.attach(profile(1, 2.0, 500.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 1.0, 0.0), NodeId(1)).unwrap();
+        // t=600: BTP(1)=200, BTP(2)=600 — BTP condition holds, bandwidth
+        // does not.
+        assert!(!SwitchingProtocol::eligible(
+            &tree,
+            NodeId(2),
+            SimTime::from_secs(600.0)
+        ));
+    }
+
+    #[test]
+    fn children_of_source_never_switch() {
+        let tree = two_level_tree();
+        assert!(!SwitchingProtocol::eligible(
+            &tree,
+            NodeId(1),
+            SimTime::from_secs(1e6)
+        ));
+    }
+
+    #[test]
+    fn lock_set_covers_family() {
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        tree.attach(profile(1, 2.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 4.0, 100.0), NodeId(1)).unwrap();
+        tree.attach(profile(3, 0.5, 0.0), NodeId(1)).unwrap(); // sibling of 2
+        tree.attach(profile(4, 0.5, 0.0), NodeId(2)).unwrap(); // child of 2
+        let mut set = SwitchingProtocol::lock_set(&tree, NodeId(2));
+        set.sort();
+        assert_eq!(
+            set,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn busy_when_family_locked() {
+        let mut tree = two_level_tree();
+        let mut rost = SwitchingProtocol::new(RostConfig::paper());
+        let recovery = rost.allocate_op();
+        assert!(rost.locks_mut().try_lock_all(recovery, &[NodeId(1)]));
+        assert_eq!(
+            rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(500.0)),
+            SwitchOutcome::Busy
+        );
+        // After the competing operation completes, the switch goes through.
+        rost.release(recovery);
+        match rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(500.0)) {
+            SwitchOutcome::Switched { record, op } => {
+                assert_eq!(record.promoted, NodeId(2));
+                // Locks held until released.
+                assert!(rost.locks().is_locked(NodeId(2)));
+                rost.release(op);
+                assert_eq!(rost.locks().locked_count(), 0);
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.parent(NodeId(2)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn switch_overhead_is_2d_plus_1_shaped() {
+        // Fig. 2's shape: parent with 2 children, child with 3.
+        let mut tree = MulticastTree::new(paper_source(Location(0)), 1.0);
+        tree.attach(profile(1, 2.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 3.0, 10.0), NodeId(1)).unwrap();
+        tree.attach(profile(3, 0.5, 0.0), NodeId(1)).unwrap();
+        for i in 4..7 {
+            tree.attach(profile(i, 0.5, 0.0), NodeId(2)).unwrap();
+        }
+        let mut rost = SwitchingProtocol::new(RostConfig::paper());
+        match rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(10_000.0)) {
+            SwitchOutcome::Switched { record, op } => {
+                assert_eq!(record.parent_changes, 5); // 2d+1 with d=2
+                rost.release(op);
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_eligible_outcome_for_fresh_member() {
+        let mut tree = two_level_tree();
+        let mut rost = SwitchingProtocol::new(RostConfig::paper());
+        assert_eq!(
+            rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(101.0)),
+            SwitchOutcome::NotEligible
+        );
+        assert_eq!(rost.locks().locked_count(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Deterministic random-number streams for reproducible simulations.
+//!
+//! Every experiment in this workspace is driven by a single `u64` seed.
+//! [`SimRng`] wraps a PRNG seeded from that value and can [`fork`] child
+//! streams (one per subsystem, e.g. topology vs. churn) so that changing how
+//! one subsystem consumes randomness does not perturb the others.
+//!
+//! [`fork`]: SimRng::fork
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 step, used to derive statistically independent child seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seedable, forkable random-number generator for simulations.
+///
+/// # Examples
+///
+/// ```
+/// use rom_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform(), b.uniform()); // same seed, same stream
+///
+/// let mut topo = a.fork("topology");
+/// let x = topo.range_f64(15.0, 25.0);
+/// assert!((15.0..25.0).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a root seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// Forking is a pure function of `(seed, label)`: the child does not
+    /// share state with, nor consume randomness from, the parent.
+    #[must_use]
+    pub fn fork(&self, label: &str) -> SimRng {
+        let mut state = self.seed;
+        for byte in label.bytes() {
+            state ^= u64::from(byte);
+            splitmix64(&mut state);
+        }
+        let child_seed = splitmix64(&mut state);
+        SimRng::seed_from(child_seed)
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// A uniform sample in `[0, 1)` guaranteed to be strictly positive,
+    /// suitable for `ln`-based transforms.
+    pub fn uniform_positive(&mut self) -> f64 {
+        loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty collection");
+        self.inner.random_range(0..n)
+    }
+
+    /// An exponentially distributed sample with the given `rate` (events per
+    /// second); this is the inter-arrival time of a Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        -self.uniform_positive().ln() / rate
+    }
+
+    /// A fair coin flip with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Chooses a uniformly random element of `items`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.index(items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct elements from `items` by partial shuffle; returns
+    /// fewer when `items.len() < k`.
+    pub fn sample<T: Clone>(&mut self, items: &[T], k: usize) -> Vec<T> {
+        let mut idx: Vec<usize> = (0..items.len()).collect();
+        let take = k.min(items.len());
+        for i in 0..take {
+            let j = i + self.index(idx.len() - i);
+            idx.swap(i, j);
+        }
+        idx[..take].iter().map(|&i| items[i].clone()).collect()
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..32 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent = SimRng::seed_from(99);
+        let mut c1 = parent.fork("child");
+        let mut parent2 = SimRng::seed_from(99);
+        let _ = parent2.uniform(); // consume from the parent stream
+        let mut c2 = parent2.fork("child");
+        assert_eq!(c1.uniform().to_bits(), c2.uniform().to_bits());
+    }
+
+    #[test]
+    fn forks_with_different_labels_differ() {
+        let parent = SimRng::seed_from(99);
+        let mut a = parent.fork("a");
+        let mut b = parent.fork("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let x = rng.range_f64(15.0, 25.0);
+            assert!((15.0..25.0).contains(&x));
+            let i = rng.index(10);
+            assert!(i < 10);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / f64::from(n);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean} should be near 2.0");
+    }
+
+    #[test]
+    fn sample_is_distinct_and_bounded() {
+        let mut rng = SimRng::seed_from(11);
+        let items: Vec<u32> = (0..50).collect();
+        let picked = rng.sample(&items, 10);
+        assert_eq!(picked.len(), 10);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "samples must be distinct");
+        let too_many = rng.sample(&items, 100);
+        assert_eq!(too_many.len(), 50);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::seed_from(17);
+        let empty: &[u8] = &[];
+        assert!(rng.choose(empty).is_none());
+        assert!(rng.choose(&[42]).is_some());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(19);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

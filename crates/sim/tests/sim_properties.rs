@@ -1,0 +1,70 @@
+//! Property tests for the event kernel: ordering, FIFO ties, and horizon
+//! semantics hold for arbitrary schedules.
+
+use proptest::prelude::*;
+use rom_sim::{EventQueue, RunOutcome, SimTime, Simulation};
+
+proptest! {
+    /// Pops come out in nondecreasing time order, and events that share a
+    /// timestamp preserve insertion order.
+    #[test]
+    fn queue_orders_time_then_fifo(times in prop::collection::vec(0u32..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (idx, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(f64::from(t)), idx);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated for equal timestamps");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// Every scheduled event at or before the horizon fires exactly once;
+    /// everything later stays queued.
+    #[test]
+    fn simulation_respects_horizon(times in prop::collection::vec(0u32..100, 1..100), horizon in 0u32..100) {
+        let mut sim: Simulation<usize> = Simulation::new();
+        for (idx, &t) in times.iter().enumerate() {
+            sim.schedule(SimTime::from_secs(f64::from(t)), idx);
+        }
+        let mut fired = Vec::new();
+        let outcome = sim.run_until(SimTime::from_secs(f64::from(horizon)), |_, idx, _| {
+            fired.push(idx);
+        });
+        let expected: Vec<usize> = {
+            let mut tagged: Vec<(u32, usize)> = times
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t <= horizon)
+                .map(|(i, &t)| (t, i))
+                .collect();
+            tagged.sort();
+            tagged.into_iter().map(|(_, i)| i).collect()
+        };
+        prop_assert_eq!(fired.len(), expected.len());
+        let later = times.iter().filter(|&&t| t > horizon).count();
+        prop_assert_eq!(sim.pending(), later);
+        if later == 0 {
+            prop_assert_eq!(outcome, RunOutcome::Drained);
+        } else {
+            prop_assert_eq!(outcome, RunOutcome::HorizonReached);
+        }
+    }
+
+    /// Forked RNG streams are reproducible and label-sensitive.
+    #[test]
+    fn rng_forks_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        use rom_sim::SimRng;
+        let mut a = SimRng::seed_from(seed).fork(&label);
+        let mut b = SimRng::seed_from(seed).fork(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+}

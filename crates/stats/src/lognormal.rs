@@ -1,0 +1,279 @@
+//! The lognormal distribution used for member lifetimes.
+//!
+//! The paper (§5) models member lifetimes as Lognormal(location 5.5,
+//! shape 2.0) seconds, following the measurement study of Veloso et al.
+//! The mean of that distribution is `exp(5.5 + 2²/2) ≈ 1808` seconds — the
+//! "1809 seconds" the paper plugs into Little's law to derive the arrival
+//! rate. The long tail is what makes time-ordering informative: a member
+//! that has already survived a long time is likely to survive longer.
+
+use crate::math::standard_normal_cdf;
+use crate::pareto::InvalidDistributionError;
+use rom_sim::SimRng;
+
+/// A lognormal distribution: `exp(N(location, shape²))`.
+///
+/// # Examples
+///
+/// ```
+/// use rom_stats::LogNormal;
+/// use rom_sim::SimRng;
+///
+/// // The paper's lifetime distribution, mean ≈ 1809 s.
+/// let life = LogNormal::new(5.5, 2.0).unwrap();
+/// assert!((life.mean() - 1808.0).abs() < 1.0);
+///
+/// let mut rng = SimRng::seed_from(1);
+/// assert!(life.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    location: f64,
+    shape: f64,
+}
+
+impl LogNormal {
+    /// The lifetime distribution the paper's evaluation uses:
+    /// location 5.5, shape 2.0 (seconds).
+    #[must_use]
+    pub fn paper_lifetime() -> Self {
+        LogNormal {
+            location: 5.5,
+            shape: 2.0,
+        }
+    }
+
+    /// Creates a lognormal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `shape > 0` and `location` is finite.
+    pub fn new(location: f64, shape: f64) -> Result<Self, InvalidDistributionError> {
+        if !location.is_finite() {
+            return Err(InvalidDistributionError::new("location must be finite"));
+        }
+        if shape <= 0.0 || !shape.is_finite() {
+            return Err(InvalidDistributionError::new(
+                "shape must be positive and finite",
+            ));
+        }
+        Ok(LogNormal { location, shape })
+    }
+
+    /// The location parameter μ (mean of the underlying normal).
+    #[must_use]
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// The shape parameter σ (std-dev of the underlying normal).
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Analytic mean `exp(μ + σ²/2)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.location + self.shape * self.shape / 2.0).exp()
+    }
+
+    /// The median `exp(μ)`.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.location.exp()
+    }
+
+    /// Cumulative distribution function.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        standard_normal_cdf((x.ln() - self.location) / self.shape)
+    }
+
+    /// Draws a sample via the Box–Muller transform.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u1 = rng.uniform_positive();
+        let u2 = rng.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.location + self.shape * z).exp()
+    }
+
+    /// Inverse CDF by bisection (the CDF is strictly monotone). Accurate
+    /// to ~1e-10 relative, which is far below simulation resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1), got {p}");
+        // Bracket the root around the median, expanding geometrically.
+        let mut lo = self.median();
+        let mut hi = lo;
+        while self.cdf(lo) > p {
+            lo /= 2.0;
+        }
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) / hi < 1e-12 {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Samples a total lifetime conditioned on having already survived
+    /// `age` seconds (`L | L > age`) — the residual-life draw used when
+    /// seeding a steady-state population.
+    pub fn sample_conditional_exceeding(&self, age: f64, rng: &mut SimRng) -> f64 {
+        if age <= 0.0 {
+            return self.sample(rng);
+        }
+        let floor = self.cdf(age);
+        if floor >= 1.0 - 1e-12 {
+            // Numerically the entire mass is below `age`; return just
+            // beyond it.
+            return age * (1.0 + 1e-9);
+        }
+        let u = floor + rng.uniform() * (1.0 - floor);
+        self.quantile(u.clamp(1e-300, 1.0 - 1e-16)).max(age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mean_matches_littles_law_input() {
+        // §5: "the mean value of lifetime, i.e. 1809 seconds".
+        let d = LogNormal::paper_lifetime();
+        assert!(
+            (d.mean() - 1808.04).abs() < 0.5,
+            "mean {} should be ≈1808 s",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.0).is_err());
+        assert!(LogNormal::new(1.0, -1.0).is_err());
+        assert!(LogNormal::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn median_is_exp_location() {
+        let d = LogNormal::new(2.0, 0.5).unwrap();
+        assert!((d.median() - 2.0f64.exp()).abs() < 1e-12);
+        // And the CDF at the median is one half.
+        assert!((d.cdf(d.median()) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_edge_cases() {
+        let d = LogNormal::paper_lifetime();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-5.0), 0.0);
+        assert!(d.cdf(1e12) > 0.999);
+    }
+
+    #[test]
+    fn long_tail_property() {
+        // The defining churn property (§2.1): a large fraction of very
+        // short sessions coexists with a heavy tail of long ones.
+        let d = LogNormal::paper_lifetime();
+        assert!(d.cdf(60.0) > 0.2, "many sessions die within a minute");
+        // P(lifetime > 1 h) ≈ 0.09 for Lognormal(5.5, 2.0).
+        assert!(1.0 - d.cdf(3600.0) > 0.05, "heavy tail past one hour");
+    }
+
+    #[test]
+    fn sample_median_near_analytic() {
+        // The sample *median* converges fast even though the mean is
+        // dominated by the heavy tail.
+        let d = LogNormal::paper_lifetime();
+        let mut rng = SimRng::seed_from(123);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sample_median = samples[samples.len() / 2];
+        let want = d.median();
+        assert!(
+            (sample_median - want).abs() / want < 0.1,
+            "median {sample_median} vs {want}"
+        );
+    }
+
+    #[test]
+    fn samples_positive() {
+        let d = LogNormal::new(0.0, 3.0).unwrap();
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = LogNormal::paper_lifetime();
+        for p in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-8, "p={p} x={x}");
+        }
+        assert!((d.quantile(0.5) - d.median()).abs() / d.median() < 1e-6);
+    }
+
+    #[test]
+    fn conditional_samples_exceed_age() {
+        let d = LogNormal::paper_lifetime();
+        let mut rng = SimRng::seed_from(9);
+        for age in [0.0, 100.0, 5_000.0] {
+            for _ in 0..200 {
+                assert!(d.sample_conditional_exceeding(age, &mut rng) >= age);
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_mean_reflects_heavy_tail() {
+        // Memory property of the heavy tail: members that survived an hour
+        // have a much longer expected remaining life than fresh ones.
+        let d = LogNormal::paper_lifetime();
+        let mut rng = SimRng::seed_from(10);
+        let n = 5_000;
+        let fresh: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        let survivors: f64 = (0..n)
+            .map(|_| d.sample_conditional_exceeding(3_600.0, &mut rng) - 3_600.0)
+            .sum::<f64>()
+            / f64::from(n);
+        assert!(
+            survivors > fresh,
+            "residual {survivors:.0}s should exceed unconditional {fresh:.0}s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn quantile_rejects_bad_p() {
+        let _ = LogNormal::paper_lifetime().quantile(1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = LogNormal::paper_lifetime();
+        assert_eq!(d.location(), 5.5);
+        assert_eq!(d.shape(), 2.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Small numerical helpers shared by the distribution implementations.
+
+/// Abramowitz & Stegun 7.1.26 approximation of the error function.
+///
+/// Maximum absolute error ≤ 1.5e-7, which is far below anything the
+/// simulations can resolve.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+#[must_use]
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables of erf.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+            (-1.0, -0.842_700_792_9),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (erf(x) - want).abs() < 1e-6,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for x in [0.1, 0.7, 1.3, 2.9] {
+            let hi = standard_normal_cdf(x);
+            let lo = standard_normal_cdf(-x);
+            assert!((hi + lo - 1.0).abs() < 1e-9);
+        }
+        // The A&S polynomial gives erf(0) ≈ 1e-9 rather than exactly 0.
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_cdf_known_quantile() {
+        // Φ(1.96) ≈ 0.975 — the basis of the 95% confidence intervals.
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,259 @@
+//! The bounded Pareto distribution used for member outbound bandwidths.
+//!
+//! The paper (§5) draws every non-root member's outbound bandwidth from a
+//! Bounded Pareto with shape 1.2, lower bound 0.5 and upper bound 100
+//! (in units of the stream rate). With those parameters ≈55% of members
+//! have bandwidth below 1, i.e. cannot forward a full stream — the paper's
+//! "free-riders" — while a handful of "super-nodes" support out-degrees
+//! above 20.
+
+use rom_sim::SimRng;
+
+/// A Pareto distribution truncated to `[lower, upper]`.
+///
+/// # Examples
+///
+/// ```
+/// use rom_stats::BoundedPareto;
+/// use rom_sim::SimRng;
+///
+/// // The paper's bandwidth distribution.
+/// let bw = BoundedPareto::new(1.2, 0.5, 100.0).unwrap();
+/// let mut rng = SimRng::seed_from(7);
+/// let x = bw.sample(&mut rng);
+/// assert!((0.5..=100.0).contains(&x));
+/// // ~55% of mass sits below the stream rate of 1: free-riders.
+/// assert!((bw.cdf(1.0) - 0.55).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    shape: f64,
+    lower: f64,
+    upper: f64,
+}
+
+/// Error returned when constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidDistributionError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidDistributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidDistributionError {}
+
+impl InvalidDistributionError {
+    pub(crate) fn new(what: &'static str) -> Self {
+        InvalidDistributionError { what }
+    }
+}
+
+impl BoundedPareto {
+    /// The bandwidth distribution the paper's evaluation uses:
+    /// shape 1.2, bounds `[0.5, 100]`.
+    #[must_use]
+    pub fn paper_bandwidth() -> Self {
+        BoundedPareto {
+            shape: 1.2,
+            lower: 0.5,
+            upper: 100.0,
+        }
+    }
+
+    /// Creates a bounded Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `shape > 0` and `0 < lower < upper`.
+    pub fn new(shape: f64, lower: f64, upper: f64) -> Result<Self, InvalidDistributionError> {
+        if shape <= 0.0 || shape.is_nan() {
+            return Err(InvalidDistributionError::new("shape must be positive"));
+        }
+        if lower <= 0.0 || lower.is_nan() {
+            return Err(InvalidDistributionError::new(
+                "lower bound must be positive",
+            ));
+        }
+        if upper <= lower || upper.is_nan() {
+            return Err(InvalidDistributionError::new(
+                "upper bound must exceed lower bound",
+            ));
+        }
+        Ok(BoundedPareto {
+            shape,
+            lower,
+            upper,
+        })
+    }
+
+    /// The shape (tail index) parameter α.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The lower truncation bound.
+    #[must_use]
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// The upper truncation bound.
+    #[must_use]
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Cumulative distribution function.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lower {
+            return 0.0;
+        }
+        if x >= self.upper {
+            return 1.0;
+        }
+        let a = self.shape;
+        let l = self.lower;
+        let h = self.upper;
+        (1.0 - (l / x).powf(a)) / (1.0 - (l / h).powf(a))
+    }
+
+    /// Inverse CDF (quantile function) for `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let a = self.shape;
+        let l = self.lower;
+        let h = self.upper;
+        let ratio = (l / h).powf(a);
+        // Invert F(x) = (1 - (l/x)^a) / (1 - (l/h)^a).
+        let base = 1.0 - p * (1.0 - ratio);
+        l / base.powf(1.0 / a)
+    }
+
+    /// Analytic mean of the truncated distribution.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let a = self.shape;
+        let l = self.lower;
+        let h = self.upper;
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1 limit: E[X] = ln(h/l) · l·h / (h - l)
+            return (h / l).ln() * l * h / (h - l);
+        }
+        let la = l.powf(a);
+        (la / (1.0 - (l / h).powf(a))) * (a / (a - 1.0)) * (l.powf(1.0 - a) - h.powf(1.0 - a))
+    }
+
+    /// Draws a sample by inverse-transform sampling.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.quantile(rng.uniform())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(BoundedPareto::new(0.0, 0.5, 100.0).is_err());
+        assert!(BoundedPareto::new(1.2, 0.0, 100.0).is_err());
+        assert!(BoundedPareto::new(1.2, 5.0, 5.0).is_err());
+        assert!(BoundedPareto::new(1.2, 5.0, 1.0).is_err());
+        let err = BoundedPareto::new(-1.0, 0.5, 1.0).unwrap_err();
+        assert!(err.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn paper_free_rider_fraction() {
+        // §5: "55.5% of the members are effectively free-riders".
+        let d = BoundedPareto::paper_bandwidth();
+        let f = d.cdf(1.0);
+        assert!(
+            (0.53..0.59).contains(&f),
+            "free-rider fraction {f} should be ≈0.555"
+        );
+    }
+
+    #[test]
+    fn paper_super_node_fraction_is_small_but_positive() {
+        // "a small number of super-nodes exist with out-degrees larger
+        // than 20".
+        let d = BoundedPareto::paper_bandwidth();
+        let p = 1.0 - d.cdf(20.0);
+        assert!(p > 0.001 && p < 0.05, "super-node fraction {p}");
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let d = BoundedPareto::paper_bandwidth();
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1.0] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let d = BoundedPareto::paper_bandwidth();
+        assert!((d.quantile(0.0) - 0.5).abs() < 1e-12);
+        assert!((d.quantile(1.0) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn samples_in_range_and_mean_matches() {
+        let d = BoundedPareto::paper_bandwidth();
+        let mut rng = SimRng::seed_from(42);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((0.5..=100.0).contains(&x));
+            sum += x;
+        }
+        let sample_mean = sum / f64::from(n);
+        let want = d.mean();
+        assert!(
+            (sample_mean - want).abs() / want < 0.05,
+            "sample mean {sample_mean} vs analytic {want}"
+        );
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let d = BoundedPareto::new(2.0, 1.0, 10.0).unwrap();
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let x = 0.5 + 0.1 * f64::from(i);
+            let c = d.cdf(x);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn mean_alpha_one_limit_continuous() {
+        // The α→1 special case should agree with α slightly off 1.
+        let exact = BoundedPareto::new(1.0, 1.0, 100.0).unwrap().mean();
+        let near = BoundedPareto::new(1.0 + 1e-9, 1.0, 100.0).unwrap().mean();
+        assert!((exact - near).abs() < 1e-3, "{exact} vs {near}");
+    }
+
+    #[test]
+    fn accessors() {
+        let d = BoundedPareto::paper_bandwidth();
+        assert_eq!(d.shape(), 1.2);
+        assert_eq!(d.lower(), 0.5);
+        assert_eq!(d.upper(), 100.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Streaming summary statistics and confidence intervals.
+//!
+//! Figures 4–14 of the paper all report means over members or over
+//! replicated runs; Figure 14 adds 95% confidence intervals. [`Summary`]
+//! accumulates observations in one pass (Welford's algorithm, numerically
+//! stable) and produces both.
+
+/// One-pass accumulator for count, mean, variance and range.
+///
+/// # Examples
+///
+/// ```
+/// use rom_stats::Summary;
+///
+/// let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let combined_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = combined_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation; +∞ when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −∞ when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population variance (divide by n); 0 when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divide by n − 1); 0 when fewer than 2 observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95% confidence interval for the mean
+    /// (normal approximation, z = 1.96), as used in the paper's Fig. 14.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// `(mean, half-width)` of the 95% confidence interval.
+    #[must_use]
+    pub fn mean_with_ci95(&self) -> (f64, f64) {
+        (self.mean(), self.ci95_half_width())
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = Summary::new();
+        s.add(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: Summary = data.iter().copied().collect();
+        let mut left: Summary = data[..37].iter().copied().collect();
+        let right: Summary = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few: Summary = (0..10).map(|i| f64::from(i % 3)).collect();
+        let many: Summary = (0..1000).map(|i| f64::from(i % 3)).collect();
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+        let (mean, hw) = many.mean_with_ci95();
+        assert!((mean - 1.0).abs() < 0.1);
+        assert!(hw > 0.0);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Naive sum-of-squares fails catastrophically here.
+        let s: Summary = (0..1000).map(|i| 1e9 + f64::from(i % 2)).collect();
+        assert!((s.population_variance() - 0.25).abs() < 1e-6);
+    }
+}

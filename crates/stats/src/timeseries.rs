@@ -1,0 +1,195 @@
+//! Time-bucketed observation series.
+//!
+//! Figures 6 and 9 of the paper track a single "typical member" over five
+//! hours, plotting cumulative disruptions and instantaneous service delay
+//! against time in minutes. [`TimeSeries`] collects `(time, value)`
+//! observations and renders them as per-bucket averages or running totals.
+
+use rom_sim::SimTime;
+
+/// A series of timestamped observations with fixed-width bucketing.
+///
+/// # Examples
+///
+/// ```
+/// use rom_stats::TimeSeries;
+/// use rom_sim::SimTime;
+///
+/// let mut ts = TimeSeries::new(60.0); // one-minute buckets
+/// ts.record(SimTime::from_secs(10.0), 100.0);
+/// ts.record(SimTime::from_secs(20.0), 200.0);
+/// ts.record(SimTime::from_secs(70.0), 300.0);
+/// let avg = ts.bucket_means();
+/// assert_eq!(avg, vec![(0.0, 150.0), (1.0, 300.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    bucket_secs: f64,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is not positive.
+    #[must_use]
+    pub fn new(bucket_secs: f64) -> Self {
+        assert!(bucket_secs > 0.0, "bucket width must be positive");
+        TimeSeries {
+            bucket_secs,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records an observation at `time`.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        self.points.push((time, value));
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw observations in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    fn bucket_of(&self, t: SimTime) -> i64 {
+        (t.as_secs() / self.bucket_secs).floor() as i64
+    }
+
+    /// Mean value per non-empty bucket, as `(bucket index, mean)` pairs in
+    /// ascending bucket order. The bucket index is a float so it can be fed
+    /// straight to a plot (bucket 3 with 60-second buckets ⇒ minute 3).
+    #[must_use]
+    pub fn bucket_means(&self) -> Vec<(f64, f64)> {
+        let mut tagged: Vec<(i64, f64)> = self
+            .points
+            .iter()
+            .map(|&(t, v)| (self.bucket_of(t), v))
+            .collect();
+        tagged.sort_by_key(|&(b, _)| b);
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            let bucket = tagged[i].0;
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            while i < tagged.len() && tagged[i].0 == bucket {
+                sum += tagged[i].1;
+                n += 1;
+                i += 1;
+            }
+            out.push((bucket as f64, sum / f64::from(n)));
+        }
+        out
+    }
+
+    /// Cumulative sum of values over time: each recorded point is replaced
+    /// by `(time in bucket units, running total up to and including it)`.
+    /// This is the paper's "accumulative number of disruptions" curve when
+    /// each disruption is recorded with value 1.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<(f64, f64)> {
+        let mut sorted = self.points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut total = 0.0;
+        sorted
+            .into_iter()
+            .map(|(t, v)| {
+                total += v;
+                (t.as_secs() / self.bucket_secs, total)
+            })
+            .collect()
+    }
+
+    /// The last recorded value in each bucket (useful for step metrics like
+    /// "current service delay").
+    #[must_use]
+    pub fn bucket_last(&self) -> Vec<(f64, f64)> {
+        let mut sorted: Vec<(SimTime, f64)> = self.points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (t, v) in sorted {
+            let b = self.bucket_of(t) as f64;
+            match out.last_mut() {
+                Some(last) if last.0 == b => last.1 = v,
+                _ => out.push((b, v)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn bucket_means_average_within_bucket() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.record(t(1.0), 2.0);
+        ts.record(t(9.0), 4.0);
+        ts.record(t(15.0), 10.0);
+        assert_eq!(ts.bucket_means(), vec![(0.0, 3.0), (1.0, 10.0)]);
+    }
+
+    #[test]
+    fn cumulative_counts_events() {
+        let mut ts = TimeSeries::new(60.0);
+        ts.record(t(30.0), 1.0);
+        ts.record(t(90.0), 1.0);
+        ts.record(t(60.0), 1.0); // out of order on purpose
+        let cum = ts.cumulative();
+        assert_eq!(cum, vec![(0.5, 1.0), (1.0, 2.0), (1.5, 3.0)]);
+    }
+
+    #[test]
+    fn bucket_last_keeps_latest() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.record(t(1.0), 5.0);
+        ts.record(t(9.0), 7.0);
+        ts.record(t(20.0), 1.0);
+        assert_eq!(ts.bucket_last(), vec![(0.0, 7.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(1.0);
+        assert!(ts.is_empty());
+        assert!(ts.bucket_means().is_empty());
+        assert!(ts.cumulative().is_empty());
+        assert!(ts.bucket_last().is_empty());
+    }
+
+    #[test]
+    fn len_and_points() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.record(t(0.0), 1.0);
+        ts.record(t(0.5), 2.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.points().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_rejected() {
+        let _ = TimeSeries::new(0.0);
+    }
+}

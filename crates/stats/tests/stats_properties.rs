@@ -1,0 +1,83 @@
+//! Property tests for the statistical substrate.
+
+use proptest::prelude::*;
+use rom_stats::{BoundedPareto, Ecdf, LogNormal, Summary};
+
+proptest! {
+    /// Merging partial summaries equals accumulating sequentially, for any
+    /// split point of any data.
+    #[test]
+    fn summary_merge_associative(
+        data in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(data.len());
+        let whole: Summary = data.iter().copied().collect();
+        let mut left: Summary = data[..split].iter().copied().collect();
+        let right: Summary = data[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.sample_variance() - whole.sample_variance()).abs()
+                <= 1e-4 * (1.0 + whole.sample_variance())
+        );
+    }
+
+    /// The ECDF is monotone and its quantiles invert it.
+    #[test]
+    fn ecdf_quantile_consistency(data in prop::collection::vec(0f64..1e4, 1..200)) {
+        let cdf: Ecdf = data.iter().copied().collect();
+        // Monotonicity on a coarse grid.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = f64::from(i) * 500.0;
+            let f = cdf.fraction_at_or_below(x);
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        // For any p, at least p of the mass lies at or below quantile(p).
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let q = cdf.quantile(p);
+            prop_assert!(cdf.fraction_at_or_below(q) >= p - 1e-12);
+        }
+    }
+
+    /// Bounded Pareto: quantile and CDF are inverse for arbitrary valid
+    /// parameters.
+    #[test]
+    fn pareto_roundtrip(
+        shape in 0.2f64..4.0,
+        lower in 0.1f64..5.0,
+        span in 1.5f64..100.0,
+        p in 0.001f64..0.999,
+    ) {
+        let d = BoundedPareto::new(shape, lower, lower * span).unwrap();
+        let x = d.quantile(p);
+        prop_assert!(x >= d.lower() - 1e-9 && x <= d.upper() + 1e-9);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-6);
+    }
+
+    /// Lognormal: the numeric quantile inverts the CDF for arbitrary
+    /// parameters.
+    #[test]
+    fn lognormal_roundtrip(
+        location in -2.0f64..8.0,
+        shape in 0.2f64..3.0,
+        p in 0.01f64..0.99,
+    ) {
+        let d = LogNormal::new(location, shape).unwrap();
+        let x = d.quantile(p);
+        prop_assert!(x > 0.0);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-6, "cdf({x}) = {} vs p = {p}", d.cdf(x));
+    }
+
+    /// Conditional lifetime samples always exceed the conditioning age.
+    #[test]
+    fn conditional_exceeds_age(age in 0f64..1e5, seed in any::<u64>()) {
+        let d = LogNormal::paper_lifetime();
+        let mut rng = rom_sim::SimRng::seed_from(seed);
+        let sample = d.sample_conditional_exceeding(age, &mut rng);
+        prop_assert!(sample >= age);
+    }
+}

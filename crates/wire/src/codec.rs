@@ -1,0 +1,483 @@
+//! The binary codec: compact, versioned, length-delimited frames.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! +---------+---------+------------------+
+//! | version | tag (1) | variant fields   |
+//! |   (1)   |         |                  |
+//! +---------+---------+------------------+
+//! ```
+//!
+//! Scalars are little-endian; `f64`s travel as IEEE-754 bit patterns;
+//! collections carry a `u32` length prefix. [`encode`] appends one frame
+//! to a buffer; [`decode`] consumes one frame and rejects anything
+//! malformed — unknown versions or tags, truncated fields, oversized
+//! lengths, non-finite floats where the protocol requires finite ones.
+
+use bytes::{Buf, BufMut, BytesMut};
+use rom_overlay::{Location, NodeId};
+
+use crate::message::{GossipRecord, JoinRefusal, Message, WireOpId};
+
+/// The codec version emitted by this build.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on any length prefix — keeps a corrupt frame from asking
+/// the decoder to allocate gigabytes.
+pub const MAX_COLLECTION_LEN: u32 = 1 << 20;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended mid-frame.
+    Truncated,
+    /// The version byte is not one this build understands.
+    UnsupportedVersion(u8),
+    /// The tag byte maps to no known message.
+    UnknownTag(u8),
+    /// A length prefix exceeded [`MAX_COLLECTION_LEN`].
+    OversizedCollection(u32),
+    /// A field carried an invalid value (e.g. NaN where a rate belongs,
+    /// or an unknown enum discriminant).
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            DecodeError::OversizedCollection(n) => {
+                write!(f, "collection length {n} exceeds the frame limit")
+            }
+            DecodeError::InvalidField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes one message, appending the frame to `buf`.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::BytesMut;
+/// use rom_overlay::NodeId;
+/// use rom_wire::{decode, encode, Message};
+///
+/// let msg = Message::Heartbeat { from: NodeId(7) };
+/// let mut buf = BytesMut::new();
+/// encode(&msg, &mut buf);
+/// let mut frame = buf.freeze();
+/// assert_eq!(decode(&mut frame)?, msg);
+/// # Ok::<(), rom_wire::DecodeError>(())
+/// ```
+pub fn encode(msg: &Message, buf: &mut BytesMut) {
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(msg.tag());
+    match msg {
+        Message::MembershipQuery { from, want } => {
+            put_node(buf, *from);
+            buf.put_u32_le(*want);
+        }
+        Message::MembershipSample { members } => put_nodes(buf, members),
+        Message::Join {
+            joiner,
+            location,
+            claimed_bandwidth,
+        } => {
+            put_node(buf, *joiner);
+            buf.put_u32_le(location.0);
+            buf.put_f64_le(*claimed_bandwidth);
+        }
+        Message::JoinAccept {
+            parent,
+            parent_depth,
+        } => {
+            put_node(buf, *parent);
+            buf.put_u32_le(*parent_depth);
+        }
+        Message::JoinReject { reason } => buf.put_u8(*reason as u8),
+        Message::Leave { member } => put_node(buf, *member),
+        Message::Gossip { records } => {
+            buf.put_u32_le(records.len() as u32);
+            for r in records {
+                put_node(buf, r.member);
+                put_nodes(buf, &r.ancestors);
+            }
+        }
+        Message::BtpQuery { from } => put_node(buf, *from),
+        Message::BtpReport {
+            member,
+            bandwidth,
+            age_secs,
+        } => {
+            put_node(buf, *member);
+            buf.put_f64_le(*bandwidth);
+            buf.put_f64_le(*age_secs);
+        }
+        Message::LockRequest { op, initiator } => {
+            buf.put_u64_le(op.0);
+            put_node(buf, *initiator);
+        }
+        Message::LockGrant { op } | Message::LockDeny { op } | Message::Unlock { op } => {
+            buf.put_u64_le(op.0);
+        }
+        Message::SwitchCommit { op, new_parent } => {
+            buf.put_u64_le(op.0);
+            put_node(buf, *new_parent);
+        }
+        Message::RefereeAppoint {
+            subject,
+            join_time_secs,
+        }
+        | Message::AgeVouch {
+            subject,
+            join_time_secs,
+        } => {
+            put_node(buf, *subject);
+            buf.put_f64_le(*join_time_secs);
+        }
+        Message::AgeQuery { subject } => put_node(buf, *subject),
+        Message::BandwidthPartial { subject, rate } | Message::BandwidthVouch { subject, rate } => {
+            put_node(buf, *subject);
+            buf.put_f64_le(*rate);
+        }
+        Message::Data { seq, payload } | Message::RepairData { seq, payload } => {
+            buf.put_u64_le(*seq);
+            buf.put_u32_le(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+        Message::Eln { origin, missing } => {
+            put_node(buf, *origin);
+            buf.put_u32_le(missing.len() as u32);
+            for &s in missing {
+                buf.put_u64_le(s);
+            }
+        }
+        Message::RepairRequest {
+            requester,
+            seq_lo,
+            seq_hi,
+            chain,
+        } => {
+            put_node(buf, *requester);
+            buf.put_u64_le(*seq_lo);
+            buf.put_u64_le(*seq_hi);
+            put_nodes(buf, chain);
+        }
+        Message::RepairNack { from, seq_lo } => {
+            put_node(buf, *from);
+            buf.put_u64_le(*seq_lo);
+        }
+        Message::Heartbeat { from } => put_node(buf, *from),
+    }
+}
+
+/// Decodes one message from the front of `buf`, consuming exactly its
+/// frame.
+///
+/// # Errors
+///
+/// Any [`DecodeError`]; on error the buffer state is unspecified (framing
+/// above this codec should discard the connection).
+pub fn decode<B: Buf>(buf: &mut B) -> Result<Message, DecodeError> {
+    let version = get_u8(buf)?;
+    if version != WIRE_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let tag = get_u8(buf)?;
+    let msg = match tag {
+        0x01 => Message::MembershipQuery {
+            from: get_node(buf)?,
+            want: get_u32(buf)?,
+        },
+        0x02 => Message::MembershipSample {
+            members: get_nodes(buf)?,
+        },
+        0x03 => Message::Join {
+            joiner: get_node(buf)?,
+            location: Location(get_u32(buf)?),
+            claimed_bandwidth: get_finite_f64(buf, "claimed bandwidth")?,
+        },
+        0x04 => Message::JoinAccept {
+            parent: get_node(buf)?,
+            parent_depth: get_u32(buf)?,
+        },
+        0x05 => Message::JoinReject {
+            reason: JoinRefusal::from_u8(get_u8(buf)?)
+                .ok_or(DecodeError::InvalidField("join refusal code"))?,
+        },
+        0x06 => Message::Leave {
+            member: get_node(buf)?,
+        },
+        0x07 => {
+            let n = get_len(buf)?;
+            let mut records = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                records.push(GossipRecord {
+                    member: get_node(buf)?,
+                    ancestors: get_nodes(buf)?,
+                });
+            }
+            Message::Gossip { records }
+        }
+        0x10 => Message::BtpQuery {
+            from: get_node(buf)?,
+        },
+        0x11 => Message::BtpReport {
+            member: get_node(buf)?,
+            bandwidth: get_finite_f64(buf, "bandwidth")?,
+            age_secs: get_finite_f64(buf, "age")?,
+        },
+        0x12 => Message::LockRequest {
+            op: WireOpId(get_u64(buf)?),
+            initiator: get_node(buf)?,
+        },
+        0x13 => Message::LockGrant {
+            op: WireOpId(get_u64(buf)?),
+        },
+        0x14 => Message::LockDeny {
+            op: WireOpId(get_u64(buf)?),
+        },
+        0x15 => Message::SwitchCommit {
+            op: WireOpId(get_u64(buf)?),
+            new_parent: get_node(buf)?,
+        },
+        0x16 => Message::Unlock {
+            op: WireOpId(get_u64(buf)?),
+        },
+        0x20 => Message::RefereeAppoint {
+            subject: get_node(buf)?,
+            join_time_secs: get_finite_f64(buf, "join time")?,
+        },
+        0x21 => Message::AgeQuery {
+            subject: get_node(buf)?,
+        },
+        0x22 => Message::AgeVouch {
+            subject: get_node(buf)?,
+            join_time_secs: get_finite_f64(buf, "join time")?,
+        },
+        0x23 => Message::BandwidthPartial {
+            subject: get_node(buf)?,
+            rate: get_finite_f64(buf, "rate")?,
+        },
+        0x24 => Message::BandwidthVouch {
+            subject: get_node(buf)?,
+            rate: get_finite_f64(buf, "rate")?,
+        },
+        0x30 => Message::Data {
+            seq: get_u64(buf)?,
+            payload: get_bytes(buf)?,
+        },
+        0x31 => {
+            let origin = get_node(buf)?;
+            let n = get_len(buf)?;
+            let mut missing = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                missing.push(get_u64(buf)?);
+            }
+            Message::Eln { origin, missing }
+        }
+        0x32 => Message::RepairRequest {
+            requester: get_node(buf)?,
+            seq_lo: get_u64(buf)?,
+            seq_hi: get_u64(buf)?,
+            chain: get_nodes(buf)?,
+        },
+        0x33 => Message::RepairData {
+            seq: get_u64(buf)?,
+            payload: get_bytes(buf)?,
+        },
+        0x34 => Message::RepairNack {
+            from: get_node(buf)?,
+            seq_lo: get_u64(buf)?,
+        },
+        0x35 => Message::Heartbeat {
+            from: get_node(buf)?,
+        },
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
+    Ok(msg)
+}
+
+// ---- primitive helpers ----
+
+fn put_node(buf: &mut BytesMut, node: NodeId) {
+    buf.put_u64_le(node.0);
+}
+
+fn put_nodes(buf: &mut BytesMut, nodes: &[NodeId]) {
+    buf.put_u32_le(nodes.len() as u32);
+    for &n in nodes {
+        buf.put_u64_le(n.0);
+    }
+}
+
+fn get_u8<B: Buf>(buf: &mut B) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32<B: Buf>(buf: &mut B) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64<B: Buf>(buf: &mut B) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_finite_f64<B: Buf>(buf: &mut B, what: &'static str) -> Result<f64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let v = buf.get_f64_le();
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(DecodeError::InvalidField(what))
+    }
+}
+
+fn get_len<B: Buf>(buf: &mut B) -> Result<usize, DecodeError> {
+    let n = get_u32(buf)?;
+    if n > MAX_COLLECTION_LEN {
+        return Err(DecodeError::OversizedCollection(n));
+    }
+    Ok(n as usize)
+}
+
+fn get_node<B: Buf>(buf: &mut B) -> Result<NodeId, DecodeError> {
+    Ok(NodeId(get_u64(buf)?))
+}
+
+fn get_nodes<B: Buf>(buf: &mut B) -> Result<Vec<NodeId>, DecodeError> {
+    let n = get_len(buf)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_node(buf)?);
+    }
+    Ok(out)
+}
+
+fn get_bytes<B: Buf>(buf: &mut B) -> Result<Vec<u8>, DecodeError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = vec![0u8; n];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::tests::sample_messages;
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in sample_messages() {
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            let mut frame = buf.freeze();
+            let decoded = decode(&mut frame).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(decoded, msg);
+            assert_eq!(frame.remaining(), 0, "{msg:?} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let msgs = sample_messages();
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            encode(m, &mut buf);
+        }
+        let mut stream = buf.freeze();
+        for want in &msgs {
+            assert_eq!(&decode(&mut stream).unwrap(), want);
+        }
+        assert_eq!(stream.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        for msg in sample_messages() {
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            let full = buf.freeze();
+            for cut in 0..full.len() {
+                let mut partial = full.slice(..cut);
+                assert!(
+                    decode(&mut partial).is_err(),
+                    "{msg:?} decoded from a {cut}-byte prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_version_and_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(99);
+        buf.put_u8(0x35);
+        buf.put_u64_le(1);
+        let mut frame = buf.freeze();
+        assert_eq!(decode(&mut frame), Err(DecodeError::UnsupportedVersion(99)));
+
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(0xEE);
+        let mut frame = buf.freeze();
+        assert_eq!(decode(&mut frame), Err(DecodeError::UnknownTag(0xEE)));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(0x02); // MembershipSample
+        buf.put_u32_le(u32::MAX); // absurd length
+        let mut frame = buf.freeze();
+        assert_eq!(
+            decode(&mut frame),
+            Err(DecodeError::OversizedCollection(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(0x11); // BtpReport
+        buf.put_u64_le(3);
+        buf.put_f64_le(f64::NAN);
+        buf.put_f64_le(1.0);
+        let mut frame = buf.freeze();
+        assert_eq!(
+            decode(&mut frame),
+            Err(DecodeError::InvalidField("bandwidth"))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::UnknownTag(0xAB).to_string().contains("0xab"));
+        assert!(DecodeError::OversizedCollection(9)
+            .to_string()
+            .contains('9'));
+    }
+}

@@ -1,0 +1,40 @@
+//! # rom-wire: the protocol's wire format
+//!
+//! Typed messages and a compact, versioned binary codec for every
+//! exchange in the ROST/CER protocol suite — membership and join
+//! handshakes, BTP switching with its family locks, referee appointment
+//! and vouching, the media stream, explicit loss notifications, and the
+//! repair chain. This is the layer a deployment would put on the network;
+//! the simulators bypass it (their exchanges are in-process), but the
+//! message vocabulary is shared so the two stay in lock-step.
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::BytesMut;
+//! use rom_overlay::NodeId;
+//! use rom_wire::{decode, encode, Message};
+//!
+//! // A member notices packets 100..103 missing upstream and tells its
+//! // children via ELN.
+//! let eln = Message::Eln {
+//!     origin: NodeId(6),
+//!     missing: vec![100, 101, 102],
+//! };
+//! let mut buf = BytesMut::new();
+//! encode(&eln, &mut buf);
+//! let mut frame = buf.freeze();
+//! assert_eq!(decode(&mut frame)?, eln);
+//! # Ok::<(), rom_wire::DecodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codec;
+mod harness;
+mod message;
+
+pub use codec::{decode, encode, DecodeError, MAX_COLLECTION_LEN, WIRE_VERSION};
+pub use harness::{InMemoryNetwork, NetworkStats, Peer};
+pub use message::{GossipRecord, JoinRefusal, Message, WireOpId};

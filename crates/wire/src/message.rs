@@ -1,0 +1,426 @@
+//! The message vocabulary of the ROST/CER protocol suite.
+//!
+//! Every exchange the paper describes appears here as a typed message:
+//!
+//! - **membership** (§3.3): bootstrap queries, `JOIN`/`ACCEPT`/`REJECT`,
+//!   graceful leaves, and the periodic neighbour gossip that feeds CER's
+//!   partial trees;
+//! - **switching** (§3.3): BTP queries/reports, the family lock handshake,
+//!   the commit, and unlock;
+//! - **referees** (§3.4): appointment, age/bandwidth vouching, and
+//!   measurement traffic;
+//! - **streaming & recovery** (§4.2): data packets, explicit loss
+//!   notifications, repair requests/NACKs/data, and heartbeats.
+//!
+//! The types are transport-agnostic; [`crate::codec`] provides the compact
+//! binary encoding.
+
+use rom_overlay::{Location, NodeId};
+
+/// A member's root path as gossiped to neighbours (§4.1): its own id plus
+/// its ancestors root-first — the raw material of CER's partial trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipRecord {
+    /// The member this record describes.
+    pub member: NodeId,
+    /// Ancestors ordered root-first.
+    pub ancestors: Vec<NodeId>,
+}
+
+/// Why a join request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JoinRefusal {
+    /// No spare out-degree.
+    NoCapacity = 0,
+    /// The prospective parent is itself disconnected.
+    Detached = 1,
+    /// The prospective parent is mid-switch or mid-recovery (locked).
+    Busy = 2,
+}
+
+/// One lock operation identifier as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireOpId(pub u64);
+
+/// Every message of the protocol suite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // ---- membership (§3.3) ----
+    /// Ask a known member for other participants (bootstrap discovery).
+    MembershipQuery {
+        /// The asking member.
+        from: NodeId,
+        /// Maximum number of members the asker still wants.
+        want: u32,
+    },
+    /// Response to a membership query.
+    MembershipSample {
+        /// Members the responder knows about.
+        members: Vec<NodeId>,
+    },
+    /// Request to become `parent`'s child.
+    Join {
+        /// The joining member.
+        joiner: NodeId,
+        /// Its underlay attachment (for nearest-parent tie-breaks).
+        location: Location,
+        /// Self-reported outbound bandwidth (verified via referees before
+        /// it ever matters, §3.4).
+        claimed_bandwidth: f64,
+    },
+    /// The parent accepts; it reports its own depth so the joiner can
+    /// compare offers ("chooses the one with the smallest tree depth").
+    JoinAccept {
+        /// The accepting parent.
+        parent: NodeId,
+        /// The parent's layer number.
+        parent_depth: u32,
+    },
+    /// The parent refuses.
+    JoinReject {
+        /// Why.
+        reason: JoinRefusal,
+    },
+    /// Graceful departure notice to neighbours (members "may give
+    /// notification ... or may just leave abruptly").
+    Leave {
+        /// The departing member.
+        member: NodeId,
+    },
+    /// Periodic neighbour-information exchange (§4.1).
+    Gossip {
+        /// Root-path records for members the sender knows.
+        records: Vec<GossipRecord>,
+    },
+
+    // ---- BTP switching (§3.3) ----
+    /// Child asks its parent for its current BTP.
+    BtpQuery {
+        /// The asking child.
+        from: NodeId,
+    },
+    /// The parent's answer (age and bandwidth separately, so the child can
+    /// audit them against the referees).
+    BtpReport {
+        /// The reporting member.
+        member: NodeId,
+        /// Claimed outbound bandwidth.
+        bandwidth: f64,
+        /// Claimed age in seconds.
+        age_secs: f64,
+    },
+    /// Ask a family member for its lock.
+    LockRequest {
+        /// The switching operation.
+        op: WireOpId,
+        /// The member initiating the switch.
+        initiator: NodeId,
+    },
+    /// Lock granted.
+    LockGrant {
+        /// The operation being granted.
+        op: WireOpId,
+    },
+    /// Lock denied — the member is busy with another operation; retry
+    /// after the §3.3 back-off.
+    LockDeny {
+        /// The operation being denied.
+        op: WireOpId,
+    },
+    /// The initiator commits the position swap to a locked family member,
+    /// telling it its new parent.
+    SwitchCommit {
+        /// The operation.
+        op: WireOpId,
+        /// The receiver's new parent.
+        new_parent: NodeId,
+    },
+    /// Locks released; normal operation resumes.
+    Unlock {
+        /// The operation being released.
+        op: WireOpId,
+    },
+
+    // ---- referees (§3.4) ----
+    /// The parent appoints the receiver as an age referee for `subject`.
+    RefereeAppoint {
+        /// The member being witnessed.
+        subject: NodeId,
+        /// The join time to record, in seconds since the session epoch.
+        join_time_secs: f64,
+    },
+    /// Ask a referee for `subject`'s witnessed age.
+    AgeQuery {
+        /// The member in question.
+        subject: NodeId,
+    },
+    /// A referee vouches for `subject`'s join time.
+    AgeVouch {
+        /// The member in question.
+        subject: NodeId,
+        /// The recorded join time (seconds since epoch).
+        join_time_secs: f64,
+    },
+    /// A bandwidth measurer reports its partial reading of `subject`'s
+    /// test transmission.
+    BandwidthPartial {
+        /// The member being measured.
+        subject: NodeId,
+        /// The partial rate this measurer observed (stream-rate units).
+        rate: f64,
+    },
+    /// A bandwidth referee vouches for `subject`'s aggregated measurement.
+    BandwidthVouch {
+        /// The member in question.
+        subject: NodeId,
+        /// The aggregate measured bandwidth.
+        rate: f64,
+    },
+
+    // ---- streaming & recovery (§4.2) ----
+    /// A media packet. The payload itself is opaque to the protocol.
+    Data {
+        /// Sequence number.
+        seq: u64,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Explicit loss notification: "contains a sequence number (or a
+    /// series of sequence numbers when necessary)".
+    Eln {
+        /// The member that detected the upstream loss.
+        origin: NodeId,
+        /// The missing sequence numbers.
+        missing: Vec<u64>,
+    },
+    /// Ask the first reachable member of `chain` to repair `[seq_lo,
+    /// seq_hi)`; on a miss the receiver NACKs and forwards down the chain.
+    RepairRequest {
+        /// The requesting member.
+        requester: NodeId,
+        /// First missing sequence number.
+        seq_lo: u64,
+        /// One past the last missing sequence number.
+        seq_hi: u64,
+        /// The rest of the recovery group, in distance order.
+        chain: Vec<NodeId>,
+    },
+    /// A repaired packet sent back to the requester (and intermediaries).
+    RepairData {
+        /// Sequence number being repaired.
+        seq: u64,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// The receiver does not hold the requested packet(s).
+    RepairNack {
+        /// The member NACKing.
+        from: NodeId,
+        /// First sequence it was asked for.
+        seq_lo: u64,
+    },
+    /// Keep-alive on referee and parent links.
+    Heartbeat {
+        /// The sender.
+        from: NodeId,
+    },
+}
+
+impl Message {
+    /// The wire tag identifying this variant (stable across versions).
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::MembershipQuery { .. } => 0x01,
+            Message::MembershipSample { .. } => 0x02,
+            Message::Join { .. } => 0x03,
+            Message::JoinAccept { .. } => 0x04,
+            Message::JoinReject { .. } => 0x05,
+            Message::Leave { .. } => 0x06,
+            Message::Gossip { .. } => 0x07,
+            Message::BtpQuery { .. } => 0x10,
+            Message::BtpReport { .. } => 0x11,
+            Message::LockRequest { .. } => 0x12,
+            Message::LockGrant { .. } => 0x13,
+            Message::LockDeny { .. } => 0x14,
+            Message::SwitchCommit { .. } => 0x15,
+            Message::Unlock { .. } => 0x16,
+            Message::RefereeAppoint { .. } => 0x20,
+            Message::AgeQuery { .. } => 0x21,
+            Message::AgeVouch { .. } => 0x22,
+            Message::BandwidthPartial { .. } => 0x23,
+            Message::BandwidthVouch { .. } => 0x24,
+            Message::Data { .. } => 0x30,
+            Message::Eln { .. } => 0x31,
+            Message::RepairRequest { .. } => 0x32,
+            Message::RepairData { .. } => 0x33,
+            Message::RepairNack { .. } => 0x34,
+            Message::Heartbeat { .. } => 0x35,
+        }
+    }
+
+    /// True for messages on the (latency-sensitive) data path — useful
+    /// for transport prioritization.
+    #[must_use]
+    pub fn is_data_path(&self) -> bool {
+        matches!(
+            self,
+            Message::Data { .. }
+                | Message::Eln { .. }
+                | Message::RepairRequest { .. }
+                | Message::RepairData { .. }
+                | Message::RepairNack { .. }
+        )
+    }
+}
+
+impl JoinRefusal {
+    /// Parses the wire representation.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(JoinRefusal::NoCapacity),
+            1 => Some(JoinRefusal::Detached),
+            2 => Some(JoinRefusal::Busy),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique() {
+        let samples = sample_messages();
+        let mut tags: Vec<u8> = samples.iter().map(Message::tag).collect();
+        let before = tags.len();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), before, "duplicate wire tags");
+    }
+
+    #[test]
+    fn data_path_classification() {
+        assert!(Message::Data {
+            seq: 1,
+            payload: vec![]
+        }
+        .is_data_path());
+        assert!(Message::Eln {
+            origin: NodeId(1),
+            missing: vec![2]
+        }
+        .is_data_path());
+        assert!(!Message::Heartbeat { from: NodeId(1) }.is_data_path());
+        assert!(!Message::Join {
+            joiner: NodeId(1),
+            location: Location(0),
+            claimed_bandwidth: 1.0
+        }
+        .is_data_path());
+    }
+
+    #[test]
+    fn refusal_roundtrip() {
+        for r in [
+            JoinRefusal::NoCapacity,
+            JoinRefusal::Detached,
+            JoinRefusal::Busy,
+        ] {
+            assert_eq!(JoinRefusal::from_u8(r as u8), Some(r));
+        }
+        assert_eq!(JoinRefusal::from_u8(99), None);
+    }
+
+    /// One instance of every message variant, reused by the codec tests.
+    pub(crate) fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::MembershipQuery {
+                from: NodeId(1),
+                want: 100,
+            },
+            Message::MembershipSample {
+                members: vec![NodeId(1), NodeId(2), NodeId(3)],
+            },
+            Message::Join {
+                joiner: NodeId(9),
+                location: Location(77),
+                claimed_bandwidth: 2.5,
+            },
+            Message::JoinAccept {
+                parent: NodeId(4),
+                parent_depth: 3,
+            },
+            Message::JoinReject {
+                reason: JoinRefusal::Busy,
+            },
+            Message::Leave { member: NodeId(5) },
+            Message::Gossip {
+                records: vec![GossipRecord {
+                    member: NodeId(8),
+                    ancestors: vec![NodeId(0), NodeId(2)],
+                }],
+            },
+            Message::BtpQuery { from: NodeId(3) },
+            Message::BtpReport {
+                member: NodeId(3),
+                bandwidth: 4.0,
+                age_secs: 120.5,
+            },
+            Message::LockRequest {
+                op: WireOpId(42),
+                initiator: NodeId(3),
+            },
+            Message::LockGrant { op: WireOpId(42) },
+            Message::LockDeny { op: WireOpId(42) },
+            Message::SwitchCommit {
+                op: WireOpId(42),
+                new_parent: NodeId(3),
+            },
+            Message::Unlock { op: WireOpId(42) },
+            Message::RefereeAppoint {
+                subject: NodeId(9),
+                join_time_secs: 1234.5,
+            },
+            Message::AgeQuery { subject: NodeId(9) },
+            Message::AgeVouch {
+                subject: NodeId(9),
+                join_time_secs: 1234.5,
+            },
+            Message::BandwidthPartial {
+                subject: NodeId(9),
+                rate: 0.8,
+            },
+            Message::BandwidthVouch {
+                subject: NodeId(9),
+                rate: 2.4,
+            },
+            Message::Data {
+                seq: 1_000_000,
+                payload: vec![1, 2, 3, 4],
+            },
+            Message::Eln {
+                origin: NodeId(6),
+                missing: vec![10, 11, 15],
+            },
+            Message::RepairRequest {
+                requester: NodeId(6),
+                seq_lo: 100,
+                seq_hi: 250,
+                chain: vec![NodeId(7), NodeId(8)],
+            },
+            Message::RepairData {
+                seq: 101,
+                payload: vec![9, 9],
+            },
+            Message::RepairNack {
+                from: NodeId(7),
+                seq_lo: 100,
+            },
+            Message::Heartbeat { from: NodeId(2) },
+        ]
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: arbitrary messages roundtrip through the codec, and
+//! arbitrary byte garbage never panics the decoder.
+
+use bytes::{Buf, BytesMut};
+use proptest::prelude::*;
+use rom_overlay::{Location, NodeId};
+use rom_wire::{decode, encode, GossipRecord, JoinRefusal, Message, WireOpId};
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    any::<u64>().prop_map(NodeId)
+}
+
+fn arb_nodes() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec(arb_node(), 0..20)
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e12f64..1e12).prop_map(|v| v)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_node(), any::<u32>()).prop_map(|(from, want)| Message::MembershipQuery { from, want }),
+        arb_nodes().prop_map(|members| Message::MembershipSample { members }),
+        (arb_node(), any::<u32>(), finite_f64()).prop_map(|(joiner, loc, bw)| Message::Join {
+            joiner,
+            location: Location(loc),
+            claimed_bandwidth: bw
+        }),
+        (arb_node(), any::<u32>()).prop_map(|(parent, parent_depth)| Message::JoinAccept {
+            parent,
+            parent_depth
+        }),
+        (0u8..3).prop_map(|r| Message::JoinReject {
+            reason: JoinRefusal::from_u8(r).unwrap()
+        }),
+        arb_node().prop_map(|member| Message::Leave { member }),
+        prop::collection::vec((arb_node(), arb_nodes()), 0..8).prop_map(|rs| Message::Gossip {
+            records: rs
+                .into_iter()
+                .map(|(member, ancestors)| GossipRecord { member, ancestors })
+                .collect()
+        }),
+        (arb_node(), finite_f64(), finite_f64()).prop_map(|(member, bandwidth, age_secs)| {
+            Message::BtpReport {
+                member,
+                bandwidth,
+                age_secs,
+            }
+        }),
+        (any::<u64>(), arb_node()).prop_map(|(op, initiator)| Message::LockRequest {
+            op: WireOpId(op),
+            initiator
+        }),
+        any::<u64>().prop_map(|op| Message::Unlock { op: WireOpId(op) }),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(seq, payload)| Message::Data { seq, payload }),
+        (arb_node(), prop::collection::vec(any::<u64>(), 0..32))
+            .prop_map(|(origin, missing)| Message::Eln { origin, missing }),
+        (arb_node(), any::<u64>(), any::<u64>(), arb_nodes()).prop_map(
+            |(requester, seq_lo, seq_hi, chain)| Message::RepairRequest {
+                requester,
+                seq_lo,
+                seq_hi,
+                chain
+            }
+        ),
+        arb_node().prop_map(|from| Message::Heartbeat { from }),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity for arbitrary messages, consuming
+    /// exactly one frame.
+    #[test]
+    fn roundtrip(msg in arb_message()) {
+        let mut buf = BytesMut::new();
+        encode(&msg, &mut buf);
+        let mut frame = buf.freeze();
+        let decoded = decode(&mut frame);
+        prop_assert_eq!(decoded, Ok(msg));
+        prop_assert_eq!(frame.remaining(), 0);
+    }
+
+    /// Concatenated frames decode in order.
+    #[test]
+    fn streams_of_frames(msgs in prop::collection::vec(arb_message(), 1..20)) {
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            encode(m, &mut buf);
+        }
+        let mut stream = buf.freeze();
+        for want in &msgs {
+            prop_assert_eq!(&decode(&mut stream).unwrap(), want);
+        }
+        prop_assert_eq!(stream.remaining(), 0);
+    }
+
+    /// The decoder never panics on arbitrary garbage — it returns an
+    /// error or (rarely) a valid message, but must not crash or hang.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = bytes.as_slice();
+        let _ = decode(&mut buf);
+    }
+}

@@ -1,0 +1,63 @@
+//! Churn comparison: run all five tree-construction algorithms of the
+//! paper on the same workload and print a side-by-side scorecard — a
+//! miniature of the paper's Figs. 4, 7, 8 and 10.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example churn_comparison [members] [seed]
+//! ```
+
+use rom::engine::{AlgorithmKind, ChurnConfig, ChurnSim};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let members: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(1_000);
+    let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+
+    println!("== five-way comparison: {members} members, seed {seed} ==\n");
+    println!(
+        "{:<22} {:>11} {:>11} {:>9} {:>8} {:>10} {:>9} {:>9}",
+        "algorithm",
+        "disruptions",
+        "delay (ms)",
+        "stretch",
+        "depth",
+        "overhead",
+        "switches",
+        "evictions"
+    );
+
+    let mut best: Option<(AlgorithmKind, f64)> = None;
+    for algorithm in AlgorithmKind::ALL {
+        let mut cfg = ChurnConfig::paper(algorithm, members);
+        cfg.seed = seed;
+        let report = ChurnSim::new(cfg).run();
+        let disruptions = report.disruptions_per_mean_lifetime();
+        println!(
+            "{:<22} {:>11.3} {:>11.0} {:>9.2} {:>8.1} {:>10.3} {:>9} {:>9}",
+            algorithm.name(),
+            disruptions,
+            report.service_delay_ms.mean(),
+            report.stretch.mean(),
+            report.depth.mean(),
+            report.reconnections_per_lifetime.mean(),
+            report.switches,
+            report.evictions,
+        );
+        if best.is_none_or(|(_, b)| disruptions < b) {
+            best = Some((algorithm, disruptions));
+        }
+    }
+
+    let (winner, score) = best.expect("five algorithms ran");
+    println!(
+        "\nMost fault-resilient tree: {} ({score:.3} disruptions per mean lifetime).",
+        winner.name()
+    );
+    println!(
+        "Note how the centralized relaxed-BO tree buys its short depth with heavy\n\
+         eviction overhead, while ROST approaches it with two orders of magnitude\n\
+         fewer reconnections — distributed, and stable at the top."
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a small overlay, watch churn hit it, and compare the
+//! fault resilience of ROST against the minimum-depth baseline.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rom::engine::{AlgorithmKind, ChurnConfig, ChurnSim};
+
+fn main() {
+    println!("== rom quickstart: ROST vs minimum-depth under churn ==\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "algorithm", "disruptions", "delay (ms)", "stretch", "overhead"
+    );
+
+    for algorithm in [AlgorithmKind::MinimumDepth, AlgorithmKind::Rost] {
+        // A 2000-member overlay with the paper's workload (§5): Bounded
+        // Pareto bandwidths (≈55% free-riders), lognormal lifetimes
+        // (mean ≈ 1809 s), Poisson arrivals by Little's law.
+        let mut cfg = ChurnConfig::paper(algorithm, 2_000);
+        cfg.seed = 42;
+
+        let report = ChurnSim::new(cfg).run();
+        println!(
+            "{:<22} {:>12.3} {:>12.0} {:>12.2} {:>12.3}",
+            algorithm.name(),
+            report.disruptions_per_mean_lifetime(),
+            report.service_delay_ms.mean(),
+            report.stretch.mean(),
+            report.reconnections_per_lifetime.mean(),
+        );
+    }
+
+    println!(
+        "\nROST trades a tiny switching overhead (reconnections per \
+         lifetime) for markedly\nfewer streaming disruptions at comparable \
+         service delay — the paper's Fig. 4/7/10 story."
+    );
+}

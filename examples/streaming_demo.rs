@@ -1,0 +1,72 @@
+//! Streaming demo: the full Figs. 12–14 machinery on one configuration —
+//! a live stream over a churning tree, outages, and CER repair — with the
+//! bookkeeping printed out.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example streaming_demo [members] [group_size]
+//! ```
+
+use rom::engine::{AlgorithmKind, ChurnConfig, RecoveryStrategy, StreamingConfig, StreamingSim};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let members: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(800);
+    let group_size: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    println!("== streaming over a churning {members}-member overlay ==");
+    println!(
+        "stream: 10 pkt/s, 5 s playback buffer; failure → 5 s detection + 10 s rejoin;\n\
+         recovery group size K = {group_size}, residual helper bandwidth U(0, 9) pkt/s\n"
+    );
+
+    for (label, algorithm, strategy) in [
+        (
+            "min-depth + single-source (baseline)",
+            AlgorithmKind::MinimumDepth,
+            RecoveryStrategy::SingleSource,
+        ),
+        (
+            "min-depth + CER striping",
+            AlgorithmKind::MinimumDepth,
+            RecoveryStrategy::Cooperative,
+        ),
+        (
+            "ROST + CER (the paper's scheme)",
+            AlgorithmKind::Rost,
+            RecoveryStrategy::Cooperative,
+        ),
+    ] {
+        let mut churn = ChurnConfig::quick(algorithm, members);
+        churn.seed = 11;
+        churn.warmup_secs = 300.0;
+        churn.measure_secs = 1_200.0;
+        let mut cfg = StreamingConfig::paper(churn, group_size);
+        cfg.strategy = strategy;
+
+        let report = StreamingSim::new(cfg).run();
+        let (mean, ci) = report.starving_ratio_percent.mean_with_ci95();
+        println!("{label}:");
+        println!(
+            "  starving time ratio: {mean:.3}% ± {ci:.3}%  (over {} members)",
+            report.starving_ratio_percent.count()
+        );
+        println!(
+            "  outages: {}   packets repaired on time: {}   packets starved: {}",
+            report.outages, report.packets_repaired_on_time, report.packets_starved
+        );
+        println!(
+            "  tree beneath: {:.2} disruptions/lifetime, {:.0} ms delay\n",
+            report.churn.disruptions_per_mean_lifetime(),
+            report.churn.service_delay_ms.mean()
+        );
+    }
+
+    println!(
+        "The baseline's single helper rarely has a full stream of residual bandwidth,\n\
+         so every outage starves; CER stripes the gap across the group, and ROST makes\n\
+         the outages themselves rarer — multiplying into the paper's ~an-order-of-\n\
+         magnitude reduction (Fig. 14)."
+    );
+}

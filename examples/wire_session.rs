@@ -1,0 +1,118 @@
+//! Wire-level session: peers exchanging real encoded frames — the JOIN
+//! handshake, streaming with a loss, ELN propagation, and a chained
+//! repair, all through the binary codec.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example wire_session
+//! ```
+
+use rom::overlay::{Location, NodeId};
+use rom::wire::{InMemoryNetwork, Message};
+
+fn main() {
+    let mut net = InMemoryNetwork::new();
+    net.add_source(NodeId(0), Location(0), 2);
+    for id in 1..=6u64 {
+        net.add_peer(NodeId(id), Location(id as u32), 2);
+    }
+
+    // Each peer discovers the overlay and JOINs the first member that
+    // accepts (the §3.3 handshake, over real frames).
+    for id in 1..=6u64 {
+        let mut target = 0u64;
+        loop {
+            net.send(
+                NodeId(id),
+                NodeId(target),
+                Message::Join {
+                    joiner: NodeId(id),
+                    location: Location(id as u32),
+                    claimed_bandwidth: 2.0,
+                },
+            );
+            net.run_to_quiescence();
+            if net.peer(NodeId(id)).unwrap().is_attached() {
+                break;
+            }
+            target += 1;
+        }
+    }
+    println!("tree built over the wire:");
+    for id in 0..=6u64 {
+        let p = net.peer(NodeId(id)).unwrap();
+        println!(
+            "  n{id}: depth {}, parent {:?}, children {:?}",
+            p.depth(),
+            p.parent(),
+            p.children()
+        );
+    }
+
+    // Stream packets 0..10, then skip to 14 — an upstream loss.
+    for seq in (0..10).chain(14..15) {
+        net.send(
+            NodeId(0),
+            NodeId(0),
+            Message::Data {
+                seq,
+                payload: vec![0; 32],
+            },
+        );
+    }
+    net.run_to_quiescence();
+
+    // Deep members learned of the gap via ELN rather than suspecting
+    // their parents.
+    for id in 1..=6u64 {
+        let p = net.peer(NodeId(id)).unwrap();
+        if p.depth() >= 2 {
+            println!(
+                "n{id} (depth {}) ELN-missing: {:?}",
+                p.depth(),
+                p.eln_missing()
+            );
+        }
+    }
+
+    // Packets 10..14 reached the n1 branch out of band (say, n1 repaired
+    // them from its own recovery group already) — model by delivering
+    // them to n1 directly.
+    for seq in 10..14u64 {
+        net.send(
+            NodeId(0),
+            NodeId(1),
+            Message::Data {
+                seq,
+                payload: vec![0; 32],
+            },
+        );
+    }
+    net.run_to_quiescence();
+
+    // n6 repairs the gap through its recovery chain: n5 lacks the data
+    // and NACK-forwards, n1 serves.
+    let requester = NodeId(6);
+    net.send(
+        requester,
+        NodeId(5),
+        Message::RepairRequest {
+            requester,
+            seq_lo: 10,
+            seq_hi: 14,
+            chain: vec![NodeId(1), NodeId(2)],
+        },
+    );
+    net.run_to_quiescence();
+    let repaired: Vec<u64> = (10..14)
+        .filter(|&s| net.peer(requester).unwrap().has_packet(s))
+        .collect();
+    println!("n6 repaired packets: {repaired:?}");
+
+    let stats = net.stats();
+    println!(
+        "\nwire traffic: {} frames, {} bytes ({} to departed peers)",
+        stats.frames_delivered, stats.bytes_moved, stats.frames_to_dead_peers
+    );
+}

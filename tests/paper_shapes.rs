@@ -1,0 +1,136 @@
+//! Integration tests asserting the paper's headline *qualitative* results
+//! at reduced scale — the shapes of Figs. 4, 7, 8 and 10, averaged over a
+//! few seeds to damp churn noise.
+
+use rom::engine::{AlgorithmKind, ChurnConfig, ChurnReport, ChurnSim};
+
+/// Runs `algorithm` over `seeds` and averages a metric.
+fn mean_metric(
+    algorithm: AlgorithmKind,
+    size: usize,
+    seeds: std::ops::RangeInclusive<u64>,
+    metric: impl Fn(&ChurnReport) -> f64,
+) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0u32;
+    for seed in seeds {
+        let mut cfg = ChurnConfig::quick(algorithm, size);
+        cfg.seed = seed;
+        cfg.warmup_secs = 300.0;
+        cfg.measure_secs = 900.0;
+        total += metric(&ChurnSim::new(cfg).run());
+        n += 1;
+    }
+    total / f64::from(n)
+}
+
+/// Fig. 4's central claim: ROST disrupts fewer members per lifetime than
+/// the reliability-ignorant baselines.
+#[test]
+fn rost_beats_min_depth_and_longest_first_on_disruptions() {
+    let rost = mean_metric(AlgorithmKind::Rost, 500, 1..=3, |r| {
+        r.disruptions_per_mean_lifetime()
+    });
+    let min_depth = mean_metric(AlgorithmKind::MinimumDepth, 500, 1..=3, |r| {
+        r.disruptions_per_mean_lifetime()
+    });
+    let longest = mean_metric(AlgorithmKind::LongestFirst, 500, 1..=3, |r| {
+        r.disruptions_per_mean_lifetime()
+    });
+    assert!(
+        rost < min_depth,
+        "ROST ({rost:.3}) should beat min-depth ({min_depth:.3})"
+    );
+    assert!(
+        rost < longest,
+        "ROST ({rost:.3}) should beat longest-first ({longest:.3})"
+    );
+}
+
+/// Fig. 7/8: longest-first pays for its tall tree in delay and stretch;
+/// ROST is the best of the three distributed algorithms.
+#[test]
+fn rost_has_smallest_delay_among_distributed_algorithms() {
+    let delay = |alg| mean_metric(alg, 500, 1..=3, |r: &ChurnReport| r.service_delay_ms.mean());
+    let rost = delay(AlgorithmKind::Rost);
+    let min_depth = delay(AlgorithmKind::MinimumDepth);
+    let longest = delay(AlgorithmKind::LongestFirst);
+    assert!(
+        rost < min_depth,
+        "ROST {rost:.0}ms vs min-depth {min_depth:.0}ms"
+    );
+    assert!(
+        rost < longest,
+        "ROST {rost:.0}ms vs longest-first {longest:.0}ms"
+    );
+
+    let stretch = |alg| mean_metric(alg, 500, 1..=3, |r: &ChurnReport| r.stretch.mean());
+    assert!(stretch(AlgorithmKind::Rost) < stretch(AlgorithmKind::LongestFirst));
+}
+
+/// §3.1: the strict orderings produce characteristic tree shapes —
+/// bandwidth-ordered shortest, longest-first tallest.
+#[test]
+fn tree_depth_orderings() {
+    let depth = |alg| mean_metric(alg, 500, 1..=2, |r: &ChurnReport| r.depth.mean());
+    let bo = depth(AlgorithmKind::RelaxedBandwidthOrdered);
+    let md = depth(AlgorithmKind::MinimumDepth);
+    let lf = depth(AlgorithmKind::LongestFirst);
+    assert!(
+        bo < md,
+        "relaxed-BO ({bo:.1}) should be shorter than min-depth ({md:.1})"
+    );
+    assert!(
+        lf > md,
+        "longest-first ({lf:.1}) should be taller than min-depth ({md:.1})"
+    );
+}
+
+/// Fig. 10: protocol overhead — zero for the maintenance-free baselines,
+/// small for ROST, heavy for the centralized evicting algorithms.
+#[test]
+fn protocol_overhead_orderings() {
+    let overhead = |alg| {
+        mean_metric(alg, 500, 1..=2, |r: &ChurnReport| {
+            r.reconnections_per_lifetime.mean()
+        })
+    };
+    assert_eq!(overhead(AlgorithmKind::MinimumDepth), 0.0);
+    assert_eq!(overhead(AlgorithmKind::LongestFirst), 0.0);
+    let rost = overhead(AlgorithmKind::Rost);
+    let bo = overhead(AlgorithmKind::RelaxedBandwidthOrdered);
+    assert!(rost > 0.0, "ROST does switch occasionally");
+    assert!(
+        rost < 1.0,
+        "ROST needs far less than one reconnection per lifetime, got {rost:.3}"
+    );
+    assert!(
+        bo > 2.0 * rost,
+        "relaxed-BO ({bo:.3}) should cost much more than ROST ({rost:.3})"
+    );
+}
+
+/// Fig. 11's qualitative direction: a smaller switching interval gives
+/// more adjusting opportunities, hence more (but still cheap) overhead.
+#[test]
+fn smaller_switching_interval_costs_more_overhead() {
+    let with_interval = |interval: f64| {
+        let mut total = 0.0;
+        for seed in 1..=3 {
+            let mut cfg = ChurnConfig::quick(AlgorithmKind::Rost, 500);
+            cfg.seed = seed;
+            cfg.warmup_secs = 300.0;
+            cfg.measure_secs = 900.0;
+            cfg.rost = cfg.rost.with_switching_interval(interval);
+            total += ChurnSim::new(cfg).run().reconnections_per_lifetime.mean();
+        }
+        total / 3.0
+    };
+    let fast = with_interval(120.0);
+    let slow = with_interval(1_800.0);
+    assert!(
+        fast > slow,
+        "120 s interval ({fast:.3}) should cost more than 1800 s ({slow:.3})"
+    );
+    assert!(fast < 1.0, "even the fast interval stays cheap: {fast:.3}");
+}
