@@ -140,7 +140,7 @@ pub fn banner(figure: &str, caption: &str, scale: Scale) {
 /// Formats a float with enough precision for the tables.
 #[must_use]
 pub fn fmt(v: f64) -> String {
-    if v == 0.0 {
+    if v.abs().to_bits() == 0 {
         "0".to_string()
     } else if v.abs() >= 100.0 {
         format!("{v:.1}")

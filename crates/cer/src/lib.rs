@@ -20,9 +20,6 @@
 //! - accounts packet timeliness against **playback deadlines**
 //!   ([`StreamClock`], [`SeqRangeSet`]).
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod buffer;
 mod correlation;
 mod eln;

@@ -41,11 +41,7 @@ impl RecoveryGroup {
     /// first (ties by id for determinism).
     #[must_use]
     pub fn ordered_by_distance(mut members: Vec<(NodeId, f64)>) -> Self {
-        members.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("distances are never NaN")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        members.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         RecoveryGroup {
             members: members.into_iter().map(|(n, _)| n).collect(),
         }
@@ -142,7 +138,7 @@ impl StripePlan {
             if acc >= 1.0 {
                 break;
             }
-            if eps == 0.0 {
+            if eps <= 0.0 {
                 continue;
             }
             let lo = (acc * STRIPE_MODULO as f64).round() as u64;
@@ -182,7 +178,7 @@ impl StripePlan {
                 assert!(eps >= 0.0, "residual bandwidth cannot be negative or NaN");
             })
             .sum();
-        if total >= 1.0 || total == 0.0 {
+        if total >= 1.0 || total <= 0.0 {
             return StripePlan::plan(residuals);
         }
         let scaled: Vec<f64> = residuals.iter().map(|&eps| eps / total).collect();

@@ -127,6 +127,7 @@ impl RepairSession {
     /// finished session is a driver bug).
     pub fn on_nack(&mut self) -> Option<NodeId> {
         let RepairState::InFlight { position } = self.state else {
+            // rom-lint: allow(panic-sites) -- documented driver contract: an event after the session finished has no recoverable meaning
             panic!("on_nack on a finished repair session");
         };
         let next = position + 1;
@@ -149,6 +150,7 @@ impl RepairSession {
     /// Panics if the session is not in flight.
     pub fn on_served(&mut self) {
         let RepairState::InFlight { position } = self.state else {
+            // rom-lint: allow(panic-sites) -- documented driver contract: an event after the session finished has no recoverable meaning
             panic!("on_served on a finished repair session");
         };
         let by = self.group.members()[position];

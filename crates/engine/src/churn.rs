@@ -12,7 +12,7 @@
 //!   optimization machinery itself — relaxed-ordered evictions and ROST
 //!   switch reparentings — as opposed to failure-induced rejoins.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rom_net::{DelayOracle, TransitStubNetwork, UnderlayId};
 use rom_overlay::algorithms::{
@@ -128,9 +128,9 @@ pub struct ChurnSim {
 
     /// All current members (attached or orphaned), for view sampling.
     live: Vec<NodeId>,
-    live_pos: HashMap<NodeId, usize>,
+    live_pos: BTreeMap<NodeId, usize>,
     /// Members that were rejected at join and are waiting to retry.
-    pending: HashMap<NodeId, MemberProfile>,
+    pending: BTreeMap<NodeId, MemberProfile>,
     /// Members displaced by an eviction inside the current event, awaiting
     /// their rejoin to be scheduled once the scheduler is in reach.
     rejoin_backlog: Vec<NodeId>,
@@ -138,8 +138,8 @@ pub struct ChurnSim {
     window_start: SimTime,
     window_end: SimTime,
 
-    disruptions: HashMap<NodeId, u32>,
-    reconnections: HashMap<NodeId, u32>,
+    disruptions: BTreeMap<NodeId, u32>,
+    reconnections: BTreeMap<NodeId, u32>,
     observer_id: Option<NodeId>,
     observer_join: SimTime,
     observer_disruptions: TimeSeries,
@@ -257,13 +257,13 @@ impl ChurnSim {
             rng,
             rost,
             live: Vec::new(),
-            live_pos: HashMap::new(),
-            pending: HashMap::new(),
+            live_pos: BTreeMap::new(),
+            pending: BTreeMap::new(),
             rejoin_backlog: Vec::new(),
             window_start,
             window_end,
-            disruptions: HashMap::new(),
-            reconnections: HashMap::new(),
+            disruptions: BTreeMap::new(),
+            reconnections: BTreeMap::new(),
             observer_id: None,
             observer_join: SimTime::ZERO,
             observer_disruptions: TimeSeries::new(60.0),

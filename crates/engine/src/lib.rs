@@ -13,9 +13,6 @@
 //! return rich report structs ready for the figure-regeneration binaries
 //! in `rom-bench`.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod churn;
 mod config;
 mod proximity;

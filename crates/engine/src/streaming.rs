@@ -21,7 +21,7 @@
 //! path delay far below the buffer), so per-packet events are unnecessary:
 //! accounting per outage is exact.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rom_cer::{
     find_mlc_group, random_group, AncestorRecord, MlcOptions, PartialTree, RecoveryGroup,
@@ -85,7 +85,7 @@ pub(crate) struct StreamingState {
     window_start: SimTime,
     window_end: SimTime,
     rng: SimRng,
-    members: HashMap<NodeId, MemberStream>,
+    members: BTreeMap<NodeId, MemberStream>,
     /// Ratios of members that already departed.
     finished_ratios: Vec<f64>,
     outages: u64,
@@ -108,7 +108,7 @@ impl StreamingState {
             window_start,
             window_end: window_start + cfg.churn.measure_secs,
             rng,
-            members: HashMap::new(),
+            members: BTreeMap::new(),
             finished_ratios: Vec::new(),
             outages: 0,
             repaired_on_time: 0,
@@ -179,12 +179,10 @@ impl StreamingState {
     pub(crate) fn into_report(mut self, churn: ChurnReport) -> StreamingReport {
         let end = self.window_end;
         let mut ratios = std::mem::take(&mut self.finished_ratios);
-        // Iterate survivors in id order so the floating-point sum (and
+        // BTreeMap iteration is id-ordered, so the floating-point sum (and
         // hence the report) is identical across runs of the same seed.
-        let mut alive: Vec<&NodeId> = self.members.keys().collect();
-        alive.sort();
-        for id in alive {
-            if let Some(ratio) = self.ratio_of(&self.members[id], end) {
+        for stream in self.members.values() {
+            if let Some(ratio) = self.ratio_of(stream, end) {
                 ratios.push(ratio);
             }
         }

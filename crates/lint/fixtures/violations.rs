@@ -1,0 +1,21 @@
+//! Committed lint fixture: exactly one violation of each rom-lint rule.
+//!
+//! This file is NOT compiled into any crate. `crates/lint/tests/fixture.rs`
+//! and the CI pipeline scan it to prove the linter detects every rule and
+//! exits non-zero.
+
+use std::collections::HashMap; // R1 unordered-collections
+
+fn r2_wall_clock() -> u64 {
+    // Instant below is R2 ambient-entropy.
+    let t = Instant::now();
+    t.elapsed().as_secs()
+}
+
+fn r3_panic(slots: &HashMap<u32, u32>) -> u32 {
+    *slots.get(&0).unwrap() // R3 panic-sites
+}
+
+fn r4_float_eq(x: f64) -> bool {
+    x == 0.5 // R4 float-compare
+}

@@ -1,0 +1,730 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! `rom-lint` needs just enough lexical structure to walk identifiers and
+//! punctuation with comments and string contents stripped: full parsing is
+//! neither needed nor wanted (the rules are token-shape rules). The lexer
+//! understands line and nested block comments, string / raw-string / byte /
+//! char literals, lifetimes vs. char literals, and numeric literals with
+//! enough fidelity to tell floats from integers.
+//!
+//! Two derived analyses ride on the token stream:
+//!
+//! - **test regions** — token index ranges covered by `#[cfg(test)]` or
+//!   `#[test]` items, so rules can exempt test code;
+//! - **suppressions** — `// rom-lint: allow(<rule>) -- <justification>`
+//!   comments, each bound to the source line it governs.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal; `is_float` distinguishes `1.5`/`1e6`/`2f64`
+    /// from integer literals.
+    Number {
+        /// Whether the literal is a floating-point literal.
+        is_float: bool,
+    },
+    /// A single punctuation character (`.`, `=`, `!`, `{`, …).
+    Punct,
+    /// A string/char/byte literal (contents stripped).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text (empty for [`TokenKind::Literal`]).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Classification.
+    pub kind: TokenKind,
+}
+
+/// A `rom-lint: allow(...)` comment found in the source.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The 1-based line this suppression governs.
+    pub target_line: u32,
+    /// The line the comment itself sits on.
+    pub comment_line: u32,
+    /// The justification after `--`, if any.
+    pub justification: Option<String>,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// All tokens, comments and literal contents stripped.
+    pub tokens: Vec<Token>,
+    /// Inline `rom-lint: allow` suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// For each token, whether it sits inside a `#[cfg(test)]`/`#[test]`
+    /// item (same length as `tokens`).
+    pub in_test: Vec<bool>,
+}
+
+impl LexedFile {
+    /// Lexes `source` completely.
+    #[must_use]
+    pub fn lex(source: &str) -> LexedFile {
+        let (tokens, raw_comments) = tokenize(source);
+        let in_test = mark_test_regions(&tokens);
+        let code_lines: std::collections::BTreeSet<u32> =
+            tokens.iter().map(|t| t.line).collect();
+        let suppressions = raw_comments
+            .iter()
+            .filter_map(|c| parse_suppression(c, &code_lines))
+            .collect();
+        LexedFile {
+            tokens,
+            suppressions,
+            in_test,
+        }
+    }
+
+    /// Whether the token at `idx` is inside test code.
+    #[must_use]
+    pub fn is_test_token(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// A comment with its position and whether code precedes it on its line.
+#[derive(Debug)]
+struct RawComment {
+    text: String,
+    line: u32,
+    trailing: bool,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+}
+
+impl Cursor<'_> {
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+}
+
+fn tokenize(source: &str) -> (Vec<Token>, Vec<RawComment>) {
+    let mut cur = Cursor {
+        chars: source.chars().peekable(),
+        line: 1,
+    };
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments: Vec<RawComment> = Vec::new();
+
+    while let Some(c) = cur.bump() {
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {}
+            '/' if cur.peek() == Some('/') => {
+                let mut text = String::new();
+                while let Some(&n) = cur.chars.peek() {
+                    if n == '\n' {
+                        break;
+                    }
+                    text.push(n);
+                    cur.bump();
+                }
+                let trailing = tokens.last().is_some_and(|t| t.line == line);
+                comments.push(RawComment {
+                    text,
+                    line,
+                    trailing,
+                });
+            }
+            '/' if cur.peek() == Some('*') => {
+                cur.bump();
+                let start_line = line;
+                let mut depth = 1u32;
+                let mut text = String::new();
+                while depth > 0 {
+                    match cur.bump() {
+                        Some('*') if cur.peek() == Some('/') => {
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        Some('/') if cur.peek() == Some('*') => {
+                            cur.bump();
+                            depth += 1;
+                        }
+                        Some(inner) => text.push(inner),
+                        None => break,
+                    }
+                }
+                let trailing = tokens.last().is_some_and(|t| t.line == start_line);
+                comments.push(RawComment {
+                    text,
+                    line: start_line,
+                    trailing,
+                });
+            }
+            '"' => {
+                consume_string(&mut cur);
+                tokens.push(Token {
+                    text: String::new(),
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            'r' | 'b' if starts_special_literal(c, &mut cur) => {
+                // Raw strings (r"", r#""#), byte strings (b""), raw byte
+                // strings (br#""#): handled inside the helper, which
+                // consumed through the literal.
+                tokens.push(Token {
+                    text: String::new(),
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident not
+                // closed by another `'`.
+                let mut cloned = cur.chars.clone();
+                let first = cloned.next();
+                let second = cloned.next();
+                let is_lifetime = matches!(first, Some(f) if f.is_alphabetic() || f == '_')
+                    && second != Some('\'');
+                if is_lifetime {
+                    let mut name = String::from("'");
+                    while let Some(&n) = cur.chars.peek() {
+                        if n.is_alphanumeric() || n == '_' {
+                            name.push(n);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token {
+                        text: name,
+                        line,
+                        kind: TokenKind::Lifetime,
+                    });
+                } else {
+                    consume_char_literal(&mut cur);
+                    tokens.push(Token {
+                        text: String::new(),
+                        line,
+                        kind: TokenKind::Literal,
+                    });
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut text = String::from(c);
+                while let Some(&n) = cur.chars.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokenKind::Ident,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let (text, is_float) = consume_number(c, &mut cur);
+                tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokenKind::Number { is_float },
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    line,
+                    kind: TokenKind::Punct,
+                });
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// If the cursor sits after an `r`/`b` that opens a raw/byte string,
+/// consumes the whole literal and returns true. Otherwise consumes nothing
+/// beyond what an identifier scan would re-handle — so the caller treats a
+/// false return as "this was just the start of an identifier", and we fall
+/// back by NOT consuming. To keep that invariant the check only commits
+/// once it has seen the opening quote.
+fn starts_special_literal(first: char, cur: &mut Cursor<'_>) -> bool {
+    // Lookahead without consuming: decide whether `first` opens one of
+    // r"", r#""#, b"", br"", rb"" — and only then commit.
+    let mut ahead = cur.chars.clone();
+    let mut to_consume = 0usize;
+    let mut raw = first == 'r';
+    let mut c = ahead.next();
+    if (first == 'r' && c == Some('b')) || (first == 'b' && c == Some('r')) {
+        raw = true;
+        to_consume += 1;
+        c = ahead.next();
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while c == Some('#') {
+            hashes += 1;
+            to_consume += 1;
+            c = ahead.next();
+        }
+    }
+    if c != Some('"') {
+        // Just an identifier starting with r/b; consume nothing.
+        return false;
+    }
+    to_consume += 1; // the opening quote
+    for _ in 0..to_consume {
+        cur.bump();
+    }
+    if !raw {
+        // Plain byte string: escapes apply.
+        consume_string(cur);
+        return true;
+    }
+    // Raw string: ends at `"` + `hashes` `#`s, no escapes.
+    loop {
+        match cur.bump() {
+            None => return true,
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return true;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a (non-raw) string body after the opening `"`.
+fn consume_string(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a char/byte-char body after the opening `'`.
+fn consume_char_literal(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+fn consume_number(first: char, cur: &mut Cursor<'_>) -> (String, bool) {
+    let mut text = String::from(first);
+    let mut is_float = false;
+    let radix_prefix = first == '0'
+        && matches!(cur.peek(), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefix {
+        // Hex/octal/binary: digits, underscores and (for hex) letters.
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(&n) = cur.chars.peek() {
+            if n.is_ascii_alphanumeric() || n == '_' {
+                text.push(n);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return (text, false);
+    }
+    loop {
+        match cur.peek() {
+            Some(n) if n.is_ascii_digit() || n == '_' => {
+                text.push(n);
+                cur.bump();
+            }
+            Some('.') => {
+                // `1.5` is a float; `1..5` is a range; `1.method()` is a
+                // call on an integer literal.
+                let mut ahead = cur.chars.clone();
+                ahead.next();
+                match ahead.next() {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        text.push('.');
+                        cur.bump();
+                    }
+                    Some(a) if a.is_alphabetic() || a == '_' || a == '.' => break,
+                    _ => {
+                        // Trailing-dot float like `1.`
+                        is_float = true;
+                        text.push('.');
+                        cur.bump();
+                        break;
+                    }
+                }
+            }
+            Some('e' | 'E') => {
+                // Exponent — only if followed by digits (or sign+digits).
+                let mut ahead = cur.chars.clone();
+                ahead.next();
+                let next = ahead.next();
+                let exp = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('+' | '-') => matches!(ahead.next(), Some(d) if d.is_ascii_digit()),
+                    _ => false,
+                };
+                if !exp {
+                    break;
+                }
+                is_float = true;
+                text.push(cur.bump().unwrap_or('e'));
+                if matches!(cur.peek(), Some('+' | '-')) {
+                    text.push(cur.bump().unwrap_or('+'));
+                }
+                while let Some(&n) = cur.chars.peek() {
+                    if n.is_ascii_digit() || n == '_' {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some(a) if a.is_alphabetic() => {
+                // Suffix: f32/f64 force float; u*/i* force integer.
+                let mut suffix = String::new();
+                while let Some(&n) = cur.chars.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        suffix.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+                text.push_str(&suffix);
+                break;
+            }
+            _ => break,
+        }
+    }
+    (text, is_float)
+}
+
+/// Marks the token ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            // Find the end of this attribute (its closing `]`).
+            let after_attr = skip_attribute(tokens, i);
+            // The attributed item runs to the first `;` at bracket depth
+            // zero, or to the matching `}` of the first `{`.
+            let mut j = after_attr;
+            let mut depth = 0i32;
+            let mut end = tokens.len();
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => {
+                        end = j + 1;
+                        break;
+                    }
+                    "{" if depth == 0 => {
+                        end = matching_brace(tokens, j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for flag in in_test.iter_mut().take(end).skip(i) {
+                *flag = true;
+            }
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Whether tokens at `i` begin `#[cfg(test)]`, `#[cfg(any(.., test, ..))]`
+/// or `#[test]` (also `#[cfg(all(test, ..))]`, `#[tokio::test]`-style
+/// suffixed test attributes).
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if tokens.get(i).map(|t| t.text.as_str()) != Some("#") {
+        return false;
+    }
+    if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    let end = skip_attribute(tokens, i);
+    let body: Vec<&str> = tokens[i + 2..end.saturating_sub(1)]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    match body.first() {
+        Some(&"test") => true,
+        // `cfg(test)` / `cfg(any(test, ..))` are test regions, but
+        // `cfg(not(test))` is production code.
+        Some(&"cfg") => body.contains(&"test") && !body.contains(&"not"),
+        _ => body.last() == Some(&"test"),
+    }
+}
+
+/// Returns the index one past the `]` closing the attribute at `i` (`#`).
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Returns the index one past the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Parses a `rom-lint: allow(<rule>) -- <justification>` comment.
+///
+/// A trailing comment (code before it on the line) governs its own line; a
+/// standalone comment governs the next line that holds code.
+fn parse_suppression(
+    comment: &RawComment,
+    code_lines: &std::collections::BTreeSet<u32>,
+) -> Option<Suppression> {
+    let text = comment.text.trim().trim_start_matches(['/', '!']).trim();
+    let rest = text.strip_prefix("rom-lint:")?.trim();
+    let rest = rest.strip_prefix("allow")?.trim();
+    let rest = rest.strip_prefix('(')?;
+    let (rule, after) = rest.split_once(')')?;
+    let justification = after
+        .trim()
+        .strip_prefix("--")
+        .map(|j| j.trim().to_string())
+        .filter(|j| !j.is_empty());
+    let target_line = if comment.trailing {
+        comment.line
+    } else {
+        // The next line holding code after the comment.
+        code_lines
+            .range(comment.line + 1..)
+            .next()
+            .copied()
+            .unwrap_or(comment.line + 1)
+    };
+    Some(Suppression {
+        rule: rule.trim().to_string(),
+        target_line,
+        comment_line: comment.line,
+        justification,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        LexedFile::lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "fn a() {} // HashMap in a comment\n/* HashMap\n * unwrap() */ fn b() {}";
+        assert_eq!(idents(src), vec!["fn", "a", "fn", "b"]);
+    }
+
+    #[test]
+    fn string_contents_are_stripped() {
+        let src = r#"let s = "HashMap::unwrap()"; let r = r"panic!"; let c = '"';"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"has "quotes" and HashMap"#; let x = 1;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn idents_starting_with_r_and_b_are_not_strings() {
+        let src = "let result = begin + rate; let b = r;";
+        assert_eq!(
+            idents(src),
+            vec!["let", "result", "begin", "rate", "let", "b", "r"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = LexedFile::lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let lexed = LexedFile::lex("let a = 1.5; let b = 10; let c = 1e6; let d = 2f64; let e = 0..3; let f = 0x1E; let g = 3.max(4);");
+        let floats: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Number { is_float: true }))
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e6", "2f64"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn prod2() {}";
+        let lexed = LexedFile::lex(src);
+        let unwraps: Vec<(usize, bool)> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| (i, lexed.is_test_token(i)))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].1, "production unwrap must not be test-marked");
+        assert!(unwraps[1].1, "unwrap inside #[cfg(test)] must be test-marked");
+        // Code after the test module is production again.
+        let prod2 = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "prod2")
+            .unwrap();
+        assert!(!lexed.is_test_token(prod2));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_marked() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn prod() { b.unwrap(); }";
+        let lexed = LexedFile::lex(src);
+        let flags: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| lexed.is_test_token(i))
+            .collect();
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_swallow_file() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nfn prod() { x.unwrap(); }";
+        let lexed = LexedFile::lex(src);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .unwrap();
+        assert!(!lexed.is_test_token(unwrap_idx));
+    }
+
+    #[test]
+    fn suppressions_standalone_and_trailing() {
+        let src = "\n// rom-lint: allow(panic-sites) -- referee invariant, see DESIGN.md\nx.unwrap();\ny.unwrap(); // rom-lint: allow(panic-sites) -- bounded above\nz.unwrap(); // rom-lint: allow(panic-sites)";
+        let lexed = LexedFile::lex(src);
+        assert_eq!(lexed.suppressions.len(), 3);
+        let s0 = &lexed.suppressions[0];
+        assert_eq!(s0.rule, "panic-sites");
+        assert_eq!(s0.target_line, 3);
+        assert!(s0.justification.as_deref().unwrap().contains("referee"));
+        let s1 = &lexed.suppressions[1];
+        assert_eq!(s1.target_line, 4);
+        assert!(s1.justification.is_some());
+        let s2 = &lexed.suppressions[2];
+        assert_eq!(s2.target_line, 5);
+        assert!(s2.justification.is_none(), "missing -- means no justification");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+}

@@ -1,0 +1,293 @@
+//! `rom-lint` — the workspace determinism & robustness linter.
+//!
+//! The paper's evaluation depends on every experiment being bit-for-bit
+//! reproducible from a single `u64` seed, and on protocol state machines
+//! that degrade into typed errors instead of aborting. Reviewer vigilance
+//! does not scale to that bar; this crate machine-enforces it with a
+//! from-scratch token-level scanner (no external dependencies) and four
+//! project-specific rules:
+//!
+//! - **R1 `unordered-collections`** — no `HashMap`/`HashSet` in the
+//!   deterministic crates (`sim`, `engine`, `rost`, `cer`, `overlay`).
+//! - **R2 `ambient-entropy`** — no `Instant::now`/`SystemTime`/
+//!   `thread_rng`/`rand::rng` outside `bench`.
+//! - **R3 `panic-sites`** — no `unwrap()`/`expect()`/`panic!`/
+//!   `unreachable!` in non-test code of the protocol crates
+//!   (`rost`, `cer`, `wire`).
+//! - **R4 `float-compare`** — no `==`/`!=` against float expressions and
+//!   no `partial_cmp(..).unwrap()`; use `total_cmp`/`to_bits`.
+//!
+//! Policy lives in the checked-in `lint.toml`. Individual sites are
+//! suppressible with an auditable inline comment that must carry a
+//! justification:
+//!
+//! ```text
+//! // rom-lint: allow(panic-sites) -- slot was bounds-checked two lines up
+//! ```
+//!
+//! Run it as `cargo run -p rom-lint` (scan the workspace per `lint.toml`)
+//! or `cargo run -p rom-lint -- path/to/file.rs` (scan explicit paths with
+//! every rule enabled, regardless of crate policy).
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use rules::{Rule, Violation};
+
+use lexer::LexedFile;
+use std::path::{Path, PathBuf};
+
+/// A violation located in a file.
+#[derive(Debug, Clone)]
+pub struct FileViolation {
+    /// Path as reported (relative to the workspace root when scanning the
+    /// workspace).
+    pub path: PathBuf,
+    /// The finding.
+    pub violation: Violation,
+}
+
+/// The outcome of a scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations across all scanned files, in path/line order.
+    pub violations: Vec<FileViolation>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the scan is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report as the CLI prints it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for fv in &self.violations {
+            let v = &fv.violation;
+            let _ = writeln!(
+                out,
+                "{}:{}: [{} {}] {}",
+                fv.path.display(),
+                v.line,
+                v.rule.shorthand(),
+                v.rule.id(),
+                v.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "rom-lint: {} violation(s) across {} file(s)",
+            self.violations.len(),
+            self.files_scanned
+        );
+        out
+    }
+}
+
+/// Scans one source text with the given rules, honouring inline
+/// suppressions. Malformed or unjustified `rom-lint: allow` comments are
+/// reported as `allow-syntax` violations.
+#[must_use]
+pub fn scan_source(source: &str, rules: &[Rule]) -> Vec<Violation> {
+    let lexed = LexedFile::lex(source);
+    let mut raw = rules::check(&lexed, rules);
+
+    // Partition suppressions into usable ones and syntax errors.
+    let mut usable: Vec<(Rule, u32)> = Vec::new();
+    let mut meta: Vec<Violation> = Vec::new();
+    for s in &lexed.suppressions {
+        match (Rule::parse(&s.rule), &s.justification) {
+            (Some(rule), Some(_)) => usable.push((rule, s.target_line)),
+            (Some(_), None) => meta.push(Violation {
+                rule: Rule::AllowSyntax,
+                line: s.comment_line,
+                message: format!(
+                    "`rom-lint: allow({})` needs a justification: write `allow({}) -- <why this site is sound>`",
+                    s.rule, s.rule
+                ),
+            }),
+            (None, _) => meta.push(Violation {
+                rule: Rule::AllowSyntax,
+                line: s.comment_line,
+                message: format!(
+                    "unknown rule `{}` in rom-lint allow comment (known: unordered-collections, ambient-entropy, panic-sites, float-compare)",
+                    s.rule
+                ),
+            }),
+        }
+    }
+
+    raw.retain(|v| {
+        !usable
+            .iter()
+            .any(|&(rule, line)| rule == v.rule && line == v.line)
+    });
+    raw.extend(meta);
+    raw.sort_by_key(|v| (v.line, v.rule));
+    raw
+}
+
+/// Derives the crate name governing `rel_path` (`crates/<name>/…` →
+/// `<name>`; everything else is the root `rom` package).
+#[must_use]
+pub fn crate_of(rel_path: &Path) -> String {
+    let mut parts = rel_path.components().filter_map(|c| match c {
+        std::path::Component::Normal(os) => os.to_str(),
+        _ => None,
+    });
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        (Some("vendor"), Some(name)) => format!("vendor-{name}"),
+        _ => "rom".to_string(),
+    }
+}
+
+/// Scans the workspace rooted at `root` per `cfg`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the tree.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in &cfg.roots {
+        collect_rs_files(&root.join(dir), &mut files)?;
+    }
+    // Deterministic order, and workspace-relative labels.
+    files.sort();
+    let mut report = Report::default();
+    for abs in files {
+        let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if cfg.exclude.iter().any(|ex| rel_str.starts_with(ex.as_str())) {
+            continue;
+        }
+        let mut rules = cfg.rules_for(&crate_of(&rel));
+        // Files under a `tests/` directory are integration tests: whole-file
+        // test code, same exemption as `#[cfg(test)]` regions.
+        if is_test_file(&rel) {
+            rules.retain(|r| r.applies_to_tests());
+        }
+        report.files_scanned += 1;
+        if rules.is_empty() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&abs)?;
+        for violation in scan_source(&source, &rules) {
+            report.violations.push(FileViolation {
+                path: rel.clone(),
+                violation,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Scans explicit paths (files or directories) with every rule enabled.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the paths.
+pub fn scan_paths(paths: &[PathBuf]) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let source = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        for violation in scan_source(&source, &Rule::ALL) {
+            report.violations.push(FileViolation {
+                path: path.clone(),
+                violation,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Whether `rel_path` is an integration-test file (lives under a `tests/`
+/// directory component).
+#[must_use]
+pub fn is_test_file(rel_path: &Path) -> bool {
+    rel_path.components().any(|c| {
+        matches!(c, std::path::Component::Normal(os) if os.to_str() == Some("tests"))
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_justification_silences_a_violation() {
+        let src = "// rom-lint: allow(unordered-collections) -- sorted before iteration\nuse std::collections::HashMap;\n";
+        assert!(scan_source(src, &[Rule::UnorderedCollections]).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_justification_is_itself_a_violation() {
+        let src = "// rom-lint: allow(unordered-collections)\nuse std::collections::HashMap;\n";
+        let v = scan_source(src, &[Rule::UnorderedCollections]);
+        // The HashMap is still reported AND the bare allow is flagged.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.rule == Rule::AllowSyntax));
+        assert!(v.iter().any(|x| x.rule == Rule::UnorderedCollections));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let src = "// rom-lint: allow(made-up-rule) -- because\nfn f() {}\n";
+        let v = scan_source(src, &[Rule::UnorderedCollections]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::AllowSyntax);
+    }
+
+    #[test]
+    fn suppression_only_covers_its_own_rule_and_line() {
+        let src = "// rom-lint: allow(panic-sites) -- wrong rule\nuse std::collections::HashMap;\n";
+        let v = scan_source(src, &[Rule::UnorderedCollections]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnorderedCollections);
+    }
+
+    #[test]
+    fn crate_derivation() {
+        assert_eq!(crate_of(Path::new("crates/rost/src/lib.rs")), "rost");
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "rom");
+        assert_eq!(crate_of(Path::new("tests/determinism.rs")), "rom");
+        assert_eq!(
+            crate_of(Path::new("vendor/proptest/src/lib.rs")),
+            "vendor-proptest"
+        );
+    }
+}

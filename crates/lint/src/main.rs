@@ -1,0 +1,74 @@
+//! The `rom-lint` command-line entry point.
+//!
+//! - `rom-lint` — scan the workspace per the checked-in `lint.toml`.
+//! - `rom-lint <path>…` — scan explicit files/directories with every rule
+//!   enabled (used for the committed violation fixtures and ad-hoc checks).
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/I-O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "rom-lint: workspace determinism & robustness linter\n\n\
+             usage: rom-lint            scan the workspace per lint.toml\n\
+             \u{20}      rom-lint <path>...  scan explicit paths with all rules\n\n\
+             rules: R1 unordered-collections, R2 ambient-entropy,\n\
+             \u{20}      R3 panic-sites, R4 float-compare\n\
+             suppress: // rom-lint: allow(<rule>) -- <justification>"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let result = if args.is_empty() {
+        scan_workspace_mode()
+    } else {
+        let paths: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+        rom_lint::scan_paths(&paths).map_err(|e| format!("rom-lint: {e}"))
+    };
+
+    match result {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn scan_workspace_mode() -> Result<rom_lint::Report, String> {
+    let root = workspace_root().ok_or_else(|| {
+        "rom-lint: cannot locate the workspace root (no lint.toml found)".to_string()
+    })?;
+    let toml_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&toml_path)
+        .map_err(|e| format!("rom-lint: reading {}: {e}", toml_path.display()))?;
+    let cfg = rom_lint::Config::parse(&text).map_err(|e| format!("rom-lint: {e}"))?;
+    rom_lint::scan_workspace(&root, &cfg).map_err(|e| format!("rom-lint: {e}"))
+}
+
+/// Finds the workspace root: the nearest ancestor of the manifest dir (or
+/// the current dir) containing `lint.toml`.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: Option<&Path> = Some(start.as_path());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,363 @@
+//! The rule set `rom-lint` enforces.
+//!
+//! | id | rule | scope |
+//! |----|------|-------|
+//! | R1 `unordered-collections` | no `HashMap`/`HashSet` — use `BTreeMap`/`BTreeSet` or a sorted view | deterministic crates |
+//! | R2 `ambient-entropy` | no `Instant::now`/`SystemTime`/`thread_rng`/`rand::rng` — time and randomness flow through `rom_sim` | everywhere except `bench` |
+//! | R3 `panic-sites` | no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code | protocol crates |
+//! | R4 `float-compare` | no `==`/`!=` against float expressions, no `partial_cmp(..).unwrap()` — use `total_cmp`/`to_bits` | everywhere |
+//!
+//! All rules skip `#[cfg(test)]`/`#[test]` regions except R4, which also
+//! fires in tests (a NaN-poisoned sort panics no matter where it runs, and
+//! float-equality asserts are exactly how tolerance bugs hide in suites).
+
+use crate::lexer::{LexedFile, TokenKind};
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: `HashMap`/`HashSet` in deterministic crates.
+    UnorderedCollections,
+    /// R2: wall-clock time or ambient entropy.
+    AmbientEntropy,
+    /// R3: `unwrap`/`expect`/`panic!`-family in protocol non-test code.
+    PanicSites,
+    /// R4: float `==`/`!=` or `partial_cmp(..).unwrap()`.
+    FloatCompare,
+    /// Meta-rule: a `rom-lint: allow` comment that is malformed (unknown
+    /// rule name or missing `-- justification`).
+    AllowSyntax,
+}
+
+impl Rule {
+    /// Every real (suppressible) rule.
+    pub const ALL: [Rule; 4] = [
+        Rule::UnorderedCollections,
+        Rule::AmbientEntropy,
+        Rule::PanicSites,
+        Rule::FloatCompare,
+    ];
+
+    /// The rule's stable identifier, as used in `lint.toml` and in
+    /// `rom-lint: allow(...)` comments.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnorderedCollections => "unordered-collections",
+            Rule::AmbientEntropy => "ambient-entropy",
+            Rule::PanicSites => "panic-sites",
+            Rule::FloatCompare => "float-compare",
+            Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// The paper-issue shorthand (R1–R4).
+    #[must_use]
+    pub fn shorthand(self) -> &'static str {
+        match self {
+            Rule::UnorderedCollections => "R1",
+            Rule::AmbientEntropy => "R2",
+            Rule::PanicSites => "R3",
+            Rule::FloatCompare => "R4",
+            Rule::AllowSyntax => "R0",
+        }
+    }
+
+    /// Parses a rule id as written in config or an allow comment.
+    #[must_use]
+    pub fn parse(id: &str) -> Option<Rule> {
+        match id.trim() {
+            "unordered-collections" | "r1" | "R1" => Some(Rule::UnorderedCollections),
+            "ambient-entropy" | "r2" | "R2" => Some(Rule::AmbientEntropy),
+            "panic-sites" | "r3" | "R3" => Some(Rule::PanicSites),
+            "float-compare" | "r4" | "R4" => Some(Rule::FloatCompare),
+            _ => None,
+        }
+    }
+
+    /// Whether the rule also applies inside `#[cfg(test)]`/`#[test]` code.
+    #[must_use]
+    pub fn applies_to_tests(self) -> bool {
+        matches!(self, Rule::FloatCompare | Rule::AllowSyntax)
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Runs the given rules over a lexed file and returns raw (unsuppressed)
+/// violations, sorted by line.
+#[must_use]
+pub fn check(lexed: &LexedFile, rules: &[Rule]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &rule in rules {
+        match rule {
+            Rule::UnorderedCollections => check_unordered_collections(lexed, &mut out),
+            Rule::AmbientEntropy => check_ambient_entropy(lexed, &mut out),
+            Rule::PanicSites => check_panic_sites(lexed, &mut out),
+            Rule::FloatCompare => check_float_compare(lexed, &mut out),
+            Rule::AllowSyntax => {}
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+fn skip_for_tests(lexed: &LexedFile, idx: usize, rule: Rule) -> bool {
+    !rule.applies_to_tests() && lexed.is_test_token(idx)
+}
+
+fn check_unordered_collections(lexed: &LexedFile, out: &mut Vec<Violation>) {
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if tok.text != "HashMap" && tok.text != "HashSet" {
+            continue;
+        }
+        if skip_for_tests(lexed, i, Rule::UnorderedCollections) {
+            continue;
+        }
+        let ordered = if tok.text == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+        out.push(Violation {
+            rule: Rule::UnorderedCollections,
+            line: tok.line,
+            message: format!(
+                "`{}` in a deterministic crate: iteration order is seed-visible; use `{ordered}` or an explicitly sorted view",
+                tok.text
+            ),
+        });
+    }
+}
+
+fn check_ambient_entropy(lexed: &LexedFile, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged = match tok.text.as_str() {
+            "Instant" | "SystemTime" => true,
+            "thread_rng" => true,
+            // `rand::rng()` — the ambient-entropy constructor in rand 0.9.
+            "rng" => {
+                i >= 3
+                    && toks[i - 1].text == ":"
+                    && toks[i - 2].text == ":"
+                    && toks[i - 3].text == "rand"
+            }
+            _ => false,
+        };
+        if !flagged || skip_for_tests(lexed, i, Rule::AmbientEntropy) {
+            continue;
+        }
+        out.push(Violation {
+            rule: Rule::AmbientEntropy,
+            line: tok.line,
+            message: format!(
+                "`{}` is wall-clock/ambient entropy: simulations must draw time from the virtual clock and randomness from a seeded `SimRng`",
+                tok.text
+            ),
+        });
+    }
+}
+
+fn check_panic_sites(lexed: &LexedFile, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let hit = match tok.text.as_str() {
+            // `.unwrap()` / `.expect(` — method position only.
+            "unwrap" | "expect" => {
+                next == Some("(") && i >= 1 && toks[i - 1].text == "."
+            }
+            // Macro position.
+            "panic" | "unreachable" | "todo" | "unimplemented" => next == Some("!"),
+            _ => false,
+        };
+        if !hit || skip_for_tests(lexed, i, Rule::PanicSites) {
+            continue;
+        }
+        // `debug_assert!`-style macros are not in scope; neither is
+        // `core::panic::Location` — the `panic` ident there is followed
+        // by `::`, not `!`, so it never matches.
+        out.push(Violation {
+            rule: Rule::PanicSites,
+            line: tok.line,
+            message: format!(
+                "`{}` in protocol non-test code: return a typed error or use a documented invariant-checked accessor",
+                tok.text
+            ),
+        });
+    }
+}
+
+fn check_float_compare(lexed: &LexedFile, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        // (a) `partial_cmp` immediately chained into `.unwrap()`/`.expect(`.
+        if tok.kind == TokenKind::Ident && tok.text == "partial_cmp" {
+            if skip_for_tests(lexed, i, Rule::FloatCompare) {
+                continue;
+            }
+            // Skip the argument list, then look for `.unwrap(`/`.expect(`.
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.text.as_str()) == Some("(") {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            let chained_panic = toks.get(j).map(|t| t.text.as_str()) == Some(".")
+                && matches!(
+                    toks.get(j + 1).map(|t| t.text.as_str()),
+                    Some("unwrap" | "expect")
+                );
+            if chained_panic {
+                out.push(Violation {
+                    rule: Rule::FloatCompare,
+                    line: tok.line,
+                    message:
+                        "`partial_cmp(..).unwrap()` panics on NaN: use `f64::total_cmp` for a total order"
+                            .to_string(),
+                });
+            }
+            continue;
+        }
+        // (b) `==`/`!=` where either side is a float literal.
+        if tok.kind == TokenKind::Punct && (tok.text == "=" || tok.text == "!") {
+            let is_eq_op = toks.get(i + 1).map(|t| t.text.as_str()) == Some("=")
+                // `==` is two `=` puncts; make sure we're at the first and
+                // not inside `<=`, `>=`, `+=`, … (previous punct char).
+                && !matches!(
+                    toks.get(i.wrapping_sub(1)),
+                    Some(p) if p.kind == TokenKind::Punct
+                        && matches!(p.text.as_str(), "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^" | "=" | "!")
+                );
+            if !is_eq_op {
+                continue;
+            }
+            if skip_for_tests(lexed, i, Rule::FloatCompare) {
+                continue;
+            }
+            let lhs_float = matches!(
+                toks.get(i.wrapping_sub(1)).map(|t| &t.kind),
+                Some(TokenKind::Number { is_float: true })
+            );
+            let rhs_float = matches!(
+                toks.get(i + 2).map(|t| &t.kind),
+                Some(TokenKind::Number { is_float: true })
+            );
+            if lhs_float || rhs_float {
+                let op = if tok.text == "=" { "==" } else { "!=" };
+                out.push(Violation {
+                    rule: Rule::FloatCompare,
+                    line: tok.line,
+                    message: format!(
+                        "float `{op}` comparison: use an epsilon, `total_cmp`, or compare `to_bits()` when bitwise identity is the intent"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::LexedFile;
+
+    fn run(src: &str, rules: &[Rule]) -> Vec<Violation> {
+        check(&LexedFile::lex(src), rules)
+    }
+
+    #[test]
+    fn r1_flags_hash_collections_outside_tests() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) {}\n#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
+        let v = run(src, &[Rule::UnorderedCollections]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::UnorderedCollections));
+    }
+
+    #[test]
+    fn r1_ignores_comments_and_strings() {
+        let src = "// HashMap here\nlet s = \"HashSet\";";
+        assert!(run(src, &[Rule::UnorderedCollections]).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_wall_clock_and_ambient_rng() {
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();\nlet r = rand::rng();\nlet q = thread_rng();";
+        let v = run(src, &[Rule::AmbientEntropy]);
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn r2_does_not_flag_sim_rng() {
+        let src = "let mut rng = SimRng::seed_from(7); let x = rng.uniform();";
+        assert!(run(src, &[Rule::AmbientEntropy]).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_panics_but_not_in_tests() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); unreachable!(); }\n#[cfg(test)]\nmod tests { fn t() { z.unwrap(); } }";
+        let v = run(src, &[Rule::PanicSites]);
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn r3_requires_method_or_macro_position() {
+        // A field named `unwrap`, a path `panic::Location`, and a plain
+        // ident are not panic sites.
+        let src = "let unwrap = 3; let l = core::panic::Location::caller; s.unwrap_or(0);";
+        assert!(run(src, &[Rule::PanicSites]).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_partial_cmp_unwrap_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}";
+        let v = run(src, &[Rule::FloatCompare]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn r4_allows_partial_cmp_with_fallback() {
+        let src = "let o = a.partial_cmp(&b).unwrap_or(Ordering::Equal);";
+        assert!(run(src, &[Rule::FloatCompare]).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_float_literal_equality() {
+        let src = "if x == 0.0 { } if 1.5 != y { } if n == 3 { }";
+        let v = run(src, &[Rule::FloatCompare]);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn r4_ignores_compound_operators() {
+        let src = "x += 1.0; y <= 2.0; z >= 0.5; w *= 3.0;";
+        assert!(run(src, &[Rule::FloatCompare]).is_empty());
+    }
+}

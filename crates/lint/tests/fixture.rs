@@ -1,0 +1,83 @@
+//! The committed violation fixture must trip every rule, and the `rom-lint`
+//! binary must exit non-zero on it — this is the linter's own regression
+//! gate (acceptance criterion of the rom-lint issue).
+
+use rom_lint::{scan_paths, Rule};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/violations.rs")
+}
+
+#[test]
+fn fixture_trips_each_rule_exactly_once() {
+    let report = scan_paths(&[fixture_path()]).expect("fixture readable");
+    let count = |rule: Rule| {
+        report
+            .violations
+            .iter()
+            .filter(|v| v.violation.rule == rule)
+            .count()
+    };
+    // The HashMap type is mentioned twice (declaration and use-site
+    // parameter), so R1 fires twice; every other rule exactly once.
+    assert_eq!(count(Rule::UnorderedCollections), 2, "{}", report.render());
+    assert_eq!(count(Rule::AmbientEntropy), 1, "{}", report.render());
+    assert_eq!(count(Rule::PanicSites), 1, "{}", report.render());
+    assert_eq!(count(Rule::FloatCompare), 1, "{}", report.render());
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixture() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_rom-lint"))
+        .arg(fixture_path())
+        .output()
+        .expect("rom-lint binary runs");
+    assert!(
+        !out.status.success(),
+        "rom-lint must fail on the fixture; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["unordered-collections", "ambient-entropy", "panic-sites", "float-compare"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn workspace_scan_is_clean() {
+    // The real gate: the whole workspace, scanned per the checked-in
+    // lint.toml, has zero un-annotated violations.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let cfg = rom_lint::Config::parse(&toml).expect("lint.toml parses");
+    let report = rom_lint::scan_workspace(&root, &cfg).expect("scan runs");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_workspace() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_rom-lint"))
+        .current_dir(&root)
+        .env("CARGO_MANIFEST_DIR", &root)
+        .output()
+        .expect("rom-lint binary runs");
+    assert!(
+        out.status.success(),
+        "rom-lint must pass on the workspace:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -65,8 +65,7 @@ impl Ord for HeapEntry {
         // partial order is total in practice.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are never NaN")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

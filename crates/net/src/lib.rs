@@ -27,9 +27,6 @@
 //! assert_eq!(oracle.delay_ms(stubs[0], stubs[0]), 0.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod dijkstra;
 mod graph;
 mod oracle;

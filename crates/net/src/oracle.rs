@@ -178,7 +178,7 @@ impl DelayOracle {
         candidates
             .iter()
             .map(|&c| (c, self.delay_ms(from, c)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("delays are never NaN"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -43,9 +43,6 @@
 //! # Ok::<(), rom_overlay::TreeError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod algorithms;
 mod error;
 mod id;

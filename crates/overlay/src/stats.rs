@@ -68,8 +68,8 @@ impl MulticastTree {
         // Descendant counts bottom-up: children before parents, which the
         // reverse of breadth-first order guarantees.
         let order: Vec<NodeId> = self.attached_by_depth().collect();
-        let mut descendants: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::with_capacity(order.len());
+        let mut descendants: std::collections::BTreeMap<NodeId, usize> =
+            std::collections::BTreeMap::new();
         for &id in order.iter().rev() {
             let child_total: usize = self
                 .children(id)

@@ -21,7 +21,7 @@
 //! queries distinguish *attached* members (reachable from the source) from
 //! detached ones.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rom_sim::SimTime;
 
@@ -105,7 +105,7 @@ pub struct SwitchRecord {
 pub struct MulticastTree {
     stream_rate: f64,
     root: NodeId,
-    nodes: HashMap<NodeId, TreeSlot>,
+    nodes: BTreeMap<NodeId, TreeSlot>,
     /// Attached members bucketed by depth; `BTreeSet` keeps iteration
     /// deterministic.
     depth_index: Vec<BTreeSet<NodeId>>,
@@ -123,7 +123,7 @@ impl MulticastTree {
         assert!(stream_rate > 0.0, "stream rate must be positive");
         let root = source.id;
         let capacity = source.out_capacity(stream_rate);
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         nodes.insert(
             root,
             TreeSlot {
@@ -547,9 +547,7 @@ impl MulticastTree {
         former_children.sort_by(|a, b| {
             let pa = keep_priority(&self.nodes[a].profile);
             let pb = keep_priority(&self.nodes[b].profile);
-            pb.partial_cmp(&pa)
-                .expect("priorities are never NaN")
-                .then_with(|| a.cmp(b))
+            pb.total_cmp(&pa).then_with(|| a.cmp(b))
         });
         let adopted: Vec<NodeId> = former_children.iter().copied().take(new_capacity).collect();
         let overflow: Vec<NodeId> = former_children.iter().copied().skip(new_capacity).collect();
@@ -639,9 +637,7 @@ impl MulticastTree {
         former_children.sort_by(|a, b| {
             let pa = keep_priority(&self.nodes[a].profile);
             let pb = keep_priority(&self.nodes[b].profile);
-            pb.partial_cmp(&pa)
-                .expect("priorities are never NaN")
-                .then_with(|| a.cmp(b))
+            pb.total_cmp(&pa).then_with(|| a.cmp(b))
         });
         let adopted: Vec<NodeId> = former_children.iter().copied().take(spare).collect();
         let overflow: Vec<NodeId> = former_children.iter().copied().skip(spare).collect();
@@ -745,9 +741,7 @@ impl MulticastTree {
         ranked_siblings.sort_by(|a, b| {
             let pa = priority(&self.nodes[a].profile);
             let pb = priority(&self.nodes[b].profile);
-            pb.partial_cmp(&pa)
-                .expect("priorities are never NaN")
-                .then_with(|| a.cmp(b))
+            pb.total_cmp(&pa).then_with(|| a.cmp(b))
         });
         let sibling_keep = ranked_siblings.len().min(child_capacity - 1);
         let followed: Vec<NodeId> = ranked_siblings[..sibling_keep].to_vec();
@@ -763,9 +757,7 @@ impl MulticastTree {
         ranked.sort_by(|a, b| {
             let pa = priority(&self.nodes[a].profile);
             let pb = priority(&self.nodes[b].profile);
-            pb.partial_cmp(&pa)
-                .expect("priorities are never NaN")
-                .then_with(|| a.cmp(b))
+            pb.total_cmp(&pa).then_with(|| a.cmp(b))
         });
         let keep_count = ranked.len().min(parent_capacity);
         let spill_count = ranked.len() - keep_count;
@@ -959,7 +951,7 @@ impl MulticastTree {
         // (also proves acyclicity of the attached part).
         let mut seen = 0usize;
         let mut frontier = vec![self.root];
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = BTreeSet::new();
         while let Some(n) = frontier.pop() {
             if !visited.insert(n) {
                 return fail(format!("cycle through {n}"));

@@ -115,6 +115,7 @@ pub fn attempt_audited(
     // The parent's own standing: witnessed where possible, profile
     // otherwise (the parent is not the one requesting promotion, so the
     // incentive to inflate is absent — §3.4's collusion argument).
+    // rom-lint: allow(panic-sites) -- `parent` was just returned by tree.parent(child), so its profile exists
     let parent_profile = tree.profile(parent).expect("parent exists");
     let parent_btp = registry
         .witnessed_btp(parent, now, is_live)

@@ -31,7 +31,7 @@ use rom_sim::SimTime;
 /// assert_eq!(b.value(), 60.0);
 /// assert!(b < Btp::INFINITE);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct Btp(f64);
 
 impl Btp {
@@ -71,6 +71,15 @@ impl Btp {
     }
 }
 
+// The comparison stack is built on `total_cmp` (construction bans NaN, so
+// the total order coincides with the numeric one), keeping Eq and Ord
+// consistent by definition.
+impl PartialEq for Btp {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
 impl Eq for Btp {}
 
 impl PartialOrd for Btp {
@@ -81,7 +90,7 @@ impl PartialOrd for Btp {
 
 impl Ord for Btp {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("BTP is never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -26,9 +26,6 @@
 //! - [`RefereeRegistry`] / [`Verification`] — the anti-cheating mechanism,
 //! - [`RostJoin`] — the join rule as a `rom_overlay` algorithm.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod audit;
 mod btp;
 mod config;

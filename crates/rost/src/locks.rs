@@ -11,7 +11,7 @@
 //! distributed handshakes; acquisition is all-or-nothing, exactly like the
 //! protocol's outcome.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rom_overlay::NodeId;
 
@@ -37,8 +37,8 @@ pub struct OpId(pub u64);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    holders: HashMap<NodeId, OpId>,
-    ops: HashMap<OpId, Vec<NodeId>>,
+    holders: BTreeMap<NodeId, OpId>,
+    ops: BTreeMap<OpId, Vec<NodeId>>,
 }
 
 impl LockTable {

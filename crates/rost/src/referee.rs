@@ -22,7 +22,7 @@
 //! (`r > 1`) tolerates referee failures, and a crashed referee is replaced
 //! by a parent-assigned node synchronized from the survivors.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -101,9 +101,9 @@ impl Verification {
 #[derive(Debug, Clone)]
 struct MemberRecord {
     /// Age witnesses: referee → recorded join time.
-    age: HashMap<NodeId, SimTime>,
+    age: BTreeMap<NodeId, SimTime>,
     /// Bandwidth witnesses: referee → recorded aggregate measurement.
-    bandwidth: HashMap<NodeId, f64>,
+    bandwidth: BTreeMap<NodeId, f64>,
 }
 
 /// The referee bookkeeping for one overlay session.
@@ -135,7 +135,7 @@ pub struct RefereeRegistry {
     age_referees: usize,
     bandwidth_referees: usize,
     heartbeat_secs: f64,
-    records: HashMap<NodeId, MemberRecord>,
+    records: BTreeMap<NodeId, MemberRecord>,
 }
 
 impl RefereeRegistry {
@@ -157,7 +157,7 @@ impl RefereeRegistry {
             age_referees,
             bandwidth_referees,
             heartbeat_secs,
-            records: HashMap::new(),
+            records: BTreeMap::new(),
         }
     }
 
@@ -185,8 +185,8 @@ impl RefereeRegistry {
             return Err(RefereeError::SelfAppointed(subject));
         }
         let record = self.records.entry(subject).or_insert_with(|| MemberRecord {
-            age: HashMap::new(),
-            bandwidth: HashMap::new(),
+            age: BTreeMap::new(),
+            bandwidth: BTreeMap::new(),
         });
         record.age.clear();
         for &r in referees {
@@ -253,10 +253,7 @@ impl RefereeRegistry {
             .filter(|(&r, _)| is_live(r))
             .map(|(_, &join)| (now - join).max(0.0))
             .collect();
-        let Some(&max_witnessed) = witnessed
-            .iter()
-            .max_by(|a, b| a.partial_cmp(b).expect("ages are never NaN"))
-        else {
+        let Some(&max_witnessed) = witnessed.iter().max_by(|a, b| a.total_cmp(b)) else {
             return Verification::Unverifiable;
         };
         if claimed_age_secs <= max_witnessed + self.heartbeat_secs {
@@ -288,10 +285,7 @@ impl RefereeRegistry {
             .filter(|(&r, _)| is_live(r))
             .map(|(_, &bw)| bw)
             .collect();
-        let Some(&max_witnessed) = witnessed
-            .iter()
-            .max_by(|a, b| a.partial_cmp(b).expect("bandwidths are never NaN"))
-        else {
+        let Some(&max_witnessed) = witnessed.iter().max_by(|a, b| a.total_cmp(b)) else {
             return Verification::Unverifiable;
         };
         if claimed_bandwidth <= max_witnessed * 1.01 {
@@ -321,13 +315,13 @@ impl RefereeRegistry {
             .iter()
             .filter(|(&r, _)| is_live(r))
             .map(|(_, &join)| (now - join).max(0.0))
-            .max_by(|a, b| a.partial_cmp(b).expect("never NaN"))?;
+            .max_by(f64::total_cmp)?;
         let bw = record
             .bandwidth
             .iter()
             .filter(|(&r, _)| is_live(r))
             .map(|(_, &v)| v)
-            .max_by(|a, b| a.partial_cmp(b).expect("never NaN"))?;
+            .max_by(f64::total_cmp)?;
         Some(Btp::new(bw * age))
     }
 
@@ -413,11 +407,7 @@ impl RefereeRegistry {
     pub fn age_referees_of(&self, subject: NodeId) -> Vec<NodeId> {
         self.records
             .get(&subject)
-            .map(|r| {
-                let mut v: Vec<NodeId> = r.age.keys().copied().collect();
-                v.sort();
-                v
-            })
+            .map(|r| r.age.keys().copied().collect())
             .unwrap_or_default()
     }
 
@@ -426,11 +416,7 @@ impl RefereeRegistry {
     pub fn bandwidth_referees_of(&self, subject: NodeId) -> Vec<NodeId> {
         self.records
             .get(&subject)
-            .map(|r| {
-                let mut v: Vec<NodeId> = r.bandwidth.keys().copied().collect();
-                v.sort();
-                v
-            })
+            .map(|r| r.bandwidth.keys().copied().collect())
             .unwrap_or_default()
     }
 }
@@ -488,11 +474,11 @@ mod tests {
         // Claims 10× its real age / bandwidth.
         assert!(matches!(
             reg.verify_age(NodeId(9), 1_000.0, now, all_live),
-            Verification::Rejected { witnessed } if witnessed == 100.0
+            Verification::Rejected { witnessed } if (witnessed - 100.0).abs() < 1e-9
         ));
         assert!(matches!(
             reg.verify_bandwidth(NodeId(9), 10.0, all_live),
-            Verification::Rejected { witnessed } if witnessed == 1.0
+            Verification::Rejected { witnessed } if (witnessed - 1.0).abs() < 1e-9
         ));
     }
 

@@ -11,7 +11,7 @@
 //! contention the member backs off for [`RostConfig::lock_retry_secs`] and
 //! tries again.
 
-use rom_overlay::{MulticastTree, NodeId, SwitchRecord, TreeError};
+use rom_overlay::{MulticastTree, NodeId, SwitchRecord};
 use rom_sim::SimTime;
 
 use crate::btp::Btp;
@@ -135,8 +135,11 @@ impl SwitchingProtocol {
         if parent == tree.root() || !tree.is_attached(node) {
             return false;
         }
-        let child_profile = tree.profile(node).expect("node exists");
-        let parent_profile = tree.profile(parent).expect("parent exists");
+        let (Some(child_profile), Some(parent_profile)) =
+            (tree.profile(node), tree.profile(parent))
+        else {
+            return false;
+        };
         Btp::of(child_profile, now) > Btp::of(parent_profile, now)
             && (!bandwidth_guard || child_profile.bandwidth >= parent_profile.bandwidth)
     }
@@ -180,13 +183,13 @@ impl SwitchingProtocol {
             Ok(record) => SwitchOutcome::Switched { record, op },
             // The capacity guard can only fire for a zero-capacity child,
             // which the bandwidth condition excludes (its parent would
-            // need capacity 0 too and could never have had a child); keep
-            // the lock table clean regardless.
-            Err(TreeError::InsufficientCapacity(_)) => {
+            // need capacity 0 too and could never have had a child); any
+            // error leaves the tree untouched, so release the locks and
+            // report the node ineligible.
+            Err(_) => {
                 self.locks.release(op);
                 SwitchOutcome::NotEligible
             }
-            Err(e) => unreachable!("eligibility pre-checked: {e}"),
         }
     }
 

@@ -32,9 +32,6 @@
 //! assert!((3000..4200).contains(&arrivals));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod engine;
 mod queue;
 mod rng;

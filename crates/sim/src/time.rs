@@ -25,7 +25,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.as_secs(), 15.0);
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -92,14 +92,20 @@ impl SimTime {
     }
 }
 
+// SimTime bans NaN at construction, so `total_cmp` coincides with the
+// numeric order; basing the whole comparison stack on it keeps Eq and Ord
+// consistent by definition.
+impl PartialEq for SimTime {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
 impl Eq for SimTime {}
 
-// SimTime bans NaN at construction, so `partial_cmp` never fails.
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is never NaN by construction")
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -25,7 +25,7 @@ impl Ecdf {
     #[must_use]
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 
@@ -60,7 +60,7 @@ impl Ecdf {
     pub fn quantile(&self, p: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        if p == 0.0 {
+        if p <= 0.0 {
             return self.sorted[0];
         }
         let rank = ((p * self.sorted.len() as f64).ceil() as usize).max(1);

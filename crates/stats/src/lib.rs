@@ -29,9 +29,6 @@
 //! assert!(life.mean() > 1800.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod cdf;
 mod lognormal;
 mod math;

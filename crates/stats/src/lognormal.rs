@@ -207,13 +207,32 @@ mod tests {
         let d = LogNormal::paper_lifetime();
         let mut rng = SimRng::seed_from(123);
         let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let sample_median = samples[samples.len() / 2];
         let want = d.median();
         assert!(
             (sample_median - want).abs() / want < 0.1,
             "median {sample_median} vs {want}"
         );
+    }
+
+    #[test]
+    fn sample_sort_is_total_even_for_overflowed_tail() {
+        // Regression for the former `partial_cmp(..).unwrap()` sort key:
+        // a very wide lognormal overflows to +inf in the tail, and the
+        // comparator must still be a total order — no panic, monotone
+        // output — which `f64::total_cmp` guarantees.
+        let d = LogNormal::new(0.0, 300.0).unwrap();
+        let mut rng = SimRng::seed_from(9);
+        let mut samples: Vec<f64> = (0..512).map(|_| d.sample(&mut rng)).collect();
+        assert!(
+            samples.iter().any(|s| s.is_infinite()),
+            "tail should overflow at sigma = 300"
+        );
+        samples.sort_by(f64::total_cmp);
+        for w in samples.windows(2) {
+            assert!(w[0] <= w[1], "sort not monotone: {} > {}", w[0], w[1]);
+        }
     }
 
     #[test]

@@ -28,9 +28,6 @@
 //! # Ok::<(), rom_wire::DecodeError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod codec;
 mod harness;
 mod message;

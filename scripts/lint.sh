@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Runs rom-lint over the workspace (policy: lint.toml at the repo root).
+#
+# Usage:
+#   scripts/lint.sh             # scan the workspace, exit non-zero on hits
+#   scripts/lint.sh <path>...   # scan explicit paths with every rule
+#
+# Exit codes (from rom-lint): 0 clean, 1 violations, 2 config/I-O error.
+set -eu
+
+cd "$(dirname "$0")/.."
+exec cargo run -q --release -p rom-lint -- "$@"

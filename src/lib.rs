@@ -43,8 +43,6 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! figure-regeneration harness.
 
-#![warn(missing_docs)]
-
 pub use rom_cer as cer;
 pub use rom_engine as engine;
 pub use rom_net as net;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth_guard-94aa042b7ae0951b.d: crates/bench/src/bin/ablation_bandwidth_guard.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth_guard-94aa042b7ae0951b: crates/bench/src/bin/ablation_bandwidth_guard.rs
+
+crates/bench/src/bin/ablation_bandwidth_guard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_graceful-b72b2e27484846a4.d: crates/bench/src/bin/ablation_graceful.rs
+
+/root/repo/target/debug/deps/ablation_graceful-b72b2e27484846a4: crates/bench/src/bin/ablation_graceful.rs
+
+crates/bench/src/bin/ablation_graceful.rs:

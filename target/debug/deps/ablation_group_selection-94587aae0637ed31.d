@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_group_selection-94587aae0637ed31.d: crates/bench/src/bin/ablation_group_selection.rs
+
+/root/repo/target/debug/deps/ablation_group_selection-94587aae0637ed31: crates/bench/src/bin/ablation_group_selection.rs
+
+crates/bench/src/bin/ablation_group_selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cer_pipeline-59a981dc445f5c30.d: tests/cer_pipeline.rs
+
+/root/repo/target/debug/deps/cer_pipeline-59a981dc445f5c30: tests/cer_pipeline.rs
+
+tests/cer_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cer_properties-149b44ca1659a9c2.d: crates/cer/tests/cer_properties.rs
+
+/root/repo/target/debug/deps/cer_properties-149b44ca1659a9c2: crates/cer/tests/cer_properties.rs
+
+crates/cer/tests/cer_properties.rs:

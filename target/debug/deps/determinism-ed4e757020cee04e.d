@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ed4e757020cee04e.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ed4e757020cee04e: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_disruptions-b9d276cd1c018ffc.d: crates/bench/src/bin/fig04_disruptions.rs
+
+/root/repo/target/debug/deps/fig04_disruptions-b9d276cd1c018ffc: crates/bench/src/bin/fig04_disruptions.rs
+
+crates/bench/src/bin/fig04_disruptions.rs:

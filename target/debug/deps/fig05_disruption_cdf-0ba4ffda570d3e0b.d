@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_disruption_cdf-0ba4ffda570d3e0b.d: crates/bench/src/bin/fig05_disruption_cdf.rs
+
+/root/repo/target/debug/deps/fig05_disruption_cdf-0ba4ffda570d3e0b: crates/bench/src/bin/fig05_disruption_cdf.rs
+
+crates/bench/src/bin/fig05_disruption_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_member_disruptions-5c2e5e53981dbdee.d: crates/bench/src/bin/fig06_member_disruptions.rs
+
+/root/repo/target/debug/deps/fig06_member_disruptions-5c2e5e53981dbdee: crates/bench/src/bin/fig06_member_disruptions.rs
+
+crates/bench/src/bin/fig06_member_disruptions.rs:

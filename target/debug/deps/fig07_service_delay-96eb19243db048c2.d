@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_service_delay-96eb19243db048c2.d: crates/bench/src/bin/fig07_service_delay.rs
+
+/root/repo/target/debug/deps/fig07_service_delay-96eb19243db048c2: crates/bench/src/bin/fig07_service_delay.rs
+
+crates/bench/src/bin/fig07_service_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_stretch-1fa81f845c649c01.d: crates/bench/src/bin/fig08_stretch.rs
+
+/root/repo/target/debug/deps/fig08_stretch-1fa81f845c649c01: crates/bench/src/bin/fig08_stretch.rs
+
+crates/bench/src/bin/fig08_stretch.rs:

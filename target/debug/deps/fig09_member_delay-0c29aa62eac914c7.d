@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_member_delay-0c29aa62eac914c7.d: crates/bench/src/bin/fig09_member_delay.rs
+
+/root/repo/target/debug/deps/fig09_member_delay-0c29aa62eac914c7: crates/bench/src/bin/fig09_member_delay.rs
+
+crates/bench/src/bin/fig09_member_delay.rs:

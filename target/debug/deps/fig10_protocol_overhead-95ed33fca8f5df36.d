@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_protocol_overhead-95ed33fca8f5df36.d: crates/bench/src/bin/fig10_protocol_overhead.rs
+
+/root/repo/target/debug/deps/fig10_protocol_overhead-95ed33fca8f5df36: crates/bench/src/bin/fig10_protocol_overhead.rs
+
+crates/bench/src/bin/fig10_protocol_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_switching_interval-28c9f6138124e696.d: crates/bench/src/bin/fig11_switching_interval.rs
+
+/root/repo/target/debug/deps/fig11_switching_interval-28c9f6138124e696: crates/bench/src/bin/fig11_switching_interval.rs
+
+crates/bench/src/bin/fig11_switching_interval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_starving_vs_size-d3d210211e5c0397.d: crates/bench/src/bin/fig12_starving_vs_size.rs
+
+/root/repo/target/debug/deps/fig12_starving_vs_size-d3d210211e5c0397: crates/bench/src/bin/fig12_starving_vs_size.rs
+
+crates/bench/src/bin/fig12_starving_vs_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_starving_vs_buffer-f1fb1e10760c8d81.d: crates/bench/src/bin/fig13_starving_vs_buffer.rs
+
+/root/repo/target/debug/deps/fig13_starving_vs_buffer-f1fb1e10760c8d81: crates/bench/src/bin/fig13_starving_vs_buffer.rs
+
+crates/bench/src/bin/fig13_starving_vs_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_rost_cer-9a1daf9f0612402a.d: crates/bench/src/bin/fig14_rost_cer.rs
+
+/root/repo/target/debug/deps/fig14_rost_cer-9a1daf9f0612402a: crates/bench/src/bin/fig14_rost_cer.rs
+
+crates/bench/src/bin/fig14_rost_cer.rs:

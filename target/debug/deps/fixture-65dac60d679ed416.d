@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fixture-65dac60d679ed416.d: crates/lint/tests/fixture.rs
+
+/root/repo/target/debug/deps/fixture-65dac60d679ed416: crates/lint/tests/fixture.rs
+
+crates/lint/tests/fixture.rs:
+
+# env-dep:CARGO_BIN_EXE_rom-lint=/root/repo/target/debug/rom-lint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

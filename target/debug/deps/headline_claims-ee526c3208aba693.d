@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_claims-ee526c3208aba693.d: crates/bench/src/bin/headline_claims.rs
+
+/root/repo/target/debug/deps/headline_claims-ee526c3208aba693: crates/bench/src/bin/headline_claims.rs
+
+crates/bench/src/bin/headline_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_properties-0ec77d72c02567b1.d: crates/net/tests/net_properties.rs
+
+/root/repo/target/debug/deps/net_properties-0ec77d72c02567b1: crates/net/tests/net_properties.rs
+
+crates/net/tests/net_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-b18a5fb7a6300fb8.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-b18a5fb7a6300fb8: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

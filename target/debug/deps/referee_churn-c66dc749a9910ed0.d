@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/referee_churn-c66dc749a9910ed0.d: tests/referee_churn.rs
+
+/root/repo/target/debug/deps/referee_churn-c66dc749a9910ed0: tests/referee_churn.rs
+
+tests/referee_churn.rs:

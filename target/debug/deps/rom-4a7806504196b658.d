@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rom-4a7806504196b658.d: src/lib.rs
+
+/root/repo/target/debug/deps/librom-4a7806504196b658.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librom-4a7806504196b658.rmeta: src/lib.rs
+
+src/lib.rs:

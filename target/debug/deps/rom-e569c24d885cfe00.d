@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rom-e569c24d885cfe00.d: src/lib.rs
+
+/root/repo/target/debug/deps/rom-e569c24d885cfe00: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rom_bench-0fcb0eb79e9ed242.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librom_bench-0fcb0eb79e9ed242.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librom_bench-0fcb0eb79e9ed242.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rom_bench-b351601a9f3ad9de.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rom_bench-b351601a9f3ad9de: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

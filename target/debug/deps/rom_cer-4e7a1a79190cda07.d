@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rom_cer-4e7a1a79190cda07.d: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+/root/repo/target/debug/deps/rom_cer-4e7a1a79190cda07: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+crates/cer/src/lib.rs:
+crates/cer/src/buffer.rs:
+crates/cer/src/correlation.rs:
+crates/cer/src/eln.rs:
+crates/cer/src/mlc.rs:
+crates/cer/src/partial_tree.rs:
+crates/cer/src/recovery.rs:
+crates/cer/src/session.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rom_cer-7dfd5511914be856.d: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+/root/repo/target/debug/deps/librom_cer-7dfd5511914be856.rlib: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+/root/repo/target/debug/deps/librom_cer-7dfd5511914be856.rmeta: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+crates/cer/src/lib.rs:
+crates/cer/src/buffer.rs:
+crates/cer/src/correlation.rs:
+crates/cer/src/eln.rs:
+crates/cer/src/mlc.rs:
+crates/cer/src/partial_tree.rs:
+crates/cer/src/recovery.rs:
+crates/cer/src/session.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rom_engine-05c8389bbe4d097c.d: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+/root/repo/target/debug/deps/rom_engine-05c8389bbe4d097c: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/churn.rs:
+crates/engine/src/config.rs:
+crates/engine/src/proximity.rs:
+crates/engine/src/streaming.rs:
+crates/engine/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rom_engine-824d1b3bc5829308.d: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+/root/repo/target/debug/deps/librom_engine-824d1b3bc5829308.rlib: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+/root/repo/target/debug/deps/librom_engine-824d1b3bc5829308.rmeta: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/churn.rs:
+crates/engine/src/config.rs:
+crates/engine/src/proximity.rs:
+crates/engine/src/streaming.rs:
+crates/engine/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rom_lint-6a9b23348535cfbd.d: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/librom_lint-6a9b23348535cfbd.rlib: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/librom_lint-6a9b23348535cfbd.rmeta: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/config.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rom_lint-b03280a44d95ddda.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/rom_lint-b03280a44d95ddda: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

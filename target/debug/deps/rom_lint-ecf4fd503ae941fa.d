@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rom_lint-ecf4fd503ae941fa.d: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/rom_lint-ecf4fd503ae941fa: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/config.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rom_lint-ee3c2e56facf7eee.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/rom_lint-ee3c2e56facf7eee: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rom_net-ad054cbcbd50971c.d: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+/root/repo/target/debug/deps/rom_net-ad054cbcbd50971c: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dijkstra.rs:
+crates/net/src/graph.rs:
+crates/net/src/oracle.rs:
+crates/net/src/transit_stub.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rom_net-baa8b3473ba1d18d.d: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+/root/repo/target/debug/deps/librom_net-baa8b3473ba1d18d.rlib: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+/root/repo/target/debug/deps/librom_net-baa8b3473ba1d18d.rmeta: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dijkstra.rs:
+crates/net/src/graph.rs:
+crates/net/src/oracle.rs:
+crates/net/src/transit_stub.rs:

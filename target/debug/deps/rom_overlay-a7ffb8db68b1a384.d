@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rom_overlay-a7ffb8db68b1a384.d: crates/overlay/src/lib.rs crates/overlay/src/algorithms/mod.rs crates/overlay/src/algorithms/longest_first.rs crates/overlay/src/algorithms/min_depth.rs crates/overlay/src/algorithms/ordered.rs crates/overlay/src/error.rs crates/overlay/src/id.rs crates/overlay/src/member.rs crates/overlay/src/multitree.rs crates/overlay/src/proximity.rs crates/overlay/src/stats.rs crates/overlay/src/tree.rs crates/overlay/src/view.rs
+
+/root/repo/target/debug/deps/librom_overlay-a7ffb8db68b1a384.rlib: crates/overlay/src/lib.rs crates/overlay/src/algorithms/mod.rs crates/overlay/src/algorithms/longest_first.rs crates/overlay/src/algorithms/min_depth.rs crates/overlay/src/algorithms/ordered.rs crates/overlay/src/error.rs crates/overlay/src/id.rs crates/overlay/src/member.rs crates/overlay/src/multitree.rs crates/overlay/src/proximity.rs crates/overlay/src/stats.rs crates/overlay/src/tree.rs crates/overlay/src/view.rs
+
+/root/repo/target/debug/deps/librom_overlay-a7ffb8db68b1a384.rmeta: crates/overlay/src/lib.rs crates/overlay/src/algorithms/mod.rs crates/overlay/src/algorithms/longest_first.rs crates/overlay/src/algorithms/min_depth.rs crates/overlay/src/algorithms/ordered.rs crates/overlay/src/error.rs crates/overlay/src/id.rs crates/overlay/src/member.rs crates/overlay/src/multitree.rs crates/overlay/src/proximity.rs crates/overlay/src/stats.rs crates/overlay/src/tree.rs crates/overlay/src/view.rs
+
+crates/overlay/src/lib.rs:
+crates/overlay/src/algorithms/mod.rs:
+crates/overlay/src/algorithms/longest_first.rs:
+crates/overlay/src/algorithms/min_depth.rs:
+crates/overlay/src/algorithms/ordered.rs:
+crates/overlay/src/error.rs:
+crates/overlay/src/id.rs:
+crates/overlay/src/member.rs:
+crates/overlay/src/multitree.rs:
+crates/overlay/src/proximity.rs:
+crates/overlay/src/stats.rs:
+crates/overlay/src/tree.rs:
+crates/overlay/src/view.rs:

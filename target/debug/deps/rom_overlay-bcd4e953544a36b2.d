@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rom_overlay-bcd4e953544a36b2.d: crates/overlay/src/lib.rs crates/overlay/src/algorithms/mod.rs crates/overlay/src/algorithms/longest_first.rs crates/overlay/src/algorithms/min_depth.rs crates/overlay/src/algorithms/ordered.rs crates/overlay/src/error.rs crates/overlay/src/id.rs crates/overlay/src/member.rs crates/overlay/src/multitree.rs crates/overlay/src/proximity.rs crates/overlay/src/stats.rs crates/overlay/src/tree.rs crates/overlay/src/view.rs
+
+/root/repo/target/debug/deps/rom_overlay-bcd4e953544a36b2: crates/overlay/src/lib.rs crates/overlay/src/algorithms/mod.rs crates/overlay/src/algorithms/longest_first.rs crates/overlay/src/algorithms/min_depth.rs crates/overlay/src/algorithms/ordered.rs crates/overlay/src/error.rs crates/overlay/src/id.rs crates/overlay/src/member.rs crates/overlay/src/multitree.rs crates/overlay/src/proximity.rs crates/overlay/src/stats.rs crates/overlay/src/tree.rs crates/overlay/src/view.rs
+
+crates/overlay/src/lib.rs:
+crates/overlay/src/algorithms/mod.rs:
+crates/overlay/src/algorithms/longest_first.rs:
+crates/overlay/src/algorithms/min_depth.rs:
+crates/overlay/src/algorithms/ordered.rs:
+crates/overlay/src/error.rs:
+crates/overlay/src/id.rs:
+crates/overlay/src/member.rs:
+crates/overlay/src/multitree.rs:
+crates/overlay/src/proximity.rs:
+crates/overlay/src/stats.rs:
+crates/overlay/src/tree.rs:
+crates/overlay/src/view.rs:

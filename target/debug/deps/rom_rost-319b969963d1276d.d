@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rom_rost-319b969963d1276d.d: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+/root/repo/target/debug/deps/librom_rost-319b969963d1276d.rlib: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+/root/repo/target/debug/deps/librom_rost-319b969963d1276d.rmeta: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+crates/rost/src/lib.rs:
+crates/rost/src/audit.rs:
+crates/rost/src/btp.rs:
+crates/rost/src/config.rs:
+crates/rost/src/join.rs:
+crates/rost/src/locks.rs:
+crates/rost/src/referee.rs:
+crates/rost/src/switching.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rom_rost-a3ff9a64cbfef3ff.d: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+/root/repo/target/debug/deps/rom_rost-a3ff9a64cbfef3ff: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+crates/rost/src/lib.rs:
+crates/rost/src/audit.rs:
+crates/rost/src/btp.rs:
+crates/rost/src/config.rs:
+crates/rost/src/join.rs:
+crates/rost/src/locks.rs:
+crates/rost/src/referee.rs:
+crates/rost/src/switching.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rom_stats-0548cca75ac5a116.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/debug/deps/rom_stats-0548cca75ac5a116: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/lognormal.rs:
+crates/stats/src/math.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/timeseries.rs:

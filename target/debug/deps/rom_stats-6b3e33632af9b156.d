@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rom_stats-6b3e33632af9b156.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/debug/deps/librom_stats-6b3e33632af9b156.rlib: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/debug/deps/librom_stats-6b3e33632af9b156.rmeta: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/lognormal.rs:
+crates/stats/src/math.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/timeseries.rs:

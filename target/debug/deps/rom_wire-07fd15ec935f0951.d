@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rom_wire-07fd15ec935f0951.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+/root/repo/target/debug/deps/librom_wire-07fd15ec935f0951.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+/root/repo/target/debug/deps/librom_wire-07fd15ec935f0951.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/harness.rs:
+crates/wire/src/message.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rom_wire-37850b9174c2676e.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+/root/repo/target/debug/deps/rom_wire-37850b9174c2676e: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/harness.rs:
+crates/wire/src/message.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-e51b8018940c2346.d: crates/sim/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-e51b8018940c2346: crates/sim/tests/sim_properties.rs
+
+crates/sim/tests/sim_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_properties-df0a73f3cfd2bf47.d: crates/stats/tests/stats_properties.rs
+
+/root/repo/target/debug/deps/stats_properties-df0a73f3cfd2bf47: crates/stats/tests/stats_properties.rs
+
+crates/stats/tests/stats_properties.rs:

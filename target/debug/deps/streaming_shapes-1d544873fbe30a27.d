@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_shapes-1d544873fbe30a27.d: tests/streaming_shapes.rs
+
+/root/repo/target/debug/deps/streaming_shapes-1d544873fbe30a27: tests/streaming_shapes.rs
+
+tests/streaming_shapes.rs:

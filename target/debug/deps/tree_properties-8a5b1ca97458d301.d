@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tree_properties-8a5b1ca97458d301.d: crates/overlay/tests/tree_properties.rs
+
+/root/repo/target/debug/deps/tree_properties-8a5b1ca97458d301: crates/overlay/tests/tree_properties.rs
+
+crates/overlay/tests/tree_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_properties-3054d90b736b05be.d: crates/wire/tests/wire_properties.rs
+
+/root/repo/target/debug/deps/wire_properties-3054d90b736b05be: crates/wire/tests/wire_properties.rs
+
+crates/wire/tests/wire_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/churn_comparison-09cdb941a6f8a5cc.d: examples/churn_comparison.rs
+
+/root/repo/target/debug/examples/churn_comparison-09cdb941a6f8a5cc: examples/churn_comparison.rs
+
+examples/churn_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cooperative_recovery-f484a741c6b65f93.d: examples/cooperative_recovery.rs
+
+/root/repo/target/debug/examples/cooperative_recovery-f484a741c6b65f93: examples/cooperative_recovery.rs
+
+examples/cooperative_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5b26c600bb5bbd4a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5b26c600bb5bbd4a: examples/quickstart.rs
+
+examples/quickstart.rs:

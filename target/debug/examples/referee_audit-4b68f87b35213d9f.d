@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/referee_audit-4b68f87b35213d9f.d: examples/referee_audit.rs
+
+/root/repo/target/debug/examples/referee_audit-4b68f87b35213d9f: examples/referee_audit.rs
+
+examples/referee_audit.rs:

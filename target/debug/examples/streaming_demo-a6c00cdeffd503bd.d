@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_demo-a6c00cdeffd503bd.d: examples/streaming_demo.rs
+
+/root/repo/target/debug/examples/streaming_demo-a6c00cdeffd503bd: examples/streaming_demo.rs
+
+examples/streaming_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_session-999082f635015063.d: examples/wire_session.rs
+
+/root/repo/target/debug/examples/wire_session-999082f635015063: examples/wire_session.rs
+
+examples/wire_session.rs:

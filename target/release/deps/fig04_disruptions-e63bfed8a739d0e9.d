@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_disruptions-e63bfed8a739d0e9.d: crates/bench/src/bin/fig04_disruptions.rs
+
+/root/repo/target/release/deps/fig04_disruptions-e63bfed8a739d0e9: crates/bench/src/bin/fig04_disruptions.rs
+
+crates/bench/src/bin/fig04_disruptions.rs:

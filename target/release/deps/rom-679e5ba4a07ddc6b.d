@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rom-679e5ba4a07ddc6b.d: src/lib.rs
+
+/root/repo/target/release/deps/librom-679e5ba4a07ddc6b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librom-679e5ba4a07ddc6b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rom_bench-d0dbefcec744e6c3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librom_bench-d0dbefcec744e6c3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librom_bench-d0dbefcec744e6c3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

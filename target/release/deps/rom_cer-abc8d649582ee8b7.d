@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rom_cer-abc8d649582ee8b7.d: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+/root/repo/target/release/deps/librom_cer-abc8d649582ee8b7.rlib: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+/root/repo/target/release/deps/librom_cer-abc8d649582ee8b7.rmeta: crates/cer/src/lib.rs crates/cer/src/buffer.rs crates/cer/src/correlation.rs crates/cer/src/eln.rs crates/cer/src/mlc.rs crates/cer/src/partial_tree.rs crates/cer/src/recovery.rs crates/cer/src/session.rs
+
+crates/cer/src/lib.rs:
+crates/cer/src/buffer.rs:
+crates/cer/src/correlation.rs:
+crates/cer/src/eln.rs:
+crates/cer/src/mlc.rs:
+crates/cer/src/partial_tree.rs:
+crates/cer/src/recovery.rs:
+crates/cer/src/session.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rom_engine-a7e70f50836876ce.d: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+/root/repo/target/release/deps/librom_engine-a7e70f50836876ce.rlib: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+/root/repo/target/release/deps/librom_engine-a7e70f50836876ce.rmeta: crates/engine/src/lib.rs crates/engine/src/churn.rs crates/engine/src/config.rs crates/engine/src/proximity.rs crates/engine/src/streaming.rs crates/engine/src/workload.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/churn.rs:
+crates/engine/src/config.rs:
+crates/engine/src/proximity.rs:
+crates/engine/src/streaming.rs:
+crates/engine/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rom_lint-61f1074c1e2d91e4.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/rom_lint-61f1074c1e2d91e4: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rom_lint-73c187563fa9e142.d: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/release/deps/librom_lint-73c187563fa9e142.rlib: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/release/deps/librom_lint-73c187563fa9e142.rmeta: crates/lint/src/lib.rs crates/lint/src/config.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/config.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rom_net-130179db5a0b1946.d: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+/root/repo/target/release/deps/librom_net-130179db5a0b1946.rlib: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+/root/repo/target/release/deps/librom_net-130179db5a0b1946.rmeta: crates/net/src/lib.rs crates/net/src/dijkstra.rs crates/net/src/graph.rs crates/net/src/oracle.rs crates/net/src/transit_stub.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dijkstra.rs:
+crates/net/src/graph.rs:
+crates/net/src/oracle.rs:
+crates/net/src/transit_stub.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rom_rost-196f513f00859586.d: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+/root/repo/target/release/deps/librom_rost-196f513f00859586.rlib: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+/root/repo/target/release/deps/librom_rost-196f513f00859586.rmeta: crates/rost/src/lib.rs crates/rost/src/audit.rs crates/rost/src/btp.rs crates/rost/src/config.rs crates/rost/src/join.rs crates/rost/src/locks.rs crates/rost/src/referee.rs crates/rost/src/switching.rs
+
+crates/rost/src/lib.rs:
+crates/rost/src/audit.rs:
+crates/rost/src/btp.rs:
+crates/rost/src/config.rs:
+crates/rost/src/join.rs:
+crates/rost/src/locks.rs:
+crates/rost/src/referee.rs:
+crates/rost/src/switching.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rom_stats-36a6d5076905dcb2.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/release/deps/librom_stats-36a6d5076905dcb2.rlib: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/release/deps/librom_stats-36a6d5076905dcb2.rmeta: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/lognormal.rs crates/stats/src/math.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/lognormal.rs:
+crates/stats/src/math.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/timeseries.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rom_wire-b333cde27960ca7f.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+/root/repo/target/release/deps/librom_wire-b333cde27960ca7f.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+/root/repo/target/release/deps/librom_wire-b333cde27960ca7f.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/harness.rs crates/wire/src/message.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/harness.rs:
+crates/wire/src/message.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cooperative_recovery-c6da39d501164a5c.d: examples/cooperative_recovery.rs
+
+/root/repo/target/release/examples/cooperative_recovery-c6da39d501164a5c: examples/cooperative_recovery.rs
+
+examples/cooperative_recovery.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/librom_lint.rlib: /root/repo/crates/lint/src/config.rs /root/repo/crates/lint/src/lexer.rs /root/repo/crates/lint/src/lib.rs /root/repo/crates/lint/src/rules.rs

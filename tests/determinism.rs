@@ -63,4 +63,84 @@ fn streaming_reports_are_bitwise_reproducible() {
         a.starving_ratio_percent.mean().to_bits(),
         b.starving_ratio_percent.mean().to_bits()
     );
+    // The whole distribution, not just the mean: every moment the summary
+    // exposes must be bit-identical, and so must the underlying tree run.
+    for (x, y) in [
+        (a.starving_ratio_percent.min(), b.starving_ratio_percent.min()),
+        (a.starving_ratio_percent.max(), b.starving_ratio_percent.max()),
+        (
+            a.starving_ratio_percent.std_dev(),
+            b.starving_ratio_percent.std_dev(),
+        ),
+        (
+            a.churn.service_delay_ms.mean(),
+            b.churn.service_delay_ms.mean(),
+        ),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.churn.disruption_events, b.churn.disruption_events);
+}
+
+#[test]
+fn cer_recovery_session_is_bitwise_reproducible() {
+    use rom::cer::{
+        find_mlc_group, AncestorRecord, MlcOptions, PartialTree, RecoveryGroup, RepairSession,
+        StripePlan,
+    };
+    use rom::overlay::NodeId;
+    use rom::sim::SimRng;
+
+    // One full CER recovery pass — partial-tree reconstruction, MLC group
+    // selection, distance ordering, stripe planning and the repair-chain
+    // walk — must come out identical for the same seed.
+    let run = || {
+        let records: Vec<AncestorRecord> = (2u64..40)
+            .map(|n| AncestorRecord {
+                node: NodeId(n),
+                // A comb: even nodes hang off NodeId(1), odd ones chain
+                // one level deeper, giving MLC real correlations to avoid.
+                ancestors: if n % 2 == 0 {
+                    vec![NodeId(0), NodeId(1)]
+                } else {
+                    vec![NodeId(0), NodeId(1), NodeId(n - 1)]
+                },
+            })
+            .collect();
+        let partial = PartialTree::from_records(&records);
+        let mut rng = SimRng::seed_from(42);
+        let options = MlcOptions {
+            exclude: vec![NodeId(0), NodeId(1)],
+        };
+        let chosen = find_mlc_group(&partial, 3, &options, &mut rng);
+        // Deterministic synthetic distances stand in for the delay oracle.
+        let with_distance: Vec<(NodeId, f64)> = chosen
+            .iter()
+            .map(|&n| (n, (n.0 % 7) as f64 * 3.5 + 1.0))
+            .collect();
+        let group = RecoveryGroup::ordered_by_distance(with_distance);
+        let plan = StripePlan::plan_full_coverage(&[0.25, 0.4, 0.2]);
+        let mut session =
+            RepairSession::start(1234, group.clone()).expect("group is non-empty");
+        // First two members NACK, the third serves.
+        let mut walk = Vec::new();
+        walk.push(session.current_target());
+        walk.push(session.on_nack());
+        session.on_served();
+        (chosen, group, plan, walk, session.hops())
+    };
+
+    let (chosen_a, group_a, plan_a, walk_a, hops_a) = run();
+    let (chosen_b, group_b, plan_b, walk_b, hops_b) = run();
+    assert_eq!(chosen_a, chosen_b, "MLC selection must be seed-determined");
+    assert_eq!(group_a, group_b);
+    assert_eq!(walk_a, walk_b);
+    assert_eq!(hops_a, hops_b);
+    assert_eq!(plan_a.segments().len(), plan_b.segments().len());
+    for (sa, sb) in plan_a.segments().iter().zip(plan_b.segments()) {
+        assert_eq!(sa.member_index, sb.member_index);
+        assert_eq!((sa.lo, sa.hi), (sb.lo, sb.hi));
+        assert_eq!(sa.rate_fraction.to_bits(), sb.rate_fraction.to_bits());
+    }
+    assert_eq!(plan_a.coverage().to_bits(), plan_b.coverage().to_bits());
 }

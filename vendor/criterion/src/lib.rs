@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`] with
+//! `bench_function`/`benchmark_group`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], the configuration builders the benches call
+//! (`sample_size`, `warm_up_time`, `measurement_time`), and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (both plain and
+//! `name/config/targets` forms).
+//!
+//! There is no statistics engine: each benchmark is timed with a simple
+//! best-of-samples loop and reported as plain text. That is enough to
+//! compare hot paths locally; rigorous measurement belongs on real
+//! criterion when a registry is available. Wall-clock use is confined to
+//! this crate, which only `rom-bench` (exempt from `rom-lint` R2) links.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed run.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Caps the total time spent per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Controls how `iter_batched` amortises setup cost; this stand-in runs
+/// one setup per timed iteration regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up call, then timed batches.
+        std::hint::black_box(routine());
+        let iters = self.iters_per_sample;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.iters_per_sample;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / iters as u32);
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, budget: Duration, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    let started = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut b);
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+    let best = b.samples.iter().min().copied().unwrap_or(Duration::ZERO);
+    let mean = if b.samples.is_empty() {
+        Duration::ZERO
+    } else {
+        b.samples.iter().sum::<Duration>() / b.samples.len() as u32
+    };
+    println!(
+        "bench {name}: best {best:?}, mean {mean:?} over {} samples",
+        b.samples.len()
+    );
+}
+
+/// Re-export so `criterion::black_box` call sites keep working.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,685 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a small deterministic property-testing engine that covers exactly the
+//! surface the in-tree tests use: the [`proptest!`] macro, [`Strategy`]
+//! with `prop_map`, integer/float range and `any::<T>()` strategies, tuple
+//! strategies, weighted [`prop_oneof!`], `prop::collection::vec`, a tiny
+//! `"[a-z]{1,12}"`-style regex string strategy, and the
+//! [`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs and the
+//!   case seed; reproduction is exact because generation is deterministic.
+//! - **Fixed seeding.** Case `i` of test `t` is seeded from
+//!   `hash(t) ⊕ splitmix(i)` — there is no ambient entropy, matching the
+//!   workspace-wide determinism rules (`rom-lint` R2).
+//! - `.proptest-regressions` files are ignored.
+
+/// Strategy combinators and generation plumbing.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe generation, used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: std::rc::Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A weighted choice among boxed alternatives (built by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        alternatives: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `alternatives` is empty or the weights sum to zero.
+        #[must_use]
+        pub fn new_weighted(alternatives: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight: u64 = alternatives.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+            Union {
+                alternatives,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut ticket = rng.below(self.total_weight);
+            for (weight, alt) in &self.alternatives {
+                let weight = u64::from(*weight);
+                if ticket < weight {
+                    return alt.generate(rng);
+                }
+                ticket -= weight;
+            }
+            // Unreachable because ticket < total_weight, but fall back to
+            // the last alternative rather than panicking.
+            self.alternatives[self.alternatives.len() - 1].1.generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty => $wide:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    let off = rng.below(span);
+                    ((self.start as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = rng.below(span + 1);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    );
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let x = self.start + rng.unit_f64() * (self.end - self.start);
+            if x < self.end {
+                x
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let x = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+            if x < self.end {
+                x
+            } else {
+                self.start
+            }
+        }
+    }
+
+    /// The `any::<T>()` full-domain strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Generates any value of `T` (implemented for the primitive types the
+    /// workspace tests draw from).
+    #[must_use]
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! any_uint_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    any_uint_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3),
+        (A / 0, B / 1, C / 2, D / 3, E / 4),
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+    );
+
+    /// `&str` regex strategies: supports literals, `[a-z0-9_]` classes
+    /// (ranges and singletons), and `{m}`/`{m,n}`/`*`/`+`/`?` repetition —
+    /// enough for the patterns the workspace tests use.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+            // Optional repetition suffix.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().unwrap_or(0),
+                        n.trim().parse::<usize>().unwrap_or(8),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<usize>().unwrap_or(1);
+                        (m, m)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+                let suffix = chars[i];
+                i += 1;
+                match suffix {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing: configuration, the per-case RNG, and failure
+/// bookkeeping used by the macros.
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 96 keeps the in-tree property
+            // suites (tree mutation sequences, full-topology Dijkstra
+            // cross-checks) affordable in CI while still exploring broadly.
+            ProptestConfig { cases: 96 }
+        }
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The deterministic generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream for case `case` of the test named `name`.
+        #[must_use]
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified test name, mixed with the
+            // case index: every (test, case) pair is its own stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut state = h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            splitmix64(&mut state);
+            TestRng { state }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+
+        /// Uniform `u64` in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            // Widening-multiply with rejection: unbiased for every n.
+            let mut x = self.next_u64();
+            let mut m = u128::from(x) * u128::from(n);
+            let mut low = m as u64;
+            if low < n {
+                let threshold = n.wrapping_neg() % n;
+                while low < threshold {
+                    x = self.next_u64();
+                    m = u128::from(x) * u128::from(n);
+                    low = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+            (self.next_u64() >> 11) as f64 * SCALE
+        }
+    }
+
+    /// Runs the cases of one property.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// A runner for the property named `name`.
+        #[must_use]
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            TestRunner { config, name }
+        }
+
+        /// Number of cases to run.
+        #[must_use]
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The RNG for case `case`.
+        #[must_use]
+        pub fn case_rng(&self, case: u32) -> TestRng {
+            TestRng::for_case(self.name, case)
+        }
+
+        /// The property's fully qualified name.
+        #[must_use]
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+    }
+}
+
+/// The subset of the `proptest` prelude the workspace tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module shortcut.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!("{}", format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: both sides are {:?}", l);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Weighted (or unweighted) choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut rng = runner.case_rng(case);
+                let values = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                let replay = format!("{values:?}");
+                let ($($pat,)+) = values;
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(cause) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{total} of {name} failed with inputs {replay}",
+                        total = runner.cases(),
+                        name = runner.name(),
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = prop::collection::vec(0u64..1000, 1..50);
+        let a = Strategy::generate(&strat, &mut TestRng::for_case("t", 4));
+        let b = Strategy::generate(&strat, &mut TestRng::for_case("t", 4));
+        assert_eq!(a, b);
+        let c = Strategy::generate(&strat, &mut TestRng::for_case("t", 5));
+        // Different case index gives a different stream (vanishingly
+        // unlikely to collide on a 1..50-length random vector).
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let strat = prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let mut rng = TestRng::for_case("weights", 0);
+        let hits = (0..5000)
+            .filter(|_| Strategy::generate(&strat, &mut rng))
+            .count();
+        assert!((4000..5000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn regex_strategy_shapes_strings() {
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: patterns, multiple bindings, trailing comma.
+        #[test]
+        fn macro_smoke((a, b) in (0u8..10, 0u8..10), v in prop::collection::vec(any::<u16>(), 0..4),) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}
