@@ -5,7 +5,7 @@
 //! most size-sensitive; relaxed BO better; relaxed TO better still; ROST
 //! lowest, 36–57% below relaxed BO, and much less size-sensitive.
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
 use rom_engine::AlgorithmKind;
 
 fn main() {
@@ -18,12 +18,21 @@ fn main() {
     let mut header = vec!["size".to_string(), "avg_population".to_string()];
     header.extend(AlgorithmKind::ALL.iter().map(|a| a.name().to_string()));
     println!("{}", row(header));
+    let smallest = scale.sizes()[0];
     for size in scale.sizes() {
         let mut cells = vec![size.to_string()];
         let mut population = 0.0;
         let mut values = Vec::new();
         for alg in AlgorithmKind::ALL {
-            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale.seeds);
+            // --trace captures the smallest ROST point (smallest trace).
+            let reports = replicate_churn_traced(
+                "fig04_rost_smallest",
+                |seed| churn_config(alg, size, seed),
+                scale.seeds,
+                scale
+                    .trace
+                    .filter(|_| alg == AlgorithmKind::Rost && size == smallest),
+            );
             population = mean_over(&reports, |r| r.population.mean());
             values.push(fmt(mean_over(&reports, |r| {
                 r.disruptions_per_mean_lifetime()

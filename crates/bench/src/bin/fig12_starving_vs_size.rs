@@ -4,7 +4,7 @@
 //! Expected shape: a small increase in group size cuts the starving ratio
 //! dramatically — group size 3 roughly an order of magnitude below size 1.
 
-use rom_bench::{banner, fmt, mean_over, replicate_streaming, row, Scale};
+use rom_bench::{banner, fmt, mean_over, replicate_streaming_traced, row, Scale};
 use rom_engine::{AlgorithmKind, ChurnConfig, StreamingConfig};
 
 fn main() {
@@ -24,10 +24,13 @@ fn main() {
             "K=4".into(),
         ])
     );
+    let smallest = scale.sizes()[0];
     for size in scale.sizes() {
         let mut cells = vec![size.to_string()];
         for k in 1..=4usize {
-            let reports = replicate_streaming(
+            // --trace captures the smallest K=1 point (smallest trace).
+            let reports = replicate_streaming_traced(
+                "fig12_k1_smallest",
                 |seed| {
                     StreamingConfig::paper(
                         ChurnConfig::paper(AlgorithmKind::MinimumDepth, size).with_seed(seed),
@@ -35,6 +38,7 @@ fn main() {
                     )
                 },
                 scale.seeds,
+                scale.trace.filter(|_| k == 1 && size == smallest),
             );
             cells.push(fmt(mean_over(&reports, |r| {
                 r.starving_ratio_percent.mean()

@@ -5,7 +5,7 @@
 //! order of magnitude at each group size; ROST+CER at K=1 already beats
 //! the baseline at K=2.
 
-use rom_bench::{banner, fmt, replicate_streaming, row, Scale};
+use rom_bench::{banner, fmt, replicate_streaming, replicate_streaming_traced, row, Scale};
 use rom_engine::{AlgorithmKind, ChurnConfig, RecoveryStrategy, StreamingConfig};
 use rom_stats::Summary;
 
@@ -40,7 +40,9 @@ fn main() {
             },
             scale.seeds,
         ));
-        let rost_cer = pooled(replicate_streaming(
+        // --trace captures the flagship configuration: ROST+CER at K=1.
+        let rost_cer = pooled(replicate_streaming_traced(
+            "fig14_rost_cer_k1",
             |seed| {
                 StreamingConfig::paper(
                     ChurnConfig::paper(AlgorithmKind::Rost, size).with_seed(seed),
@@ -48,6 +50,7 @@ fn main() {
                 )
             },
             scale.seeds,
+            scale.trace.filter(|_| k == 1),
         ));
         println!(
             "{}",

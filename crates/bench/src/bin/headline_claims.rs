@@ -9,7 +9,7 @@
 //!    centralized depth-optimal approach";
 //! 3. "introduces a very low protocol overhead".
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
 use rom_engine::{AlgorithmKind, ChurnReport};
 
 fn main() {
@@ -22,7 +22,15 @@ fn main() {
     let size = scale.focus_size();
     println!("# focus size: {size} members\n");
 
-    let run = |alg: AlgorithmKind| replicate_churn(|s| churn_config(alg, size, s), scale.seeds);
+    // --trace captures the ROST run (the algorithm the claims are about).
+    let run = |alg: AlgorithmKind| {
+        replicate_churn_traced(
+            "headline_claims_rost",
+            |s| churn_config(alg, size, s),
+            scale.seeds,
+            scale.trace.filter(|_| alg == AlgorithmKind::Rost),
+        )
+    };
     let metrics = |reports: &[ChurnReport]| {
         (
             mean_over(reports, |r| r.disruptions_per_mean_lifetime()),

@@ -11,9 +11,17 @@
 //!   scale that finishes in seconds-to-minutes on a laptop.
 //! - `--seeds N` — number of replicated runs per point (default 3; each
 //!   uses an independent seed and the printed value is the mean).
+//! - `--trace PATH` — write a structured JSONL trace of one designated
+//!   run (binary-specific; typically the flagship configuration at seed
+//!   1) to `PATH`, with its [`rom_obs::RunManifest`] at
+//!   `PATH.manifest.json` and the metrics snapshot at
+//!   `PATH.metrics.json`. Traces are deterministic: same seed, same
+//!   bytes.
 
 use rom_engine::{AlgorithmKind, ChurnConfig, ChurnSim, StreamingConfig, StreamingSim};
 use rom_engine::{ChurnReport, StreamingReport};
+use rom_obs::{fnv1a, JsonlSink, Obs, RunManifest, Tracer};
+use rom_sim::RunOutcome;
 use rom_stats::Summary;
 
 /// Scale and replication options shared by every figure binary.
@@ -23,16 +31,20 @@ pub struct Scale {
     pub paper: bool,
     /// Number of replicated seeds per data point.
     pub seeds: u64,
+    /// JSONL trace output path (`--trace PATH`); tracing is off when
+    /// `None`. Leaked to `'static` so `Scale` stays `Copy`.
+    pub trace: Option<&'static str>,
 }
 
 impl Scale {
-    /// Parses `--paper` and `--seeds N` from the process arguments.
-    /// Unknown arguments abort with a usage message.
+    /// Parses `--paper`, `--seeds N` and `--trace PATH` from the process
+    /// arguments. Unknown arguments abort with a usage message.
     #[must_use]
     pub fn from_args() -> Self {
         let mut scale = Scale {
             paper: false,
             seeds: 3,
+            trace: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -44,6 +56,10 @@ impl Scale {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage());
                     scale.seeds = n;
+                }
+                "--trace" => {
+                    let path = args.next().unwrap_or_else(|| usage());
+                    scale.trace = Some(Box::leak(path.into_boxed_str()));
                 }
                 "--help" | "-h" => usage(),
                 _ => usage(),
@@ -87,7 +103,7 @@ impl Scale {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: <figure-binary> [--paper] [--seeds N]");
+    eprintln!("usage: <figure-binary> [--paper] [--seeds N] [--trace PATH]");
     std::process::exit(2)
 }
 
@@ -101,7 +117,11 @@ pub fn churn_config(algorithm: AlgorithmKind, size: usize, seed: u64) -> ChurnCo
 #[must_use]
 pub fn replicate_churn(make: impl Fn(u64) -> ChurnConfig, seeds: u64) -> Vec<ChurnReport> {
     (1..=seeds)
-        .map(|seed| ChurnSim::new(make(seed)).run())
+        .map(|seed| {
+            let report = ChurnSim::new(make(seed)).run();
+            warn_on_truncation("churn", seed, report.outcome);
+            report
+        })
         .collect()
 }
 
@@ -112,8 +132,118 @@ pub fn replicate_streaming(
     seeds: u64,
 ) -> Vec<StreamingReport> {
     (1..=seeds)
-        .map(|seed| StreamingSim::new(make(seed)).run())
+        .map(|seed| {
+            let report = StreamingSim::new(make(seed)).run();
+            warn_on_truncation("streaming", seed, report.outcome());
+            report
+        })
         .collect()
+}
+
+/// Like [`replicate_churn`], but traces the seed-1 run to `trace` when
+/// set (see [`trace_sidecars`] for the files written). `name` labels the
+/// run in its manifest.
+#[must_use]
+pub fn replicate_churn_traced(
+    name: &str,
+    make: impl Fn(u64) -> ChurnConfig,
+    seeds: u64,
+    trace: Option<&str>,
+) -> Vec<ChurnReport> {
+    (1..=seeds)
+        .map(|seed| {
+            let cfg = make(seed);
+            let report = match trace.filter(|_| seed == 1) {
+                Some(path) => {
+                    let digest = fnv1a(format!("{cfg:?}").as_bytes());
+                    let (report, obs) = ChurnSim::new(cfg).run_with_obs(obs_to_file(path));
+                    trace_sidecars(path, name, seed, digest, &obs, report.events_processed, report.outcome);
+                    report
+                }
+                None => ChurnSim::new(cfg).run(),
+            };
+            warn_on_truncation(name, seed, report.outcome);
+            report
+        })
+        .collect()
+}
+
+/// Like [`replicate_streaming`], but traces the seed-1 run to `trace`
+/// when set (see [`trace_sidecars`] for the files written). `name` labels
+/// the run in its manifest.
+#[must_use]
+pub fn replicate_streaming_traced(
+    name: &str,
+    make: impl Fn(u64) -> StreamingConfig,
+    seeds: u64,
+    trace: Option<&str>,
+) -> Vec<StreamingReport> {
+    (1..=seeds)
+        .map(|seed| {
+            let cfg = make(seed);
+            let report = match trace.filter(|_| seed == 1) {
+                Some(path) => {
+                    let digest = fnv1a(format!("{cfg:?}").as_bytes());
+                    let (report, obs) = StreamingSim::new(cfg).run_with_obs(obs_to_file(path));
+                    trace_sidecars(path, name, seed, digest, &obs, report.events_processed(), report.outcome());
+                    report
+                }
+                None => StreamingSim::new(cfg).run(),
+            };
+            warn_on_truncation(name, seed, report.outcome());
+            report
+        })
+        .collect()
+}
+
+/// An [`Obs`] pipeline writing JSONL trace lines to `path`, aborting the
+/// process when the file cannot be created (a bench-appropriate policy).
+fn obs_to_file(path: &str) -> Obs {
+    match JsonlSink::create(path) {
+        Ok(sink) => Obs::new(Tracer::to_sink(Box::new(sink))),
+        Err(err) => {
+            eprintln!("error: cannot create trace file {path}: {err}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// Writes the provenance sidecars of a traced run: the [`RunManifest`] at
+/// `PATH.manifest.json` and the metrics snapshot at `PATH.metrics.json`.
+/// The manifest carries the FNV-1a digest of the metrics JSON, so the
+/// whole observation pipeline is covered by a byte-comparable record.
+fn trace_sidecars(
+    path: &str,
+    name: &str,
+    seed: u64,
+    config_digest: u64,
+    obs: &Obs,
+    events_processed: u64,
+    outcome: RunOutcome,
+) {
+    let metrics = obs.snapshot().to_json();
+    let mut manifest = RunManifest::new(name, seed)
+        .with_extra("metrics_digest", format!("{:016x}", fnv1a(metrics.as_bytes())));
+    manifest.config_digest = config_digest;
+    manifest.events_processed = events_processed;
+    manifest.trace_events = obs.trace_events();
+    manifest.outcome = format!("{outcome:?}");
+    for (file, contents) in [
+        (format!("{path}.manifest.json"), manifest.to_json()),
+        (format!("{path}.metrics.json"), metrics),
+    ] {
+        if let Err(err) = std::fs::write(&file, contents) {
+            eprintln!("warning: cannot write {file}: {err}");
+        }
+    }
+}
+
+/// Flags runs whose event loop stopped early: their measurements cover
+/// less simulated time than the configuration asked for.
+fn warn_on_truncation(name: &str, seed: u64, outcome: RunOutcome) {
+    if outcome == RunOutcome::BudgetExhausted {
+        eprintln!("warning: {name} seed {seed}: event budget exhausted, run truncated");
+    }
 }
 
 /// Mean of a per-report scalar across replicated runs.
@@ -166,12 +296,14 @@ mod tests {
         let s = Scale {
             paper: false,
             seeds: 3,
+            trace: None,
         };
         assert_eq!(s.sizes(), vec![500, 1_000, 2_000, 4_000]);
         assert_eq!(s.focus_size(), 2_000);
         let p = Scale {
             paper: true,
             seeds: 3,
+            trace: None,
         };
         assert_eq!(p.sizes().last(), Some(&14_000));
         assert_eq!(p.focus_size(), 8_000);

@@ -19,9 +19,10 @@ use rom_overlay::algorithms::{
     JoinContext, JoinDecision, LongestFirst, MinimumDepth, RelaxedBandwidthOrdered,
     RelaxedTimeOrdered, TreeAlgorithm,
 };
+use rom_obs::{Level, Obs, Subsystem, TraceEvent};
 use rom_overlay::{paper_source, MemberProfile, MulticastTree, NodeId, ViewSampler};
 use rom_rost::{OpId, RostJoin, SwitchOutcome, SwitchingProtocol};
-use rom_sim::{Schedule, SimRng, SimTime, Simulation};
+use rom_sim::{RunOutcome, Schedule, SimRng, SimTime, Simulation};
 use rom_stats::{Summary, TimeSeries};
 
 use crate::config::{AlgorithmKind, ChurnConfig, StreamingConfig};
@@ -98,6 +99,11 @@ pub struct ChurnReport {
     pub rejections: u64,
     /// The typical-member trace, when an observer was configured.
     pub observer: Option<ObserverTrace>,
+    /// How the event loop ended ([`RunOutcome::HorizonReached`] for a
+    /// normal run; anything else signals a truncated experiment).
+    pub outcome: RunOutcome,
+    /// Total events the simulation loop processed.
+    pub events_processed: u64,
 }
 
 /// The churn simulator. Construct with [`ChurnSim::new`], execute with
@@ -147,6 +153,10 @@ pub struct ChurnSim {
 
     /// Streaming layer (Figs. 12-14); `None` for pure tree experiments.
     streaming: Option<StreamingState>,
+
+    /// Observability pipeline; disabled (and free) unless installed via
+    /// [`ChurnSim::run_with_obs`].
+    obs: Obs,
 
     report: ChurnReport,
 }
@@ -245,6 +255,8 @@ impl ChurnSim {
             evictions: 0,
             rejections: 0,
             observer: None,
+            outcome: RunOutcome::HorizonReached,
+            events_processed: 0,
         };
 
         ChurnSim {
@@ -269,6 +281,7 @@ impl ChurnSim {
             observer_disruptions: TimeSeries::new(60.0),
             observer_delay: TimeSeries::new(60.0),
             streaming,
+            obs: Obs::disabled(),
             report,
         }
     }
@@ -285,6 +298,18 @@ impl ChurnSim {
         self.run_inner().0
     }
 
+    /// Runs with the given observability pipeline installed and returns it
+    /// (finished) alongside the report. Traces every join, departure,
+    /// rejoin, switch and eviction, and maintains the engine's counters,
+    /// gauges and histograms. Running with [`Obs::disabled`] is equivalent
+    /// to [`run`](Self::run).
+    #[must_use]
+    pub fn run_with_obs(mut self, obs: Obs) -> (ChurnReport, Obs) {
+        self.obs = obs;
+        let (report, _streaming, obs) = self.run_inner();
+        (report, obs)
+    }
+
     /// Like [`run`](Self::run), but calls `inspect` with the final tree
     /// and simulation end time before returning — for tooling that wants
     /// to examine the converged structure.
@@ -292,9 +317,11 @@ impl ChurnSim {
         let mut sim: Simulation<Event> = Simulation::new();
         self.seed(&mut sim);
         let horizon = self.window_end;
-        sim.run_until(horizon, |now, event, sched| {
+        let outcome = sim.run_until(horizon, |now, event, sched| {
             self.handle(now, event, sched);
         });
+        self.report.outcome = outcome;
+        self.report.events_processed = sim.processed();
         inspect(&self.tree, horizon);
         self.finish()
     }
@@ -305,21 +332,54 @@ impl ChurnSim {
     ///
     /// Panics if the simulator was built without a streaming layer.
     pub(crate) fn run_streaming(self) -> StreamingReport {
-        let (churn, streaming) = self.run_inner();
+        let (churn, streaming, _obs) = self.run_inner();
         streaming
             .expect("built with new_with_streaming")
             .into_report(churn)
     }
 
-    fn run_inner(mut self) -> (ChurnReport, Option<StreamingState>) {
+    /// Streaming variant of [`run_with_obs`](Self::run_with_obs).
+    pub(crate) fn run_streaming_with_obs(mut self, obs: Obs) -> (StreamingReport, Obs) {
+        self.obs = obs;
+        let (churn, streaming, obs) = self.run_inner();
+        let report = streaming
+            .expect("built with new_with_streaming")
+            .into_report(churn);
+        (report, obs)
+    }
+
+    fn run_inner(mut self) -> (ChurnReport, Option<StreamingState>, Obs) {
         let mut sim: Simulation<Event> = Simulation::new();
         self.seed(&mut sim);
         let horizon = self.window_end;
-        sim.run_until(horizon, |now, event, sched| {
+        let outcome = sim.run_until(horizon, |now, event, sched| {
             self.handle(now, event, sched);
         });
+        self.report.outcome = outcome;
+        self.report.events_processed = sim.processed();
+        if self.obs.is_active() {
+            // Exact peak queue depth (the sampled gauge below is a floor).
+            self.obs
+                .gauge("sim.queue_high_water", sim.queue_high_water_mark() as f64);
+            self.fold_protocol_metrics();
+        }
+        self.obs.finish();
         let streaming = self.streaming.take();
-        (self.finish(), streaming)
+        let obs = std::mem::take(&mut self.obs);
+        (self.finish(), streaming, obs)
+    }
+
+    /// Folds the protocol-layer counters (ROST switching outcomes, lock
+    /// grants/denials) into the metrics registry at end of run.
+    fn fold_protocol_metrics(&mut self) {
+        let stats = self.rost.stats();
+        self.obs.count("rost.switch_attempts", stats.attempts);
+        self.obs.count("rost.switch_promotions", stats.switched);
+        self.obs.count("rost.switch_busy", stats.busy);
+        self.obs.count("rost.switch_not_eligible", stats.not_eligible);
+        let locks = self.rost.locks();
+        self.obs.count("rost.lock_grants", locks.grants());
+        self.obs.count("rost.lock_denials", locks.denials());
     }
 
     /// Seeds the equilibrium population and the initial event schedule.
@@ -504,10 +564,43 @@ impl ChurnSim {
         }
     }
 
+    /// Traces a placed join/rejoin (`kind` distinguishes the two) at Debug
+    /// level, with the parent the algorithm chose.
+    fn trace_join(&mut self, now: SimTime, id: NodeId, kind: &'static str) {
+        if self.obs.enabled(Subsystem::Churn, Level::Debug) {
+            let parent = self.tree.parent(id).map_or(0, |p| p.0);
+            self.obs.emit(
+                TraceEvent::new(now.as_secs(), Subsystem::Churn, kind)
+                    .level(Level::Debug)
+                    .u64("id", id.0)
+                    .u64("parent", parent),
+            );
+        }
+    }
+
+    fn trace_join_rejected(&mut self, now: SimTime, id: NodeId) {
+        self.obs.count("churn.join_rejections", 1);
+        if self.obs.enabled(Subsystem::Churn, Level::Debug) {
+            self.obs.emit(
+                TraceEvent::new(now.as_secs(), Subsystem::Churn, "join_rejected")
+                    .level(Level::Debug)
+                    .u64("id", id.0),
+            );
+        }
+    }
+
     /// Books the reconnections of one eviction. The displaced members'
     /// rejoin events are scheduled by the caller.
-    fn account_eviction(&mut self, displaced: &[NodeId], adopted: &[NodeId], _now: SimTime) {
+    fn account_eviction(&mut self, displaced: &[NodeId], adopted: &[NodeId], now: SimTime) {
         self.report.evictions += 1;
+        self.obs.count("churn.evictions", 1);
+        if self.obs.enabled(Subsystem::Churn, Level::Info) {
+            self.obs.emit(
+                TraceEvent::new(now.as_secs(), Subsystem::Churn, "evict")
+                    .u64("displaced", displaced.len() as u64)
+                    .u64("adopted", adopted.len() as u64),
+            );
+        }
         for &m in displaced.iter().chain(adopted) {
             *self.reconnections.entry(m).or_insert(0) += 1;
         }
@@ -551,6 +644,10 @@ impl ChurnSim {
     }
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Schedule<'_, Event>) {
+        if self.obs.is_active() {
+            self.obs.count(event_metric_name(&event), 1);
+            self.obs.gauge("sim.queue_depth", sched.pending() as f64);
+        }
         self.dispatch(now, event, sched);
         self.drain_rejoin_backlog(sched);
     }
@@ -564,6 +661,7 @@ impl ChurnSim {
                 self.track_live(id);
                 self.notify_joined(id, now);
                 if self.place_new_member(member.clone(), now) {
+                    self.trace_join(now, id, "join");
                     if self.is_rost() {
                         sched.after(
                             self.cfg.rost.switching_interval_secs,
@@ -571,6 +669,7 @@ impl ChurnSim {
                         );
                     }
                 } else {
+                    self.trace_join_rejected(now, id);
                     if self.in_window(now) {
                         self.report.rejections += 1;
                     }
@@ -586,6 +685,7 @@ impl ChurnSim {
                     return; // departed while waiting
                 };
                 if self.place_new_member(member.clone(), now) {
+                    self.trace_join(now, id, "join");
                     if self.is_rost() {
                         sched.after(
                             self.cfg.rost.switching_interval_secs,
@@ -593,6 +693,7 @@ impl ChurnSim {
                         );
                     }
                 } else {
+                    self.trace_join_rejected(now, id);
                     if self.in_window(now) {
                         self.report.rejections += 1;
                     }
@@ -614,9 +715,22 @@ impl ChurnSim {
                 let Ok(removed) = self.tree.remove(id) else {
                     return; // defensive: already gone
                 };
+                self.obs.count("churn.departures", 1);
+                if graceful {
+                    self.obs.count("churn.graceful_departures", 1);
+                }
+                if self.obs.enabled(Subsystem::Churn, Level::Info) {
+                    self.obs.emit(
+                        TraceEvent::new(now.as_secs(), Subsystem::Churn, "departure")
+                            .u64("id", id.0)
+                            .bool("graceful", graceful)
+                            .u64("orphans", removed.orphaned_children.len() as u64)
+                            .u64("descendants", removed.affected_descendants.len() as u64),
+                    );
+                }
                 if let Some(st) = self.streaming.as_mut() {
                     if !graceful {
-                        st.on_failure(&removed.affected_descendants, now);
+                        st.on_failure(&removed.affected_descendants, now, &mut self.obs);
                     }
                     st.on_member_departed(id, now);
                 }
@@ -650,6 +764,25 @@ impl ChurnSim {
                         self.observer_disruptions.record(now, 1.0);
                     }
                 }
+                // ELN failure-scope partition (§4.1): only the orphaned
+                // children initiate recovery; the deeper descendants are
+                // notified of the failure and suppress their own redundant
+                // rejoin attempts.
+                let suppressed = removed
+                    .affected_descendants
+                    .len()
+                    .saturating_sub(removed.orphaned_children.len());
+                if suppressed > 0 && self.obs.is_active() {
+                    self.obs.count("cer.eln_suppressed", suppressed as u64);
+                    if self.obs.enabled(Subsystem::Cer, Level::Info) {
+                        self.obs.emit(
+                            TraceEvent::new(now.as_secs(), Subsystem::Cer, "eln_suppress")
+                                .u64("failed", id.0)
+                                .u64("rejoining", removed.orphaned_children.len() as u64)
+                                .u64("suppressed", suppressed as u64),
+                        );
+                    }
+                }
                 // A departed node may hold or be covered by locks.
                 self.rost.locks_mut().evict_node(id);
                 self.schedule_rejoins(&removed.orphaned_children, sched);
@@ -672,10 +805,20 @@ impl ChurnSim {
                     return; // departed or already back
                 }
                 if self.rejoin_orphan(orphan, now) {
+                    self.obs.count("churn.rejoins", 1);
+                    self.trace_join(now, orphan, "rejoin");
                     if let Some(st) = self.streaming.as_mut() {
-                        st.on_restore(&self.tree, &self.oracle, &self.live, orphan, now);
+                        st.on_restore(
+                            &self.tree,
+                            &self.oracle,
+                            &self.live,
+                            orphan,
+                            now,
+                            &mut self.obs,
+                        );
                     }
                 } else {
+                    self.obs.count("churn.rejoin_retries", 1);
                     if self.in_window(now) {
                         self.report.rejections += 1;
                     }
@@ -690,6 +833,14 @@ impl ChurnSim {
                 match self.rost.attempt(&mut self.tree, id, now) {
                     SwitchOutcome::Switched { record, op } => {
                         self.report.switches += 1;
+                        if self.obs.enabled(Subsystem::Rost, Level::Info) {
+                            self.obs.emit(
+                                TraceEvent::new(now.as_secs(), Subsystem::Rost, "switch")
+                                    .u64("id", id.0)
+                                    .u64("reparented", record.reparented.len() as u64)
+                                    .u64("displaced", record.displaced.len() as u64),
+                            );
+                        }
                         for &m in &record.reparented {
                             *self.reconnections.entry(m).or_insert(0) += 1;
                         }
@@ -704,6 +855,13 @@ impl ChurnSim {
                         );
                     }
                     SwitchOutcome::Busy => {
+                        if self.obs.enabled(Subsystem::Rost, Level::Debug) {
+                            self.obs.emit(
+                                TraceEvent::new(now.as_secs(), Subsystem::Rost, "switch_busy")
+                                    .level(Level::Debug)
+                                    .u64("id", id.0),
+                            );
+                        }
                         sched.after(self.cfg.rost.lock_retry_secs, Event::SwitchCheck(id));
                     }
                     SwitchOutcome::NotEligible => {
@@ -777,6 +935,7 @@ impl ChurnSim {
             }
         }
         self.report.population.add(population as f64);
+        self.obs.gauge("churn.population", population as f64);
     }
 
     fn finish(mut self) -> ChurnReport {
@@ -817,6 +976,21 @@ impl ChurnReport {
             return 0.0;
         }
         self.disruption_events as f64 / (pop * self.measure_secs) * self.mean_lifetime_secs
+    }
+}
+
+/// Per-event-type counter names (static so the metrics hot path never
+/// allocates).
+fn event_metric_name(event: &Event) -> &'static str {
+    match event {
+        Event::Arrival => "sim.events.arrival",
+        Event::Departure(_) => "sim.events.departure",
+        Event::Rejoin(_) => "sim.events.rejoin",
+        Event::JoinRetry(_) => "sim.events.join_retry",
+        Event::SwitchCheck(_) => "sim.events.switch_check",
+        Event::ReleaseLocks(_) => "sim.events.release_locks",
+        Event::Sample => "sim.events.sample",
+        Event::ObserverJoin => "sim.events.observer_join",
     }
 }
 
@@ -923,6 +1097,34 @@ mod tests {
         );
         assert_eq!(a.switches, b.switches);
         assert_eq!(a.service_delay_ms.mean(), b.service_delay_ms.mean());
+    }
+
+    #[test]
+    fn obs_run_matches_plain_run_and_records() {
+        use rom_obs::{RingSink, Tracer};
+
+        let plain = ChurnSim::new(quick(AlgorithmKind::Rost, 100, 11)).run();
+        let (sink, handle) = RingSink::new(100_000);
+        let obs = Obs::new(Tracer::to_sink(Box::new(sink)));
+        let (observed, obs) = ChurnSim::new(quick(AlgorithmKind::Rost, 100, 11)).run_with_obs(obs);
+
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.switches, observed.switches);
+        assert_eq!(plain.evictions, observed.evictions);
+        assert_eq!(plain.service_delay_ms.mean(), observed.service_delay_ms.mean());
+        assert_eq!(plain.outcome, observed.outcome);
+        assert_eq!(plain.events_processed, observed.events_processed);
+        assert_eq!(plain.outcome, RunOutcome::HorizonReached);
+        assert!(plain.events_processed > 100);
+
+        // The trace and metrics saw the run.
+        assert!(obs.trace_events() > 0);
+        assert!(!handle.is_empty());
+        let snap = obs.snapshot();
+        assert!(snap.counter("churn.departures") > 0);
+        assert_eq!(snap.counter("rost.switch_promotions"), observed.switches);
+        assert!(snap.gauge("sim.queue_high_water").is_some());
+        assert!(snap.gauge("churn.population").is_some());
     }
 
     #[test]

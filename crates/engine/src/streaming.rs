@@ -28,8 +28,9 @@ use rom_cer::{
     SeqRangeSet, StreamClock, StripePlan,
 };
 use rom_net::{DelayOracle, UnderlayId};
+use rom_obs::{Level, Obs, Subsystem, TraceEvent};
 use rom_overlay::{MulticastTree, NodeId};
-use rom_sim::{SimRng, SimTime};
+use rom_sim::{RunOutcome, SimRng, SimTime};
 use rom_stats::Summary;
 
 use crate::churn::{ChurnReport, ChurnSim};
@@ -53,6 +54,20 @@ pub struct StreamingReport {
     pub packets_starved: u64,
     /// The underlying tree-level report.
     pub churn: ChurnReport,
+}
+
+impl StreamingReport {
+    /// How the underlying event loop ended (see [`ChurnReport::outcome`]).
+    #[must_use]
+    pub fn outcome(&self) -> RunOutcome {
+        self.churn.outcome
+    }
+
+    /// Total events the underlying simulation loop processed.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.churn.events_processed
+    }
 }
 
 /// Per-member streaming bookkeeping.
@@ -143,10 +158,23 @@ impl StreamingState {
     }
 
     /// An abrupt departure cut `affected` members off the stream.
-    pub(crate) fn on_failure(&mut self, affected: &[NodeId], now: SimTime) {
+    pub(crate) fn on_failure(&mut self, affected: &[NodeId], now: SimTime, obs: &mut Obs) {
+        let mut opened = 0u64;
         for &m in affected {
             if let Some(stream) = self.members.get_mut(&m) {
+                if stream.outage_since.is_none() {
+                    opened += 1;
+                }
                 stream.outage_since.get_or_insert(now);
+            }
+        }
+        if opened > 0 {
+            obs.count("streaming.outages_opened", opened);
+            if obs.enabled(Subsystem::Streaming, Level::Info) {
+                obs.emit(
+                    TraceEvent::new(now.as_secs(), Subsystem::Streaming, "outage")
+                        .u64("members", opened),
+                );
             }
         }
     }
@@ -160,6 +188,7 @@ impl StreamingState {
         live: &[NodeId],
         orphan: NodeId,
         now: SimTime,
+        obs: &mut Obs,
     ) {
         let mut subtree = vec![orphan];
         subtree.extend(tree.descendants(orphan));
@@ -171,7 +200,7 @@ impl StreamingState {
             else {
                 continue;
             };
-            self.repair_outage(tree, oracle, live, member, t0, now);
+            self.repair_outage(tree, oracle, live, member, t0, now, obs);
         }
     }
 
@@ -281,6 +310,7 @@ impl StreamingState {
         member: NodeId,
         t0: SimTime,
         now: SimTime,
+        obs: &mut Obs,
     ) {
         let s0 = self.clock.seq_at(t0);
         let s1 = self.clock.seq_at(now);
@@ -327,6 +357,21 @@ impl StreamingState {
                     .map(|&(_, pps, _)| pps / self.clock.rate_pps())
                     .collect();
                 let plan = StripePlan::plan_full_coverage(&fractions);
+                if obs.is_active() {
+                    // Stripe width = how many helpers the gap is striped
+                    // across (Fig. 12's group-size effect, observed).
+                    obs.count("cer.stripe_plans", 1);
+                    obs.observe("cer.stripe_width", plan.segments().len() as f64);
+                    if obs.enabled(Subsystem::Cer, Level::Info) {
+                        obs.emit(
+                            TraceEvent::new(now.as_secs(), Subsystem::Cer, "stripe_plan")
+                                .u64("member", member.0)
+                                .u64("gap", s1 - s0)
+                                .u64("width", plan.segments().len() as u64)
+                                .f64("coverage", plan.coverage()),
+                        );
+                    }
+                }
                 let mut served_count: Vec<u64> = vec![0; available.len()];
                 for seq in s0..s1 {
                     match plan.assigned_member(seq) {
@@ -392,6 +437,30 @@ impl StreamingState {
             self.starved += starved_now;
             self.repaired_on_time += repaired_now;
         }
+        if obs.is_active() {
+            obs.count("cer.repairs", 1);
+            obs.count("cer.packets_repaired", repaired_now);
+            obs.count("cer.packets_starved", starved_now);
+            obs.observe("cer.repair_latency_secs", now - t0);
+            if obs.enabled(Subsystem::Cer, Level::Info) {
+                obs.emit(
+                    TraceEvent::new(now.as_secs(), Subsystem::Cer, "repair")
+                        .u64("member", member.0)
+                        .u64("gap", s1 - s0)
+                        .u64("helpers", available.len() as u64)
+                        .u64("repaired", repaired_now)
+                        .u64("starved", starved_now)
+                        .f64("latency_secs", now - t0)
+                        .str(
+                            "strategy",
+                            match self.strategy {
+                                RecoveryStrategy::Cooperative => "cooperative",
+                                RecoveryStrategy::SingleSource => "single_source",
+                            },
+                        ),
+                );
+            }
+        }
         let stream = self
             .members
             .get_mut(&member)
@@ -440,6 +509,14 @@ impl StreamingSim {
     #[must_use]
     pub fn run(self) -> StreamingReport {
         self.inner.run_streaming()
+    }
+
+    /// Runs with the given observability pipeline installed and returns it
+    /// (finished) alongside the report — see
+    /// [`ChurnSim::run_with_obs`](crate::ChurnSim::run_with_obs).
+    #[must_use]
+    pub fn run_with_obs(self, obs: Obs) -> (StreamingReport, Obs) {
+        self.inner.run_streaming_with_obs(obs)
     }
 }
 

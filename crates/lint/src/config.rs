@@ -28,7 +28,7 @@ impl Default for Config {
         let mut rule_crates = BTreeMap::new();
         rule_crates.insert(
             Rule::UnorderedCollections,
-            ["sim", "engine", "rost", "cer", "overlay"]
+            ["sim", "obs", "engine", "rost", "cer", "overlay"]
                 .map(String::from)
                 .to_vec(),
         );
@@ -256,7 +256,7 @@ crates = ["rost"]
     #[test]
     fn default_matches_workspace_policy() {
         let cfg = Config::default();
-        for c in ["sim", "engine", "rost", "cer", "overlay"] {
+        for c in ["sim", "obs", "engine", "rost", "cer", "overlay"] {
             assert!(cfg.rule_applies(Rule::UnorderedCollections, c));
         }
         assert!(!cfg.rule_applies(Rule::UnorderedCollections, "net"));

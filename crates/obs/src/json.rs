@@ -1,0 +1,79 @@
+//! Minimal deterministic JSON writing helpers shared by the trace,
+//! metrics and manifest serializers. Output is append-only into a
+//! `String`, with no allocation beyond the destination buffer.
+
+use std::fmt::Write as _;
+
+/// Appends `s` as a JSON string literal (with quotes) onto `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number onto `out`.
+///
+/// Uses Rust's shortest-round-trip `Display`, which is deterministic
+/// across runs and platforms. Non-finite values (which JSON cannot
+/// represent) serialize as `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `v` as a JSON integer onto `out`.
+pub(crate) fn push_u64(out: &mut String, v: u64) {
+    let _ = write!(out, "{v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(lit("plain"), "\"plain\"");
+        assert_eq!(lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(lit("x\ny"), "\"x\\ny\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        let mut out = String::new();
+        push_f64(&mut out, 12.5);
+        out.push(' ');
+        push_f64(&mut out, 0.1);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "12.5 0.1 null");
+    }
+
+    #[test]
+    fn integers_print_plain() {
+        let mut out = String::new();
+        push_u64(&mut out, u64::MAX);
+        assert_eq!(out, "18446744073709551615");
+    }
+}

@@ -1,0 +1,148 @@
+//! Run provenance: a small manifest identifying exactly which run
+//! produced a results file, so every `results/*.csv` row is reproducible.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+
+/// 64-bit FNV-1a hash — the workspace's standard content digest for
+/// provenance (stable across platforms, no dependencies).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Provenance record for one simulation run, emitted next to its trace
+/// and CSV output.
+///
+/// Two identical-seed runs must produce identical manifests; the
+/// determinism tests compare them field by field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Human name of the run (e.g. the bench binary).
+    pub name: String,
+    /// The single `u64` seed the run derives all randomness from.
+    pub seed: u64,
+    /// FNV-1a digest of the full config's `Debug` rendering.
+    pub config_digest: u64,
+    /// Version of the workspace that produced the run.
+    pub crate_version: String,
+    /// Total events the simulation loop processed.
+    pub events_processed: u64,
+    /// Trace events recorded (post-filter).
+    pub trace_events: u64,
+    /// `RunOutcome` of the simulation, as text (`Drained`,
+    /// `HorizonReached`, `BudgetExhausted`).
+    pub outcome: String,
+    /// Free-form extra provenance (metric digests, scale knobs), ordered.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl RunManifest {
+    /// A manifest with the given identity and everything else zeroed.
+    #[must_use]
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        RunManifest {
+            name: name.into(),
+            seed,
+            config_digest: 0,
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            events_processed: 0,
+            trace_events: 0,
+            outcome: String::new(),
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a free-form provenance entry (builder style).
+    #[must_use]
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra.insert(key.into(), value.into());
+        self
+    }
+
+    /// Serializes the manifest as one deterministic JSON object
+    /// (trailing newline included, so the file is a valid JSONL line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"name\":");
+        json::push_str_literal(&mut out, &self.name);
+        out.push_str(",\"seed\":");
+        json::push_u64(&mut out, self.seed);
+        out.push_str(",\"config_digest\":");
+        json::push_u64(&mut out, self.config_digest);
+        out.push_str(",\"crate_version\":");
+        json::push_str_literal(&mut out, &self.crate_version);
+        out.push_str(",\"events_processed\":");
+        json::push_u64(&mut out, self.events_processed);
+        out.push_str(",\"trace_events\":");
+        json::push_u64(&mut out, self.trace_events);
+        out.push_str(",\"outcome\":");
+        json::push_str_literal(&mut out, &self.outcome);
+        out.push_str(",\"extra\":{");
+        let mut first = true;
+        for (key, value) in &self.extra {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::push_str_literal(&mut out, key);
+            out.push(':');
+            json::push_str_literal(&mut out, value);
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"hello"), 0xa430_d846_80aa_bd0b);
+        // Same input, same digest — always.
+        assert_eq!(fnv1a(b"config"), fnv1a(b"config"));
+        assert_ne!(fnv1a(b"config-a"), fnv1a(b"config-b"));
+    }
+
+    #[test]
+    fn manifest_json_round_trip_shape() {
+        let m = RunManifest::new("fig14_rost_cer", 42)
+            .with_extra("metrics_digest", "123")
+            .with_extra("alg", "rost");
+        let js = m.to_json();
+        assert!(js.starts_with("{\"name\":\"fig14_rost_cer\",\"seed\":42,"));
+        assert!(js.ends_with("}}\n"));
+        // BTreeMap: "alg" before "metrics_digest" regardless of insertion.
+        let a = js.find("\"alg\"").expect("alg present");
+        let b = js.find("\"metrics_digest\"").expect("digest present");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn identical_manifests_compare_equal() {
+        let mk = || {
+            let mut m = RunManifest::new("run", 7);
+            m.config_digest = fnv1a(b"cfg");
+            m.events_processed = 100;
+            m.trace_events = 10;
+            m.outcome = "HorizonReached".to_string();
+            m
+        };
+        assert_eq!(mk(), mk());
+        assert_eq!(mk().to_json(), mk().to_json());
+    }
+}

@@ -39,5 +39,5 @@ pub use btp::Btp;
 pub use config::RostConfig;
 pub use join::RostJoin;
 pub use locks::{LockTable, OpId};
-pub use referee::{RefereeError, RefereeRegistry, Verification};
-pub use switching::{SwitchOutcome, SwitchingProtocol};
+pub use referee::{RefereeError, RefereeRegistry, Verification, VerificationStats};
+pub use switching::{SwitchOutcome, SwitchStats, SwitchingProtocol};

@@ -39,6 +39,8 @@ pub struct OpId(pub u64);
 pub struct LockTable {
     holders: BTreeMap<NodeId, OpId>,
     ops: BTreeMap<OpId, Vec<NodeId>>,
+    grants: u64,
+    denials: u64,
 }
 
 impl LockTable {
@@ -61,8 +63,10 @@ impl LockTable {
             "operation {op:?} already holds locks"
         );
         if set.iter().any(|n| self.holders.contains_key(n)) {
+            self.denials += 1;
             return false;
         }
+        self.grants += 1;
         let mut held = Vec::with_capacity(set.len());
         for &n in set {
             if self.holders.insert(n, op).is_none() {
@@ -101,6 +105,21 @@ impl LockTable {
         self.holders.len()
     }
 
+    /// Number of successful [`LockTable::try_lock_all`] acquisitions over
+    /// this table's lifetime.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Number of refused [`LockTable::try_lock_all`] acquisitions (some
+    /// node in the set was busy) — the contention signal the §3.3
+    /// back-off responds to.
+    #[must_use]
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
     /// Drops locks held on `node` regardless of owner — used when a locked
     /// node crashes mid-operation (the failure detector supersedes the
     /// lock). The owning operation keeps its other locks.
@@ -135,6 +154,18 @@ mod tests {
         t.release(OpId(1));
         assert_eq!(t.locked_count(), 0);
         assert!(t.try_lock_all(OpId(2), &[NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn grant_and_denial_counters_accumulate() {
+        let mut t = LockTable::new();
+        assert_eq!((t.grants(), t.denials()), (0, 0));
+        assert!(t.try_lock_all(OpId(1), &[NodeId(1)]));
+        assert!(!t.try_lock_all(OpId(2), &[NodeId(1), NodeId(2)]));
+        assert!(!t.try_lock_all(OpId(3), &[NodeId(1)]));
+        t.release(OpId(1));
+        assert!(t.try_lock_all(OpId(4), &[NodeId(1)]));
+        assert_eq!((t.grants(), t.denials()), (2, 2));
     }
 
     #[test]

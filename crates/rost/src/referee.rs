@@ -22,6 +22,7 @@
 //! (`r > 1`) tolerates referee failures, and a crashed referee is replaced
 //! by a parent-assigned node synchronized from the survivors.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -98,6 +99,19 @@ impl Verification {
     }
 }
 
+/// Lifetime verdict counters over every claim verified by one
+/// [`RefereeRegistry`] — the audit signal the observability layer folds
+/// into its metrics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerificationStats {
+    /// Claims the referees vouched for.
+    pub confirmed: u64,
+    /// Claims exceeding the witnessed values (cheating reports).
+    pub rejected: u64,
+    /// Claims with no live referee to consult.
+    pub unverifiable: u64,
+}
+
 #[derive(Debug, Clone)]
 struct MemberRecord {
     /// Age witnesses: referee → recorded join time.
@@ -136,6 +150,11 @@ pub struct RefereeRegistry {
     bandwidth_referees: usize,
     heartbeat_secs: f64,
     records: BTreeMap<NodeId, MemberRecord>,
+    // Cells because verification is logically read-only (&self) but the
+    // audit tally must still accumulate.
+    confirmed: Cell<u64>,
+    rejected: Cell<u64>,
+    unverifiable: Cell<u64>,
 }
 
 impl RefereeRegistry {
@@ -158,7 +177,32 @@ impl RefereeRegistry {
             bandwidth_referees,
             heartbeat_secs,
             records: BTreeMap::new(),
+            confirmed: Cell::new(0),
+            rejected: Cell::new(0),
+            unverifiable: Cell::new(0),
         }
+    }
+
+    /// Lifetime verdict counters over every
+    /// [`verify_age`](Self::verify_age) /
+    /// [`verify_bandwidth`](Self::verify_bandwidth) call.
+    #[must_use]
+    pub fn verification_stats(&self) -> VerificationStats {
+        VerificationStats {
+            confirmed: self.confirmed.get(),
+            rejected: self.rejected.get(),
+            unverifiable: self.unverifiable.get(),
+        }
+    }
+
+    fn tally(&self, verdict: Verification) -> Verification {
+        let cell = match verdict {
+            Verification::Confirmed { .. } => &self.confirmed,
+            Verification::Rejected { .. } => &self.rejected,
+            Verification::Unverifiable => &self.unverifiable,
+        };
+        cell.set(cell.get() + 1);
+        verdict
     }
 
     /// Records a new member's join time at its parent-appointed age
@@ -245,7 +289,7 @@ impl RefereeRegistry {
         is_live: impl Fn(NodeId) -> bool,
     ) -> Verification {
         let Some(record) = self.records.get(&subject) else {
-            return Verification::Unverifiable;
+            return self.tally(Verification::Unverifiable);
         };
         let witnessed: Vec<f64> = record
             .age
@@ -254,9 +298,9 @@ impl RefereeRegistry {
             .map(|(_, &join)| (now - join).max(0.0))
             .collect();
         let Some(&max_witnessed) = witnessed.iter().max_by(|a, b| a.total_cmp(b)) else {
-            return Verification::Unverifiable;
+            return self.tally(Verification::Unverifiable);
         };
-        if claimed_age_secs <= max_witnessed + self.heartbeat_secs {
+        self.tally(if claimed_age_secs <= max_witnessed + self.heartbeat_secs {
             Verification::Confirmed {
                 witnessed: max_witnessed,
             }
@@ -264,7 +308,7 @@ impl RefereeRegistry {
             Verification::Rejected {
                 witnessed: max_witnessed,
             }
-        }
+        })
     }
 
     /// Verifies a bandwidth claim against the live bandwidth referees.
@@ -277,7 +321,7 @@ impl RefereeRegistry {
         is_live: impl Fn(NodeId) -> bool,
     ) -> Verification {
         let Some(record) = self.records.get(&subject) else {
-            return Verification::Unverifiable;
+            return self.tally(Verification::Unverifiable);
         };
         let witnessed: Vec<f64> = record
             .bandwidth
@@ -286,9 +330,9 @@ impl RefereeRegistry {
             .map(|(_, &bw)| bw)
             .collect();
         let Some(&max_witnessed) = witnessed.iter().max_by(|a, b| a.total_cmp(b)) else {
-            return Verification::Unverifiable;
+            return self.tally(Verification::Unverifiable);
         };
-        if claimed_bandwidth <= max_witnessed * 1.01 {
+        self.tally(if claimed_bandwidth <= max_witnessed * 1.01 {
             Verification::Confirmed {
                 witnessed: max_witnessed,
             }
@@ -296,7 +340,7 @@ impl RefereeRegistry {
             Verification::Rejected {
                 witnessed: max_witnessed,
             }
-        }
+        })
     }
 
     /// The BTP the referees can vouch for (witnessed bandwidth × witnessed
@@ -604,6 +648,28 @@ mod tests {
         // time; removing from a single-entry record leaves no survivor.
         let record_referees = reg.age_referees_of(NodeId(9));
         assert_eq!(record_referees.len(), 2);
+    }
+
+    #[test]
+    fn verification_stats_tally_every_verdict() {
+        let mut reg = registry();
+        reg.register_join(NodeId(9), SimTime::ZERO, &[NodeId(1), NodeId(2)])
+            .unwrap();
+        reg.record_bandwidth(NodeId(9), &[2.0], &[NodeId(3), NodeId(4)])
+            .unwrap();
+        let now = SimTime::from_secs(100.0);
+        reg.verify_age(NodeId(9), 50.0, now, all_live); // confirmed
+        reg.verify_bandwidth(NodeId(9), 2.0, all_live); // confirmed
+        reg.verify_age(NodeId(9), 9_999.0, now, all_live); // rejected
+        reg.verify_bandwidth(NodeId(42), 1.0, all_live); // unverifiable
+        assert_eq!(
+            reg.verification_stats(),
+            VerificationStats {
+                confirmed: 2,
+                rejected: 1,
+                unverifiable: 1
+            }
+        );
     }
 
     #[test]

@@ -38,6 +38,22 @@ pub enum SwitchOutcome {
     Busy,
 }
 
+/// Lifetime outcome counters for one [`SwitchingProtocol`], broken down
+/// by [`SwitchOutcome`] variant. `attempts` is always the sum of the
+/// other three.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Total calls to [`SwitchingProtocol::attempt`].
+    pub attempts: u64,
+    /// Attempts that promoted the child ([`SwitchOutcome::Switched`]).
+    pub switched: u64,
+    /// Attempts refused by lock contention ([`SwitchOutcome::Busy`]).
+    pub busy: u64,
+    /// Attempts failing the §3.3 condition
+    /// ([`SwitchOutcome::NotEligible`]).
+    pub not_eligible: u64,
+}
+
 /// Driver state for ROST switching over one tree.
 ///
 /// # Examples
@@ -71,6 +87,7 @@ pub struct SwitchingProtocol {
     config: RostConfig,
     locks: LockTable,
     next_op: u64,
+    stats: SwitchStats,
 }
 
 impl SwitchingProtocol {
@@ -81,7 +98,14 @@ impl SwitchingProtocol {
             config,
             locks: LockTable::new(),
             next_op: 0,
+            stats: SwitchStats::default(),
         }
+    }
+
+    /// Lifetime counters over every [`attempt`](Self::attempt) outcome.
+    #[must_use]
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
     }
 
     /// The protocol configuration.
@@ -171,16 +195,22 @@ impl SwitchingProtocol {
         node: NodeId,
         now: SimTime,
     ) -> SwitchOutcome {
+        self.stats.attempts += 1;
         if !Self::eligible_with(tree, node, now, self.config.bandwidth_guard) {
+            self.stats.not_eligible += 1;
             return SwitchOutcome::NotEligible;
         }
         let set = Self::lock_set(tree, node);
         let op = self.allocate_op();
         if !self.locks.try_lock_all(op, &set) {
+            self.stats.busy += 1;
             return SwitchOutcome::Busy;
         }
         match tree.swap_with_parent(node, |p| p.btp(now)) {
-            Ok(record) => SwitchOutcome::Switched { record, op },
+            Ok(record) => {
+                self.stats.switched += 1;
+                SwitchOutcome::Switched { record, op }
+            }
             // The capacity guard can only fire for a zero-capacity child,
             // which the bandwidth condition excludes (its parent would
             // need capacity 0 too and could never have had a child); any
@@ -188,6 +218,7 @@ impl SwitchingProtocol {
             // report the node ineligible.
             Err(_) => {
                 self.locks.release(op);
+                self.stats.not_eligible += 1;
                 SwitchOutcome::NotEligible
             }
         }
@@ -324,6 +355,33 @@ mod tests {
             }
             other => panic!("expected switch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_break_down_by_outcome() {
+        let mut tree = two_level_tree();
+        let mut rost = SwitchingProtocol::new(RostConfig::paper());
+        // Not eligible yet.
+        rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(101.0));
+        // Busy: the family is locked by a competing operation.
+        let recovery = rost.allocate_op();
+        assert!(rost.locks_mut().try_lock_all(recovery, &[NodeId(1)]));
+        rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(500.0));
+        rost.release(recovery);
+        // Switched.
+        match rost.attempt(&mut tree, NodeId(2), SimTime::from_secs(500.0)) {
+            SwitchOutcome::Switched { op, .. } => rost.release(op),
+            other => panic!("expected switch, got {other:?}"),
+        }
+        let stats = rost.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.switched, 1);
+        assert_eq!(stats.busy, 1);
+        assert_eq!(stats.not_eligible, 1);
+        assert_eq!(
+            stats.attempts,
+            stats.switched + stats.busy + stats.not_eligible
+        );
     }
 
     #[test]

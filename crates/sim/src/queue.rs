@@ -65,6 +65,7 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    high_water: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -74,6 +75,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -82,6 +84,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, if any.
@@ -105,6 +110,16 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Maximum number of events ever pending at once over this queue's
+    /// lifetime (not reset by [`EventQueue::clear`]).
+    ///
+    /// This is the exact peak the observability layer's queue-depth
+    /// gauge approximates by sampling.
+    #[must_use]
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
     }
 
     /// Drops all pending events.
@@ -159,6 +174,30 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_pending() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water_mark(), 0);
+        q.push(SimTime::from_secs(1.0), 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        q.push(SimTime::from_secs(3.0), 3);
+        assert_eq!(q.high_water_mark(), 3);
+        q.pop();
+        q.pop();
+        // Popping never lowers the mark; a smaller refill keeps the peak.
+        q.push(SimTime::from_secs(4.0), 4);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water_mark(), 3);
+        // The mark survives clear(): it is a lifetime peak.
+        q.clear();
+        assert_eq!(q.high_water_mark(), 3);
+        q.push(SimTime::from_secs(5.0), 5);
+        q.push(SimTime::from_secs(6.0), 6);
+        q.push(SimTime::from_secs(7.0), 7);
+        q.push(SimTime::from_secs(8.0), 8);
+        assert_eq!(q.high_water_mark(), 4);
     }
 
     #[test]

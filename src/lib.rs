@@ -14,6 +14,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`sim`] | `rom-sim` | event queue, virtual clock, deterministic RNG |
+//! | [`obs`] | `rom-obs` | structured traces, metrics, run manifests |
 //! | [`net`] | `rom-net` | transit-stub topologies, Dijkstra, delay oracle |
 //! | [`stats`] | `rom-stats` | Bounded Pareto, lognormal, summaries, CDFs |
 //! | [`overlay`] | `rom-overlay` | members, multicast tree, baseline algorithms |
@@ -46,6 +47,7 @@
 pub use rom_cer as cer;
 pub use rom_engine as engine;
 pub use rom_net as net;
+pub use rom_obs as obs;
 pub use rom_overlay as overlay;
 pub use rom_rost as rost;
 pub use rom_sim as sim;
