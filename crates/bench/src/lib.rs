@@ -198,7 +198,8 @@ pub fn replicate_streaming_traced(
 
 /// An [`Obs`] pipeline writing JSONL trace lines to `path`, aborting the
 /// process when the file cannot be created (a bench-appropriate policy).
-fn obs_to_file(path: &str) -> Obs {
+#[must_use]
+pub fn obs_to_file(path: &str) -> Obs {
     match JsonlSink::create(path) {
         Ok(sink) => Obs::new(Tracer::to_sink(Box::new(sink))),
         Err(err) => {
@@ -208,11 +209,34 @@ fn obs_to_file(path: &str) -> Obs {
     }
 }
 
+/// Builds the [`RunManifest`] of a traced run: name, seed, provenance
+/// digests, event counts, and — crucially — the [`RunOutcome`], so a
+/// truncated run is recorded as `BudgetExhausted` in the manifest rather
+/// than passing silently as a completed measurement.
+#[must_use]
+pub fn run_manifest(
+    name: &str,
+    seed: u64,
+    config_digest: u64,
+    obs: &Obs,
+    events_processed: u64,
+    outcome: RunOutcome,
+) -> RunManifest {
+    let metrics = obs.snapshot().to_json();
+    let mut manifest = RunManifest::new(name, seed)
+        .with_extra("metrics_digest", format!("{:016x}", fnv1a(metrics.as_bytes())));
+    manifest.config_digest = config_digest;
+    manifest.events_processed = events_processed;
+    manifest.trace_events = obs.trace_events();
+    manifest.outcome = format!("{outcome:?}");
+    manifest
+}
+
 /// Writes the provenance sidecars of a traced run: the [`RunManifest`] at
 /// `PATH.manifest.json` and the metrics snapshot at `PATH.metrics.json`.
 /// The manifest carries the FNV-1a digest of the metrics JSON, so the
 /// whole observation pipeline is covered by a byte-comparable record.
-fn trace_sidecars(
+pub fn trace_sidecars(
     path: &str,
     name: &str,
     seed: u64,
@@ -222,12 +246,7 @@ fn trace_sidecars(
     outcome: RunOutcome,
 ) {
     let metrics = obs.snapshot().to_json();
-    let mut manifest = RunManifest::new(name, seed)
-        .with_extra("metrics_digest", format!("{:016x}", fnv1a(metrics.as_bytes())));
-    manifest.config_digest = config_digest;
-    manifest.events_processed = events_processed;
-    manifest.trace_events = obs.trace_events();
-    manifest.outcome = format!("{outcome:?}");
+    let manifest = run_manifest(name, seed, config_digest, obs, events_processed, outcome);
     for (file, contents) in [
         (format!("{path}.manifest.json"), manifest.to_json()),
         (format!("{path}.metrics.json"), metrics),

@@ -1,0 +1,54 @@
+//! A truncated run must not masquerade as a completed measurement: the
+//! manifest written next to a trace records the same [`RunOutcome`] the
+//! report carries, so `BudgetExhausted` is visible in the provenance
+//! record and not just as a transient stderr warning.
+
+use rom_bench::run_manifest;
+use rom_engine::{AlgorithmKind, ChurnConfig, ChurnSim};
+use rom_obs::Obs;
+use rom_sim::RunOutcome;
+
+#[test]
+fn truncated_run_records_budget_exhausted_in_manifest() {
+    let mut cfg = ChurnConfig::quick(AlgorithmKind::Rost, 100).with_seed(3);
+    cfg.max_events = Some(500);
+    let report = ChurnSim::new(cfg).run();
+    assert_eq!(
+        report.outcome,
+        RunOutcome::BudgetExhausted,
+        "500 events cannot cover a 100-member session"
+    );
+
+    let manifest = run_manifest(
+        "truncation",
+        3,
+        0,
+        &Obs::disabled(),
+        report.events_processed,
+        report.outcome,
+    );
+    assert_eq!(manifest.outcome, format!("{:?}", report.outcome));
+    assert_eq!(manifest.outcome, "BudgetExhausted");
+    assert!(
+        manifest.to_json().contains("\"outcome\":\"BudgetExhausted\""),
+        "the serialized manifest must carry the truncation outcome"
+    );
+    assert_eq!(manifest.events_processed, report.events_processed);
+}
+
+#[test]
+fn completed_run_manifest_matches_report_outcome() {
+    let cfg = ChurnConfig::quick(AlgorithmKind::Rost, 100).with_seed(3);
+    let report = ChurnSim::new(cfg).run();
+    assert_ne!(report.outcome, RunOutcome::BudgetExhausted);
+
+    let manifest = run_manifest(
+        "truncation",
+        3,
+        0,
+        &Obs::disabled(),
+        report.events_processed,
+        report.outcome,
+    );
+    assert_eq!(manifest.outcome, format!("{:?}", report.outcome));
+}

@@ -1,0 +1,220 @@
+//! Wire-level perturbation: seeded message loss, delay and reordering.
+//!
+//! [`LinkChaos`] is a tiny deterministic oracle the wire harness consults
+//! once per frame it is about to deliver. The oracle owns its own
+//! [`SimRng`] stream, so perturbing a harness run never disturbs any
+//! other randomness in the process, and the same seed always yields the
+//! same fate sequence.
+
+use rom_sim::SimRng;
+
+/// Probabilities for the per-frame perturbation draw.
+///
+/// The three probabilities partition the unit interval; whatever is left
+/// over is the clean-delivery probability, so their sum must be ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkChaosConfig {
+    /// Probability a frame is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a frame is held back for a few delivery steps.
+    pub delay_prob: f64,
+    /// Maximum hold-back, in delivery steps (≥ 1); the actual delay is
+    /// drawn uniformly from `1..=max_delay_steps`.
+    pub max_delay_steps: u64,
+    /// Probability a frame is pushed behind the frames queued after it.
+    pub reorder_prob: f64,
+}
+
+impl LinkChaosConfig {
+    /// Mild perturbation: 2% loss, 5% delay (up to 4 steps), 5% reorder.
+    #[must_use]
+    pub fn light() -> Self {
+        LinkChaosConfig {
+            drop_prob: 0.02,
+            delay_prob: 0.05,
+            max_delay_steps: 4,
+            reorder_prob: 0.05,
+        }
+    }
+
+    /// Hostile network: 10% loss, 15% delay (up to 8 steps), 10% reorder.
+    #[must_use]
+    pub fn heavy() -> Self {
+        LinkChaosConfig {
+            drop_prob: 0.10,
+            delay_prob: 0.15,
+            max_delay_steps: 8,
+            reorder_prob: 0.10,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("delay_prob", self.delay_prob),
+            ("reorder_prob", self.reorder_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
+        }
+        assert!(
+            self.drop_prob + self.delay_prob + self.reorder_prob <= 1.0,
+            "perturbation probabilities must sum to at most 1"
+        );
+        assert!(self.max_delay_steps >= 1, "max_delay_steps must be >= 1");
+    }
+}
+
+/// The fate assigned to one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Deliver normally.
+    Deliver,
+    /// Drop silently.
+    Drop,
+    /// Hold back for this many delivery steps.
+    Delay(u64),
+    /// Requeue behind the currently queued frames.
+    Reorder,
+}
+
+/// A deterministic per-frame perturbation oracle.
+///
+/// # Examples
+///
+/// ```
+/// use rom_chaos::{LinkChaos, LinkChaosConfig, LinkFate};
+///
+/// let mut a = LinkChaos::new(LinkChaosConfig::heavy(), 7);
+/// let mut b = LinkChaos::new(LinkChaosConfig::heavy(), 7);
+/// let fates: Vec<LinkFate> = (0..64).map(|_| a.classify()).collect();
+/// assert_eq!(fates, (0..64).map(|_| b.classify()).collect::<Vec<_>>());
+/// ```
+#[derive(Debug)]
+pub struct LinkChaos {
+    cfg: LinkChaosConfig,
+    rng: SimRng,
+    dropped: u64,
+    delayed: u64,
+    reordered: u64,
+}
+
+impl LinkChaos {
+    /// An oracle drawing from the `"link-chaos"` fork of `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config probabilities are out of range (see
+    /// [`LinkChaosConfig`]).
+    #[must_use]
+    pub fn new(cfg: LinkChaosConfig, seed: u64) -> Self {
+        cfg.validate();
+        LinkChaos {
+            cfg,
+            rng: SimRng::seed_from(seed).fork("link-chaos"),
+            dropped: 0,
+            delayed: 0,
+            reordered: 0,
+        }
+    }
+
+    /// Draws the fate for the next frame.
+    pub fn classify(&mut self) -> LinkFate {
+        let u = self.rng.uniform();
+        if u < self.cfg.drop_prob {
+            self.dropped += 1;
+            return LinkFate::Drop;
+        }
+        if u < self.cfg.drop_prob + self.cfg.delay_prob {
+            self.delayed += 1;
+            let steps = 1 + self.rng.index(self.cfg.max_delay_steps as usize) as u64;
+            return LinkFate::Delay(steps);
+        }
+        if u < self.cfg.drop_prob + self.cfg.delay_prob + self.cfg.reorder_prob {
+            self.reordered += 1;
+            return LinkFate::Reorder;
+        }
+        LinkFate::Deliver
+    }
+
+    /// Frames dropped so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames delayed so far.
+    #[must_use]
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// Frames reordered so far.
+    #[must_use]
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fates_follow_configured_frequencies() {
+        let mut chaos = LinkChaos::new(
+            LinkChaosConfig {
+                drop_prob: 0.25,
+                delay_prob: 0.25,
+                max_delay_steps: 3,
+                reorder_prob: 0.25,
+            },
+            42,
+        );
+        let n = 20_000;
+        let mut delivered = 0u64;
+        for _ in 0..n {
+            match chaos.classify() {
+                LinkFate::Deliver => delivered += 1,
+                LinkFate::Delay(steps) => assert!((1..=3).contains(&steps)),
+                LinkFate::Drop | LinkFate::Reorder => {}
+            }
+        }
+        let quarter = n as f64 / 4.0;
+        for count in [chaos.dropped(), chaos.delayed(), chaos.reordered(), delivered] {
+            assert!(
+                (count as f64 - quarter).abs() < quarter * 0.1,
+                "count {count} far from {quarter}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probabilities_always_deliver() {
+        let mut chaos = LinkChaos::new(
+            LinkChaosConfig {
+                drop_prob: 0.0,
+                delay_prob: 0.0,
+                max_delay_steps: 1,
+                reorder_prob: 0.0,
+            },
+            1,
+        );
+        for _ in 0..100 {
+            assert_eq!(chaos.classify(), LinkFate::Deliver);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_probabilities_rejected() {
+        let _ = LinkChaos::new(
+            LinkChaosConfig {
+                drop_prob: 0.6,
+                delay_prob: 0.5,
+                max_delay_steps: 1,
+                reorder_prob: 0.0,
+            },
+            1,
+        );
+    }
+}

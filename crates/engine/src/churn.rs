@@ -14,13 +14,17 @@
 
 use std::collections::BTreeMap;
 
+use rom_chaos::{
+    pick_attached, pick_cluster, ChaosAction, InvariantRegistry, RejoinCause, Scenario, Signal,
+    CHAOS_ID_BASE,
+};
 use rom_net::{DelayOracle, TransitStubNetwork, UnderlayId};
 use rom_overlay::algorithms::{
     JoinContext, JoinDecision, LongestFirst, MinimumDepth, RelaxedBandwidthOrdered,
     RelaxedTimeOrdered, TreeAlgorithm,
 };
 use rom_obs::{Level, Obs, Subsystem, TraceEvent};
-use rom_overlay::{paper_source, MemberProfile, MulticastTree, NodeId, ViewSampler};
+use rom_overlay::{paper_source, Location, MemberProfile, MulticastTree, NodeId, ViewSampler};
 use rom_rost::{OpId, RostJoin, SwitchOutcome, SwitchingProtocol};
 use rom_sim::{RunOutcome, Schedule, SimRng, SimTime, Simulation};
 use rom_stats::{Summary, TimeSeries};
@@ -49,6 +53,22 @@ enum Event {
     Sample,
     /// The tracked typical member joins (Figs. 6 and 9).
     ObserverJoin,
+    /// A scheduled fault injection fires (index into the scenario).
+    ChaosInject(usize),
+    /// A chaos-forced abrupt failure (always uncooperative, and drawn
+    /// from the chaos RNG stream rather than the decisions stream).
+    ChaosFail(NodeId),
+    /// A chaos-born member arrives (flash crowds, flap replacements).
+    ChaosJoin,
+    /// One cycle of membership flapping.
+    ChaosFlap {
+        /// Members failed this cycle.
+        members: usize,
+        /// Seconds until the next cycle.
+        period_secs: f64,
+        /// Cycles still to run, including this one.
+        cycles_left: usize,
+    },
 }
 
 /// The trace of the tracked "typical member" (Figs. 6 and 9).
@@ -154,11 +174,30 @@ pub struct ChurnSim {
     /// Streaming layer (Figs. 12-14); `None` for pure tree experiments.
     streaming: Option<StreamingState>,
 
+    /// Fault-injection driver; `None` unless a scenario is configured.
+    chaos: Option<ChaosState>,
+    /// Armed invariant registry; `None` unless running via
+    /// [`ChurnSim::run_checked`].
+    invariants: Option<InvariantRegistry>,
+
     /// Observability pipeline; disabled (and free) unless installed via
     /// [`ChurnSim::run_with_obs`].
     obs: Obs,
 
     report: ChurnReport,
+}
+
+/// Driver state for a configured fault-injection scenario.
+#[derive(Debug)]
+struct ChaosState {
+    /// The plan whose injections were scheduled during seeding.
+    scenario: Scenario,
+    /// Dedicated RNG fork ("chaos"): victim picks, burst spacing and
+    /// chaos-member profiles never perturb the organic workload or
+    /// decisions streams.
+    rng: SimRng,
+    /// Next id for chaos-born members, disjoint from workload ids.
+    next_id: u64,
 }
 
 /// The concrete algorithm dispatch (kept as an enum rather than a
@@ -234,6 +273,11 @@ impl ChurnSim {
         let algorithm = Algorithm::of(cfg.algorithm);
         let sampler = ViewSampler::new(cfg.view_size);
         let rng = root_rng.fork("decisions");
+        let chaos = cfg.chaos.clone().map(|scenario| ChaosState {
+            scenario,
+            rng: root_rng.fork("chaos"),
+            next_id: CHAOS_ID_BASE,
+        });
         let rost = SwitchingProtocol::new(cfg.rost.clone());
         let window_start = SimTime::from_secs(cfg.warmup_secs);
         let window_end = window_start + cfg.measure_secs;
@@ -281,6 +325,8 @@ impl ChurnSim {
             observer_disruptions: TimeSeries::new(60.0),
             observer_delay: TimeSeries::new(60.0),
             streaming,
+            chaos,
+            invariants: None,
             obs: Obs::disabled(),
             report,
         }
@@ -306,8 +352,28 @@ impl ChurnSim {
     #[must_use]
     pub fn run_with_obs(mut self, obs: Obs) -> (ChurnReport, Obs) {
         self.obs = obs;
-        let (report, _streaming, obs) = self.run_inner();
+        let (report, _streaming, obs, _invariants) = self.run_inner();
         (report, obs)
+    }
+
+    /// Runs with the given invariant registry armed: the engine reports
+    /// every protocol transition (failure scopes, rejoin scheduling,
+    /// recovery starts, reattachments, recovery-group choices) to the
+    /// registry's checkers and runs its cross-cutting tree checks after
+    /// every dispatched event. Violations are counted under the
+    /// `chaos.violations` metric and emitted as `Warn`-level
+    /// [`Subsystem::Chaos`] trace events on `obs`. Returns the registry —
+    /// with everything it found — alongside the report.
+    #[must_use]
+    pub fn run_checked(
+        mut self,
+        registry: InvariantRegistry,
+        obs: Obs,
+    ) -> (ChurnReport, InvariantRegistry, Obs) {
+        self.obs = obs;
+        self.invariants = Some(registry);
+        let (report, _streaming, obs, invariants) = self.run_inner();
+        (report, invariants.unwrap_or_default(), obs)
     }
 
     /// Like [`run`](Self::run), but calls `inspect` with the final tree
@@ -315,6 +381,9 @@ impl ChurnSim {
     /// to examine the converged structure.
     pub fn run_inspect(mut self, inspect: impl FnOnce(&MulticastTree, SimTime)) -> ChurnReport {
         let mut sim: Simulation<Event> = Simulation::new();
+        if let Some(budget) = self.cfg.max_events {
+            sim = sim.with_max_events(budget);
+        }
         self.seed(&mut sim);
         let horizon = self.window_end;
         let outcome = sim.run_until(horizon, |now, event, sched| {
@@ -332,7 +401,7 @@ impl ChurnSim {
     ///
     /// Panics if the simulator was built without a streaming layer.
     pub(crate) fn run_streaming(self) -> StreamingReport {
-        let (churn, streaming, _obs) = self.run_inner();
+        let (churn, streaming, _obs, _invariants) = self.run_inner();
         streaming
             .expect("built with new_with_streaming")
             .into_report(churn)
@@ -341,15 +410,40 @@ impl ChurnSim {
     /// Streaming variant of [`run_with_obs`](Self::run_with_obs).
     pub(crate) fn run_streaming_with_obs(mut self, obs: Obs) -> (StreamingReport, Obs) {
         self.obs = obs;
-        let (churn, streaming, obs) = self.run_inner();
+        let (churn, streaming, obs, _invariants) = self.run_inner();
         let report = streaming
             .expect("built with new_with_streaming")
             .into_report(churn);
         (report, obs)
     }
 
-    fn run_inner(mut self) -> (ChurnReport, Option<StreamingState>, Obs) {
+    /// Streaming variant of [`run_checked`](Self::run_checked).
+    pub(crate) fn run_streaming_checked(
+        mut self,
+        registry: InvariantRegistry,
+        obs: Obs,
+    ) -> (StreamingReport, InvariantRegistry, Obs) {
+        self.obs = obs;
+        self.invariants = Some(registry);
+        let (churn, streaming, obs, invariants) = self.run_inner();
+        let report = streaming
+            .expect("built with new_with_streaming")
+            .into_report(churn);
+        (report, invariants.unwrap_or_default(), obs)
+    }
+
+    fn run_inner(
+        mut self,
+    ) -> (
+        ChurnReport,
+        Option<StreamingState>,
+        Obs,
+        Option<InvariantRegistry>,
+    ) {
         let mut sim: Simulation<Event> = Simulation::new();
+        if let Some(budget) = self.cfg.max_events {
+            sim = sim.with_max_events(budget);
+        }
         self.seed(&mut sim);
         let horizon = self.window_end;
         let outcome = sim.run_until(horizon, |now, event, sched| {
@@ -366,7 +460,8 @@ impl ChurnSim {
         self.obs.finish();
         let streaming = self.streaming.take();
         let obs = std::mem::take(&mut self.obs);
-        (self.finish(), streaming, obs)
+        let invariants = self.invariants.take();
+        (self.finish(), streaming, obs, invariants)
     }
 
     /// Folds the protocol-layer counters (ROST switching outcomes, lock
@@ -410,8 +505,18 @@ impl ChurnSim {
                     Event::JoinRetry(id),
                 );
             }
-            for orphan in std::mem::take(&mut self.rejoin_backlog) {
-                sim.schedule(SimTime::ZERO, Event::Rejoin(orphan));
+            let backlog = std::mem::take(&mut self.rejoin_backlog);
+            if !backlog.is_empty() {
+                self.signal_invariants(
+                    SimTime::ZERO,
+                    &Signal::RejoinScheduled {
+                        members: &backlog,
+                        cause: RejoinCause::Eviction,
+                    },
+                );
+                for orphan in backlog {
+                    sim.schedule(SimTime::ZERO, Event::Rejoin(orphan));
+                }
             }
             sim.schedule(
                 departure.max(SimTime::from_secs(0.001)),
@@ -430,6 +535,17 @@ impl ChurnSim {
         sim.schedule(self.window_start, Event::Sample);
         if self.cfg.observer.is_some() {
             sim.schedule(self.window_start, Event::ObserverJoin);
+        }
+
+        // Pin every scenario injection to its absolute instant; the chaos
+        // RNG is only consulted when an injection actually fires.
+        if let Some(chaos) = self.chaos.as_ref() {
+            for (index, injection) in chaos.scenario.injections.iter().enumerate() {
+                let at = SimTime::from_secs(injection.at_secs);
+                if at <= self.window_end {
+                    sim.schedule(at, Event::ChaosInject(index));
+                }
+            }
         }
     }
 
@@ -613,12 +729,37 @@ impl ChurnSim {
     /// event.
     fn drain_rejoin_backlog(&mut self, sched: &mut Schedule<'_, Event>) {
         let backlog = std::mem::take(&mut self.rejoin_backlog);
-        self.schedule_rejoins(&backlog, sched);
+        self.schedule_rejoins(&backlog, RejoinCause::Eviction, sched);
     }
 
-    fn schedule_rejoins(&self, displaced: &[NodeId], sched: &mut Schedule<'_, Event>) {
+    /// Schedules a rejoin for each displaced member, announcing the batch
+    /// (with its cause) to the armed invariants first.
+    fn schedule_rejoins(
+        &mut self,
+        displaced: &[NodeId],
+        cause: RejoinCause,
+        sched: &mut Schedule<'_, Event>,
+    ) {
+        if displaced.is_empty() {
+            return;
+        }
+        self.signal_invariants(
+            sched.now(),
+            &Signal::RejoinScheduled {
+                members: displaced,
+                cause,
+            },
+        );
         for &orphan in displaced {
             sched.after(self.cfg.rejoin_delay_secs, Event::Rejoin(orphan));
+        }
+    }
+
+    /// Feeds a protocol signal to the armed invariant registry (no-op
+    /// when running unchecked).
+    fn signal_invariants(&mut self, now: SimTime, signal: &Signal<'_>) {
+        if let Some(registry) = self.invariants.as_mut() {
+            registry.signal(&self.tree, now, signal, &mut self.obs);
         }
     }
 
@@ -650,6 +791,9 @@ impl ChurnSim {
         }
         self.dispatch(now, event, sched);
         self.drain_rejoin_backlog(sched);
+        if let Some(registry) = self.invariants.as_mut() {
+            registry.after_event(&self.tree, now, &mut self.obs);
+        }
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event, sched: &mut Schedule<'_, Event>) {
@@ -712,101 +856,44 @@ impl ChurnSim {
                 }
                 let graceful =
                     self.cfg.graceful_fraction > 0.0 && self.rng.chance(self.cfg.graceful_fraction);
-                let Ok(removed) = self.tree.remove(id) else {
-                    return; // defensive: already gone
-                };
-                self.obs.count("churn.departures", 1);
-                if graceful {
-                    self.obs.count("churn.graceful_departures", 1);
+                self.depart(id, graceful, now, sched);
+            }
+
+            Event::ChaosFail(id) => {
+                // Forced failures are always abrupt (§3.3's uncooperative
+                // extreme) and never consult the decisions stream, so the
+                // organic run's draws stay aligned.
+                if id == self.tree.root() {
+                    return; // the source never fails
                 }
-                if self.obs.enabled(Subsystem::Churn, Level::Info) {
-                    self.obs.emit(
-                        TraceEvent::new(now.as_secs(), Subsystem::Churn, "departure")
-                            .u64("id", id.0)
-                            .bool("graceful", graceful)
-                            .u64("orphans", removed.orphaned_children.len() as u64)
-                            .u64("descendants", removed.affected_descendants.len() as u64),
-                    );
-                }
-                if let Some(st) = self.streaming.as_mut() {
-                    if !graceful {
-                        st.on_failure(&removed.affected_descendants, now, &mut self.obs);
-                    }
-                    st.on_member_departed(id, now);
-                }
-                if graceful {
-                    // §3.3: the member notified its neighbours, so its
-                    // children reconnect seamlessly — no disruption, no
-                    // detection delay.
-                    self.rost.locks_mut().evict_node(id);
-                    for &orphan in &removed.orphaned_children {
-                        sched.now_next(Event::Rejoin(orphan));
-                    }
-                    if self.in_window(now) {
-                        let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
-                        let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
-                        self.report.disruptions_per_lifetime.add(d);
-                        self.report.disruption_counts.push(d);
-                        self.report.reconnections_per_lifetime.add(r);
-                    } else {
-                        self.disruptions.remove(&id);
-                        self.reconnections.remove(&id);
-                    }
-                    return;
-                }
-                // Abrupt departure: every descendant is disrupted once.
-                if self.in_window(now) {
-                    self.report.disruption_events += removed.affected_descendants.len() as u64;
-                }
-                for &m in &removed.affected_descendants {
-                    *self.disruptions.entry(m).or_insert(0) += 1;
-                    if Some(m) == self.observer_id {
-                        self.observer_disruptions.record(now, 1.0);
-                    }
-                }
-                // ELN failure-scope partition (§4.1): only the orphaned
-                // children initiate recovery; the deeper descendants are
-                // notified of the failure and suppress their own redundant
-                // rejoin attempts.
-                let suppressed = removed
-                    .affected_descendants
-                    .len()
-                    .saturating_sub(removed.orphaned_children.len());
-                if suppressed > 0 && self.obs.is_active() {
-                    self.obs.count("cer.eln_suppressed", suppressed as u64);
-                    if self.obs.enabled(Subsystem::Cer, Level::Info) {
-                        self.obs.emit(
-                            TraceEvent::new(now.as_secs(), Subsystem::Cer, "eln_suppress")
-                                .u64("failed", id.0)
-                                .u64("rejoining", removed.orphaned_children.len() as u64)
-                                .u64("suppressed", suppressed as u64),
-                        );
-                    }
-                }
-                // A departed node may hold or be covered by locks.
-                self.rost.locks_mut().evict_node(id);
-                self.schedule_rejoins(&removed.orphaned_children, sched);
-                // Book the member's lifetime totals if it completed inside
-                // the window.
-                if self.in_window(now) {
-                    let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
-                    let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
-                    self.report.disruptions_per_lifetime.add(d);
-                    self.report.disruption_counts.push(d);
-                    self.report.reconnections_per_lifetime.add(r);
-                } else {
+                self.untrack_live(id);
+                if self.pending.remove(&id).is_some() {
                     self.disruptions.remove(&id);
                     self.reconnections.remove(&id);
+                    return;
                 }
+                self.depart(id, false, now, sched);
             }
+
+            Event::ChaosInject(index) => self.chaos_inject(index, now, sched),
+
+            Event::ChaosJoin => self.chaos_join(now, sched),
+
+            Event::ChaosFlap {
+                members,
+                period_secs,
+                cycles_left,
+            } => self.chaos_flap(members, period_secs, cycles_left, sched),
 
             Event::Rejoin(orphan) => {
                 if !self.tree.contains(orphan) || self.tree.is_attached(orphan) {
                     return; // departed or already back
                 }
+                self.signal_invariants(now, &Signal::RecoveryStart { member: orphan });
                 if self.rejoin_orphan(orphan, now) {
                     self.obs.count("churn.rejoins", 1);
                     self.trace_join(now, orphan, "rejoin");
+                    self.signal_invariants(now, &Signal::Reattached { member: orphan });
                     if let Some(st) = self.streaming.as_mut() {
                         st.on_restore(
                             &self.tree,
@@ -815,6 +902,7 @@ impl ChurnSim {
                             orphan,
                             now,
                             &mut self.obs,
+                            self.invariants.as_mut(),
                         );
                     }
                 } else {
@@ -847,7 +935,7 @@ impl ChurnSim {
                         for &m in &record.displaced {
                             *self.reconnections.entry(m).or_insert(0) += 1;
                         }
-                        self.schedule_rejoins(&record.displaced, sched);
+                        self.schedule_rejoins(&record.displaced, RejoinCause::Switch, sched);
                         sched.after(self.cfg.rost.lock_hold_secs, Event::ReleaseLocks(op));
                         sched.after(
                             self.cfg.rost.switching_interval_secs,
@@ -907,6 +995,288 @@ impl ChurnSim {
                 }
                 sched.at(member_departure_capped(spec, now), Event::Departure(id));
             }
+        }
+    }
+
+    /// Removes `id` from the tree and books the departure — the graceful
+    /// hand-off or the abrupt failure with its ELN scope accounting.
+    /// Shared by organic departures and chaos-forced failures (which are
+    /// always abrupt).
+    fn depart(&mut self, id: NodeId, graceful: bool, now: SimTime, sched: &mut Schedule<'_, Event>) {
+        let Ok(removed) = self.tree.remove(id) else {
+            return; // defensive: already gone
+        };
+        self.obs.count("churn.departures", 1);
+        if graceful {
+            self.obs.count("churn.graceful_departures", 1);
+        }
+        if self.obs.enabled(Subsystem::Churn, Level::Info) {
+            self.obs.emit(
+                TraceEvent::new(now.as_secs(), Subsystem::Churn, "departure")
+                    .u64("id", id.0)
+                    .bool("graceful", graceful)
+                    .u64("orphans", removed.orphaned_children.len() as u64)
+                    .u64("descendants", removed.affected_descendants.len() as u64),
+            );
+        }
+        if let Some(st) = self.streaming.as_mut() {
+            if !graceful {
+                st.on_failure(&removed.affected_descendants, now, &mut self.obs);
+            }
+            st.on_member_departed(id, now);
+        }
+        if graceful {
+            // §3.3: the member notified its neighbours, so its
+            // children reconnect seamlessly — no disruption, no
+            // detection delay.
+            self.rost.locks_mut().evict_node(id);
+            self.signal_invariants(
+                now,
+                &Signal::RejoinScheduled {
+                    members: &removed.orphaned_children,
+                    cause: RejoinCause::Graceful,
+                },
+            );
+            for &orphan in &removed.orphaned_children {
+                sched.now_next(Event::Rejoin(orphan));
+            }
+            if self.in_window(now) {
+                let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
+                let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
+                self.report.disruptions_per_lifetime.add(d);
+                self.report.disruption_counts.push(d);
+                self.report.reconnections_per_lifetime.add(r);
+            } else {
+                self.disruptions.remove(&id);
+                self.reconnections.remove(&id);
+            }
+            return;
+        }
+        // Abrupt departure: every descendant is disrupted once.
+        self.signal_invariants(
+            now,
+            &Signal::FailureScope {
+                failed: id,
+                rejoining: &removed.orphaned_children,
+                affected: &removed.affected_descendants,
+            },
+        );
+        if self.in_window(now) {
+            self.report.disruption_events += removed.affected_descendants.len() as u64;
+        }
+        for &m in &removed.affected_descendants {
+            *self.disruptions.entry(m).or_insert(0) += 1;
+            if Some(m) == self.observer_id {
+                self.observer_disruptions.record(now, 1.0);
+            }
+        }
+        // ELN failure-scope partition (§4.1): only the orphaned
+        // children initiate recovery; the deeper descendants are
+        // notified of the failure and suppress their own redundant
+        // rejoin attempts.
+        let suppressed = removed
+            .affected_descendants
+            .len()
+            .saturating_sub(removed.orphaned_children.len());
+        if suppressed > 0 && self.obs.is_active() {
+            self.obs.count("cer.eln_suppressed", suppressed as u64);
+            if self.obs.enabled(Subsystem::Cer, Level::Info) {
+                self.obs.emit(
+                    TraceEvent::new(now.as_secs(), Subsystem::Cer, "eln_suppress")
+                        .u64("failed", id.0)
+                        .u64("rejoining", removed.orphaned_children.len() as u64)
+                        .u64("suppressed", suppressed as u64),
+                );
+            }
+        }
+        // A departed node may hold or be covered by locks.
+        self.rost.locks_mut().evict_node(id);
+        self.schedule_rejoins(&removed.orphaned_children, RejoinCause::Failure, sched);
+        // Book the member's lifetime totals if it completed inside
+        // the window.
+        if self.in_window(now) {
+            let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
+            let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
+            self.report.disruptions_per_lifetime.add(d);
+            self.report.disruption_counts.push(d);
+            self.report.reconnections_per_lifetime.add(r);
+        } else {
+            self.disruptions.remove(&id);
+            self.reconnections.remove(&id);
+        }
+    }
+
+    /// Applies one scheduled injection of the configured scenario.
+    fn chaos_inject(&mut self, index: usize, now: SimTime, sched: &mut Schedule<'_, Event>) {
+        let Some(chaos) = self.chaos.as_ref() else {
+            return;
+        };
+        let Some(injection) = chaos.scenario.injections.get(index) else {
+            return;
+        };
+        let action = injection.action.clone();
+        self.obs.count("chaos.injections", 1);
+        if self.obs.enabled(Subsystem::Chaos, Level::Info) {
+            self.obs.emit(
+                TraceEvent::new(now.as_secs(), Subsystem::Chaos, "inject")
+                    .str("action", action.name()),
+            );
+        }
+        match action {
+            ChaosAction::CorrelatedFailure { radius } => {
+                let cluster = {
+                    let chaos = self.chaos.as_mut().expect("checked above");
+                    pick_cluster(&self.tree, radius, &mut chaos.rng)
+                };
+                for &victim in &cluster {
+                    sched.now_next(Event::ChaosFail(victim));
+                }
+            }
+            ChaosAction::FlashCrowd { joins, spread_secs } => {
+                let chaos = self.chaos.as_mut().expect("checked above");
+                for _ in 0..joins {
+                    let delay = if spread_secs > 0.0 {
+                        chaos.rng.range_f64(0.0, spread_secs)
+                    } else {
+                        0.0
+                    };
+                    sched.after(delay, Event::ChaosJoin);
+                }
+            }
+            ChaosAction::Flap {
+                members,
+                period_secs,
+                cycles,
+            } => {
+                sched.now_next(Event::ChaosFlap {
+                    members,
+                    period_secs,
+                    cycles_left: cycles,
+                });
+            }
+            ChaosAction::DegradeBandwidth { fraction, factor } => {
+                self.degrade_bandwidth(fraction, factor, now);
+            }
+        }
+    }
+
+    /// A chaos-born member arrives: fresh id from the reserved chaos id
+    /// space, profile drawn entirely from the chaos RNG stream.
+    fn chaos_join(&mut self, now: SimTime, sched: &mut Schedule<'_, Event>) {
+        let member = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            let id = NodeId(chaos.next_id);
+            chaos.next_id += 1;
+            let bandwidth = self.cfg.bandwidth.sample(&mut chaos.rng);
+            let lifetime = self.cfg.lifetime.sample(&mut chaos.rng).max(1.0);
+            let stubs = self.workload.stubs();
+            let location = Location(stubs[chaos.rng.index(stubs.len())].0);
+            MemberProfile::new(id, bandwidth, now, lifetime, location)
+        };
+        let id = member.id;
+        let departure = member.departure_time();
+        self.track_live(id);
+        self.notify_joined(id, now);
+        if self.place_new_member(member.clone(), now) {
+            self.trace_join(now, id, "join");
+            if self.is_rost() {
+                sched.after(
+                    self.cfg.rost.switching_interval_secs,
+                    Event::SwitchCheck(id),
+                );
+            }
+        } else {
+            self.trace_join_rejected(now, id);
+            if self.in_window(now) {
+                self.report.rejections += 1;
+            }
+            self.pending.insert(id, member);
+            sched.after(self.cfg.retry_secs, Event::JoinRetry(id));
+        }
+        sched.at(departure, Event::Departure(id));
+    }
+
+    /// One flapping cycle: fail `members` random attached members now,
+    /// inject the same number of replacement joins half a period later,
+    /// and reschedule until the cycles run out.
+    fn chaos_flap(
+        &mut self,
+        members: usize,
+        period_secs: f64,
+        cycles_left: usize,
+        sched: &mut Schedule<'_, Event>,
+    ) {
+        if cycles_left == 0 {
+            return;
+        }
+        let victims = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            pick_attached(&self.tree, members, &mut chaos.rng)
+        };
+        for &victim in &victims {
+            sched.now_next(Event::ChaosFail(victim));
+        }
+        let half_period = (period_secs * 0.5).max(1e-3);
+        for _ in 0..victims.len() {
+            sched.after(half_period, Event::ChaosJoin);
+        }
+        if cycles_left > 1 {
+            sched.after(
+                period_secs.max(1e-3),
+                Event::ChaosFlap {
+                    members,
+                    period_secs,
+                    cycles_left: cycles_left - 1,
+                },
+            );
+        }
+    }
+
+    /// Degrades the bandwidth of roughly `fraction` of the attached
+    /// membership by `factor`; children beyond the shrunken out-degree
+    /// budget are shed and queued to rejoin like eviction victims.
+    fn degrade_bandwidth(&mut self, fraction: f64, factor: f64, now: SimTime) {
+        let victims = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            let eligible = self.tree.attached_count().saturating_sub(1);
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let count = ((eligible as f64) * fraction).ceil() as usize;
+            pick_attached(&self.tree, count, &mut chaos.rng)
+        };
+        for &victim in &victims {
+            let Some(profile) = self.tree.profile(victim) else {
+                continue;
+            };
+            let degraded = profile.bandwidth * factor;
+            let Ok(shed) = self.tree.set_bandwidth(victim, degraded) else {
+                continue;
+            };
+            self.obs.count("chaos.degraded", 1);
+            if shed.is_empty() {
+                continue;
+            }
+            // The shed children lose their upstream exactly as eviction
+            // victims do: a reconnection rather than a failure disruption,
+            // with the streaming layer seeing the whole detached subtree
+            // cut off until it reattaches.
+            let mut affected = Vec::new();
+            for &child in &shed {
+                affected.push(child);
+                affected.extend(self.tree.descendants(child));
+            }
+            for &m in &shed {
+                *self.reconnections.entry(m).or_insert(0) += 1;
+            }
+            if let Some(st) = self.streaming.as_mut() {
+                st.on_failure(&affected, now, &mut self.obs);
+            }
+            self.rejoin_backlog.extend(shed.iter().copied());
         }
     }
 
@@ -991,6 +1361,10 @@ fn event_metric_name(event: &Event) -> &'static str {
         Event::ReleaseLocks(_) => "sim.events.release_locks",
         Event::Sample => "sim.events.sample",
         Event::ObserverJoin => "sim.events.observer_join",
+        Event::ChaosInject(_) => "sim.events.chaos_inject",
+        Event::ChaosFail(_) => "sim.events.chaos_fail",
+        Event::ChaosJoin => "sim.events.chaos_join",
+        Event::ChaosFlap { .. } => "sim.events.chaos_flap",
     }
 }
 

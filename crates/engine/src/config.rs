@@ -1,5 +1,6 @@
 //! Experiment configuration (§5 of the paper).
 
+use rom_chaos::Scenario;
 use rom_net::TransitStubConfig;
 use rom_rost::RostConfig;
 use rom_stats::{BoundedPareto, LogNormal};
@@ -127,6 +128,15 @@ pub struct ChurnConfig {
     pub graceful_fraction: f64,
     /// Optional tracked typical member.
     pub observer: Option<ObserverSpec>,
+    /// Optional fault-injection scenario (`rom-chaos`). Its injections are
+    /// scheduled at absolute simulation times during seeding; chaos draws
+    /// come from a dedicated RNG fork, so an identical configuration with
+    /// `chaos: None` replays the exact same organic workload.
+    pub chaos: Option<Scenario>,
+    /// Optional hard cap on processed events; the run ends with
+    /// [`rom_sim::RunOutcome::BudgetExhausted`] when it is hit. `None`
+    /// (the default) runs to the horizon.
+    pub max_events: Option<u64>,
 }
 
 impl ChurnConfig {
@@ -151,6 +161,8 @@ impl ChurnConfig {
             retry_secs: 5.0,
             graceful_fraction: 0.0,
             observer: None,
+            chaos: None,
+            max_events: None,
         }
     }
 
@@ -217,6 +229,16 @@ impl ChurnConfig {
         assert!(
             self.topology.stub_node_count() >= 2,
             "topology too small to host members"
+        );
+        if let Some(scenario) = &self.chaos {
+            assert!(
+                scenario.injections.iter().all(|i| i.at_secs >= 0.0),
+                "chaos injections cannot be scheduled before the epoch"
+            );
+        }
+        assert!(
+            self.max_events != Some(0),
+            "event budget must be positive when set"
         );
     }
 }

@@ -27,6 +27,7 @@ use rom_cer::{
     find_mlc_group, random_group, AncestorRecord, MlcOptions, PartialTree, RecoveryGroup,
     SeqRangeSet, StreamClock, StripePlan,
 };
+use rom_chaos::{InvariantRegistry, Signal};
 use rom_net::{DelayOracle, UnderlayId};
 use rom_obs::{Level, Obs, Subsystem, TraceEvent};
 use rom_overlay::{MulticastTree, NodeId};
@@ -181,6 +182,7 @@ impl StreamingState {
 
     /// The subtree rooted at `orphan` is attached again: close the outage
     /// of every member in it and run recovery for the missed range.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_restore(
         &mut self,
         tree: &MulticastTree,
@@ -189,6 +191,7 @@ impl StreamingState {
         orphan: NodeId,
         now: SimTime,
         obs: &mut Obs,
+        mut invariants: Option<&mut InvariantRegistry>,
     ) {
         let mut subtree = vec![orphan];
         subtree.extend(tree.descendants(orphan));
@@ -200,7 +203,16 @@ impl StreamingState {
             else {
                 continue;
             };
-            self.repair_outage(tree, oracle, live, member, t0, now, obs);
+            self.repair_outage(
+                tree,
+                oracle,
+                live,
+                member,
+                t0,
+                now,
+                obs,
+                invariants.as_deref_mut(),
+            );
         }
     }
 
@@ -302,6 +314,7 @@ impl StreamingState {
     }
 
     /// Closes one outage `[t0, now)` for `member` and accounts the repair.
+    #[allow(clippy::too_many_arguments)]
     fn repair_outage(
         &mut self,
         tree: &MulticastTree,
@@ -311,6 +324,7 @@ impl StreamingState {
         t0: SimTime,
         now: SimTime,
         obs: &mut Obs,
+        invariants: Option<&mut InvariantRegistry>,
     ) {
         let s0 = self.clock.seq_at(t0);
         let s1 = self.clock.seq_at(now);
@@ -322,6 +336,17 @@ impl StreamingState {
         }
         let t_repair = t0 + self.loss_detection_secs;
         let group = self.select_group(tree, oracle, live, member);
+        if let Some(registry) = invariants {
+            registry.signal(
+                tree,
+                now,
+                &Signal::RecoveryGroupChosen {
+                    member,
+                    group: group.members(),
+                },
+                obs,
+            );
+        }
 
         // Members able to participate right now, with their residual
         // rates, in group (distance) order.
@@ -517,6 +542,19 @@ impl StreamingSim {
     #[must_use]
     pub fn run_with_obs(self, obs: Obs) -> (StreamingReport, Obs) {
         self.inner.run_streaming_with_obs(obs)
+    }
+
+    /// Runs with the given invariant registry armed — see
+    /// [`ChurnSim::run_checked`](crate::ChurnSim::run_checked). On top of
+    /// the tree-level signals, the streaming layer reports every recovery
+    /// group it selects.
+    #[must_use]
+    pub fn run_checked(
+        self,
+        registry: InvariantRegistry,
+        obs: Obs,
+    ) -> (StreamingReport, InvariantRegistry, Obs) {
+        self.inner.run_streaming_checked(registry, obs)
     }
 }
 

@@ -77,6 +77,14 @@ impl Workload {
         Location(stub.0)
     }
 
+    /// The stub nodes members can attach to. Chaos-born members pick from
+    /// this list with their own RNG, leaving the workload stream
+    /// untouched.
+    #[must_use]
+    pub fn stubs(&self) -> &[UnderlayId] {
+        &self.stubs
+    }
+
     fn fresh_id(&mut self) -> NodeId {
         let id = NodeId(self.next_id);
         self.next_id += 1;
@@ -234,6 +242,53 @@ mod tests {
         assert_eq!(obs.bandwidth, 2.0);
         assert_eq!(obs.lifetime, 18_000.0);
         assert_eq!(obs.join_time, SimTime::from_secs(50.0));
+    }
+
+    #[test]
+    fn session_lengths_stay_within_sampling_bounds() {
+        let mut w = workload(7);
+        for i in 0..5_000 {
+            let m = w.arrival(SimTime::from_secs(f64::from(i)));
+            assert!(m.lifetime.is_finite());
+            assert!(
+                m.lifetime >= 1.0,
+                "session length {} below the 1 s floor",
+                m.lifetime
+            );
+        }
+        // Conditioned equilibrium draws: total session strictly exceeds
+        // the already-lived age, and the age never exceeds the history.
+        let pop = w.equilibrium_population(2_000);
+        for m in &pop {
+            let age = m.age(SimTime::ZERO);
+            assert!(age <= 14_400.0, "age {age} beyond the virtual history");
+            assert!(
+                m.lifetime >= age + 1.0,
+                "total session {} does not cover age {age}",
+                m.lifetime
+            );
+        }
+    }
+
+    #[test]
+    fn join_process_is_deterministic_per_seed() {
+        let runs: Vec<(Vec<u64>, Vec<String>)> = [11u64, 11, 12]
+            .iter()
+            .map(|&seed| {
+                let mut w = workload(seed);
+                let gaps: Vec<u64> = (0..200)
+                    .map(|_| w.next_interarrival().to_bits())
+                    .collect();
+                let profiles: Vec<String> = (0..200)
+                    .map(|i| format!("{:?}", w.arrival(SimTime::from_secs(f64::from(i)))))
+                    .collect();
+                (gaps, profiles)
+            })
+            .collect();
+        assert_eq!(runs[0].0, runs[1].0, "same seed, same inter-arrival gaps");
+        assert_eq!(runs[0].1, runs[1].1, "same seed, same member profiles");
+        assert_ne!(runs[0].0, runs[2].0, "different seeds must diverge");
+        assert_ne!(runs[0].1, runs[2].1);
     }
 
     #[test]

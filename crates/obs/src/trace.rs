@@ -49,17 +49,20 @@ pub enum Subsystem {
     Streaming,
     /// Referee verification and audited switching (`rom-rost`).
     Referee,
+    /// Fault injection and invariant checking (`rom-chaos`).
+    Chaos,
 }
 
 impl Subsystem {
     /// All subsystems, in serialization order.
-    pub const ALL: [Subsystem; 6] = [
+    pub const ALL: [Subsystem; 7] = [
         Subsystem::Sim,
         Subsystem::Churn,
         Subsystem::Rost,
         Subsystem::Cer,
         Subsystem::Streaming,
         Subsystem::Referee,
+        Subsystem::Chaos,
     ];
 
     /// Stable lowercase name used in serialized traces.
@@ -72,6 +75,7 @@ impl Subsystem {
             Subsystem::Cer => "cer",
             Subsystem::Streaming => "streaming",
             Subsystem::Referee => "referee",
+            Subsystem::Chaos => "chaos",
         }
     }
 
@@ -85,10 +89,11 @@ impl Subsystem {
             Subsystem::Cer => 1 << 3,
             Subsystem::Streaming => 1 << 4,
             Subsystem::Referee => 1 << 5,
+            Subsystem::Chaos => 1 << 6,
         }
     }
 
-    pub(crate) const MASK_ALL: u8 = 0b11_1111;
+    pub(crate) const MASK_ALL: u8 = 0b111_1111;
 }
 
 /// A typed field value attached to a [`TraceEvent`].

@@ -835,6 +835,44 @@ impl MulticastTree {
         })
     }
 
+    /// Changes `id`'s outbound bandwidth in place (access-link
+    /// degradation). The member's out-degree capacity is recomputed from
+    /// the new bandwidth; if it now serves more children than it can
+    /// afford, the most recently adopted children are detached into
+    /// orphan subtree roots (the same recovery path an abrupt departure
+    /// triggers) and returned, in detachment order.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownMember`] if `id` is not in the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is negative or not finite.
+    pub fn set_bandwidth(&mut self, id: NodeId, bandwidth: f64) -> Result<Vec<NodeId>, TreeError> {
+        assert!(
+            bandwidth >= 0.0 && bandwidth.is_finite(),
+            "bandwidth must be finite and non-negative"
+        );
+        let slot = self.nodes.get_mut(&id).ok_or(TreeError::UnknownMember(id))?;
+        slot.profile.bandwidth = bandwidth;
+        slot.capacity = slot.profile.out_capacity(self.stream_rate);
+        let mut shed = Vec::new();
+        while slot.children.len() > slot.capacity {
+            if let Some(child) = slot.children.pop() {
+                shed.push(child);
+            } else {
+                break;
+            }
+        }
+        for &c in &shed {
+            self.nodes.get_mut(&c).expect("child exists").parent = None;
+            self.orphan_roots.insert(c);
+            self.restamp_subtree(c, 0, false);
+        }
+        Ok(shed)
+    }
+
     /// Mean out-degree of attached members that have at least one child —
     /// the `d` of the paper's `2d + 1` switch-overhead estimate.
     #[must_use]
@@ -1048,6 +1086,44 @@ mod tests {
         assert_eq!(
             t.attach(profile(4, 1.0), NodeId(99)),
             Err(TreeError::UnknownMember(NodeId(99)))
+        );
+    }
+
+    #[test]
+    fn set_bandwidth_recomputes_capacity_and_sheds_excess_children() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 1.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 1.0), NodeId(1)).unwrap();
+        t.attach(profile(4, 1.0), NodeId(1)).unwrap();
+        t.attach(profile(5, 1.0), NodeId(3)).unwrap();
+
+        // Shrinking within budget sheds nobody.
+        assert_eq!(t.set_bandwidth(NodeId(1), 3.5).unwrap(), vec![]);
+        assert_eq!(t.capacity(NodeId(1)), 3);
+
+        // Dropping to one slot sheds the most recently adopted children,
+        // subtrees included, into orphan state.
+        let shed = t.set_bandwidth(NodeId(1), 1.2).unwrap();
+        assert_eq!(shed, vec![NodeId(4), NodeId(3)]);
+        assert_eq!(t.capacity(NodeId(1)), 1);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(2)]);
+        assert!(!t.is_attached(NodeId(3)));
+        assert!(!t.is_attached(NodeId(5)));
+        assert_eq!(
+            t.orphan_roots().collect::<Vec<_>>(),
+            vec![NodeId(3), NodeId(4)]
+        );
+        t.check_invariants().unwrap();
+
+        // The orphans recover through the normal reattach path.
+        t.reattach(NodeId(3), NodeId(0)).unwrap();
+        t.reattach(NodeId(4), NodeId(0)).unwrap();
+        t.check_invariants().unwrap();
+
+        assert_eq!(
+            t.set_bandwidth(NodeId(77), 1.0),
+            Err(TreeError::UnknownMember(NodeId(77)))
         );
     }
 

@@ -13,10 +13,17 @@
 //! (ROST switching) and the referee bookkeeping live in `rom-rost` and
 //! are driven by the simulators; this harness is about validating the
 //! wire-visible behaviour.
+//!
+//! [`InMemoryNetwork::enable_chaos`] adds a deterministic link-chaos
+//! layer (`rom-chaos`): frames may be dropped, delayed a few delivery
+//! steps, or reordered to the back of the queue — reproducibly from a
+//! seed — so protocol loss-recovery paths can be exercised under
+//! adversarial-but-replayable link conditions.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use bytes::BytesMut;
+use rom_chaos::{LinkChaos, LinkChaosConfig, LinkFate};
 use rom_overlay::{Location, NodeId};
 
 use crate::codec::{decode, encode};
@@ -280,6 +287,31 @@ pub struct NetworkStats {
     pub bytes_moved: u64,
     /// Frames dropped because the destination is gone.
     pub frames_to_dead_peers: u64,
+    /// Frames dropped by the link-chaos layer.
+    pub frames_dropped: u64,
+    /// Frames delayed by the link-chaos layer.
+    pub frames_delayed: u64,
+    /// Frames reordered (pushed behind the rest of the queue) by the
+    /// link-chaos layer.
+    pub frames_reordered: u64,
+}
+
+/// One in-flight frame.
+#[derive(Debug)]
+struct Frame {
+    from: NodeId,
+    to: NodeId,
+    buf: BytesMut,
+    /// Frames already perturbed once (delayed or reordered) are exempt
+    /// from further chaos, guaranteeing delivery progress.
+    exempt: bool,
+}
+
+/// A frame parked by [`LinkFate::Delay`] until a future step.
+#[derive(Debug)]
+struct DelayedFrame {
+    release_step: u64,
+    frame: Frame,
 }
 
 /// A deterministic in-memory message router with a coarse failure clock:
@@ -308,11 +340,17 @@ pub struct NetworkStats {
 #[derive(Debug, Default)]
 pub struct InMemoryNetwork {
     peers: HashMap<NodeId, Peer>,
-    /// In-flight frames: (from, to, encoded bytes).
-    in_flight: VecDeque<(NodeId, NodeId, BytesMut)>,
+    /// In-flight frames, delivered FIFO (unless perturbed by chaos).
+    in_flight: VecDeque<Frame>,
+    /// Frames parked by the chaos layer, released by step number.
+    delayed: Vec<DelayedFrame>,
+    /// Optional deterministic link perturbation (`rom-chaos`).
+    chaos: Option<LinkChaos>,
     stats: NetworkStats,
     /// Coarse time for heartbeat/failure detection.
     now_tick: u64,
+    /// Delivery steps taken (the delay clock of the chaos layer).
+    now_step: u64,
 }
 
 impl InMemoryNetwork {
@@ -351,27 +389,95 @@ impl InMemoryNetwork {
         self.stats
     }
 
+    /// Installs a deterministic link-chaos layer: each subsequently
+    /// delivered frame may be dropped, delayed (a few steps) or reordered
+    /// (sent to the back of the queue) per `cfg`, driven by a dedicated
+    /// RNG derived from `seed`. Identical (traffic, cfg, seed) replays
+    /// produce identical perturbations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`LinkChaosConfig`]).
+    pub fn enable_chaos(&mut self, cfg: LinkChaosConfig, seed: u64) {
+        self.chaos = Some(LinkChaos::new(cfg, seed));
+    }
+
     /// Queues `msg` from `from` to `to`, passing it through the codec.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
         let mut buf = BytesMut::new();
         encode(&msg, &mut buf);
-        self.in_flight.push_back((from, to, buf));
+        self.in_flight.push_back(Frame {
+            from,
+            to,
+            buf,
+            exempt: false,
+        });
     }
 
-    /// Delivers one frame; returns false when nothing is in flight.
+    /// Delivers one frame; returns false when nothing is in flight (or
+    /// parked in the chaos delay buffer).
     ///
     /// # Panics
     ///
     /// Panics if an in-flight frame fails to decode — the harness encoded
     /// it itself, so that is a codec bug worth crashing a test over.
     pub fn step(&mut self) -> bool {
-        let Some((from, to, buf)) = self.in_flight.pop_front() else {
-            return false;
+        self.now_step += 1;
+        // Release due delayed frames ahead of the queue (they were sent
+        // before anything still in flight), preserving their park order.
+        let mut due = Vec::new();
+        let mut index = 0;
+        while index < self.delayed.len() {
+            if self.delayed[index].release_step <= self.now_step {
+                due.push(self.delayed.remove(index));
+            } else {
+                index += 1;
+            }
+        }
+        for parked in due.into_iter().rev() {
+            self.in_flight.push_front(parked.frame);
+        }
+        let Some(frame) = self.in_flight.pop_front() else {
+            // Nothing deliverable yet; report activity while parked
+            // frames wait for their release step.
+            return !self.delayed.is_empty();
         };
+        if !frame.exempt {
+            if let Some(chaos) = self.chaos.as_mut() {
+                match chaos.classify() {
+                    LinkFate::Drop => {
+                        self.stats.frames_dropped += 1;
+                        return true;
+                    }
+                    LinkFate::Delay(steps) => {
+                        self.stats.frames_delayed += 1;
+                        self.delayed.push(DelayedFrame {
+                            release_step: self.now_step + steps,
+                            frame: Frame {
+                                exempt: true,
+                                ..frame
+                            },
+                        });
+                        return true;
+                    }
+                    LinkFate::Reorder if !self.in_flight.is_empty() => {
+                        self.stats.frames_reordered += 1;
+                        self.in_flight.push_back(Frame {
+                            exempt: true,
+                            ..frame
+                        });
+                        return true;
+                    }
+                    // Reordering an only frame is a no-op: deliver it.
+                    LinkFate::Reorder | LinkFate::Deliver => {}
+                }
+            }
+        }
+        let Frame { from, to, buf, .. } = frame;
         self.stats.bytes_moved += buf.len() as u64;
-        let mut frame = buf.freeze();
+        let mut encoded = buf.freeze();
         // rom-lint: allow(panic-sites) -- the harness encoded this frame itself; a decode failure is a codec bug worth crashing a test over (documented above)
-        let msg = decode(&mut frame).expect("harness frames always decode");
+        let msg = decode(&mut encoded).expect("harness frames always decode");
         let Some(peer) = self.peers.get_mut(&to) else {
             self.stats.frames_to_dead_peers += 1;
             return true;
@@ -381,7 +487,12 @@ impl InMemoryNetwork {
         for (dest, reply) in peer.handle(from, msg, tick) {
             let mut buf = BytesMut::new();
             encode(&reply, &mut buf);
-            self.in_flight.push_back((to, dest, buf));
+            self.in_flight.push_back(Frame {
+                from: to,
+                to: dest,
+                buf,
+                exempt: false,
+            });
         }
         true
     }
@@ -684,6 +795,197 @@ mod tests {
         // frame must route and decode.
         net.run_to_quiescence();
         assert!(net.stats().frames_delivered > 0);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+
+    /// Joins `n` peers under chaos, retrying the same target until the
+    /// handshake lands (drops can eat JOINs or ACCEPTs).
+    fn chaotic_network(n: u64, cfg: LinkChaosConfig, seed: u64) -> InMemoryNetwork {
+        let mut net = InMemoryNetwork::new();
+        net.enable_chaos(cfg, seed);
+        net.add_source(NodeId(0), Location(0), 3);
+        for id in 1..=n {
+            net.add_peer(NodeId(id), Location(id as u32), 3);
+            let mut target = 0u64;
+            let mut attempts = 0u32;
+            while !net.peer(NodeId(id)).unwrap().is_attached() {
+                net.send(
+                    NodeId(id),
+                    NodeId(target),
+                    Message::Join {
+                        joiner: NodeId(id),
+                        location: Location(id as u32),
+                        claimed_bandwidth: 3.0,
+                    },
+                );
+                net.run_to_quiescence();
+                attempts += 1;
+                if attempts % 4 == 0 {
+                    target = (target + 1) % id;
+                }
+                assert!(attempts < 200, "peer {id} never attached under chaos");
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn chaotic_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = chaotic_network(6, LinkChaosConfig::heavy(), seed);
+            for seq in 0..30u64 {
+                net.send(
+                    NodeId(0),
+                    NodeId(0),
+                    Message::Data {
+                        seq,
+                        payload: vec![0xCD],
+                    },
+                );
+            }
+            net.run_to_quiescence();
+            let buffers: Vec<(u64, Vec<u64>)> = (0..=6u64)
+                .map(|id| {
+                    let p = net.peer(NodeId(id)).unwrap();
+                    (id, (0..30).filter(|&s| p.has_packet(s)).collect())
+                })
+                .collect();
+            (net.stats(), buffers)
+        };
+        assert_eq!(run(11), run(11));
+        let (stats_a, _) = run(11);
+        let (stats_b, _) = run(12);
+        assert_ne!(
+            (
+                stats_a.frames_dropped,
+                stats_a.frames_delayed,
+                stats_a.frames_reordered
+            ),
+            (
+                stats_b.frames_dropped,
+                stats_b.frames_delayed,
+                stats_b.frames_reordered
+            ),
+            "different seeds should perturb differently"
+        );
+    }
+
+    #[test]
+    fn chaos_perturbations_are_counted() {
+        let mut net = chaotic_network(5, LinkChaosConfig::heavy(), 3);
+        for seq in 0..200u64 {
+            net.send(
+                NodeId(0),
+                NodeId(0),
+                Message::Data {
+                    seq,
+                    payload: vec![],
+                },
+            );
+        }
+        net.run_to_quiescence();
+        let stats = net.stats();
+        assert!(stats.frames_dropped > 0, "heavy chaos should drop frames");
+        assert!(stats.frames_delayed > 0, "heavy chaos should delay frames");
+        assert!(
+            stats.frames_reordered > 0,
+            "heavy chaos should reorder frames"
+        );
+        assert!(stats.frames_delivered > 0);
+    }
+
+    #[test]
+    fn delay_only_chaos_still_delivers_everything() {
+        // All frames delayed exactly once, none lost: every packet must
+        // still reach every member (order within the stream may shuffle,
+        // which the gap detector tolerates via its running max).
+        let cfg = LinkChaosConfig {
+            drop_prob: 0.0,
+            delay_prob: 1.0,
+            max_delay_steps: 5,
+            reorder_prob: 0.0,
+        };
+        let mut net = chaotic_network(4, cfg, 7);
+        for seq in 0..25u64 {
+            net.send(
+                NodeId(0),
+                NodeId(0),
+                Message::Data {
+                    seq,
+                    payload: vec![],
+                },
+            );
+        }
+        net.run_to_quiescence();
+        for id in 1..=4u64 {
+            for seq in 0..25u64 {
+                assert!(
+                    net.peer(NodeId(id)).unwrap().has_packet(seq),
+                    "peer {id} lost packet {seq} to a delay-only link"
+                );
+            }
+        }
+        assert_eq!(net.stats().frames_dropped, 0);
+        assert!(net.stats().frames_delayed > 0);
+    }
+
+    #[test]
+    fn repair_still_converges_under_chaos() {
+        // Losses plus the chained repair protocol: ELN notices gaps and
+        // explicit repair requests recover them even on a lossy link.
+        let mut net = chaotic_network(3, LinkChaosConfig::light(), 21);
+        for seq in 0..40u64 {
+            net.send(
+                NodeId(0),
+                NodeId(0),
+                Message::Data {
+                    seq,
+                    payload: vec![],
+                },
+            );
+        }
+        net.run_to_quiescence();
+        // Drive repairs until every member holds everything the source
+        // holds (an injection frame dropped before reaching the source
+        // is gone for good; the repair frames themselves ride the same
+        // chaotic link). The source must have received most of the
+        // stream for the test to mean anything.
+        let at_source: Vec<u64> = (0..40)
+            .filter(|&s| net.peer(NodeId(0)).unwrap().has_packet(s))
+            .collect();
+        assert!(at_source.len() >= 30, "source lost too much of the stream");
+        for _ in 0..50 {
+            let mut complete = true;
+            for id in 1..=3u64 {
+                let missing: Vec<u64> = at_source
+                    .iter()
+                    .copied()
+                    .filter(|&s| !net.peer(NodeId(id)).unwrap().has_packet(s))
+                    .collect();
+                for &seq in &missing {
+                    complete = false;
+                    net.send(
+                        NodeId(id),
+                        NodeId(0),
+                        Message::RepairRequest {
+                            requester: NodeId(id),
+                            seq_lo: seq,
+                            seq_hi: seq + 1,
+                            chain: Vec::new(),
+                        },
+                    );
+                }
+            }
+            net.run_to_quiescence();
+            if complete {
+                return;
+            }
+        }
+        panic!("repairs never converged under light chaos");
     }
 }
 

@@ -22,6 +22,7 @@
 //! | [`cer`] | `rom-cer` | MLC groups, ELN, striped repair, buffers |
 //! | [`engine`] | `rom-engine` | churn & streaming simulators, experiment configs |
 //! | [`wire`] | `rom-wire` | protocol messages, binary codec, in-memory peer harness |
+//! | [`chaos`] | `rom-chaos` | fault-injection scenarios, runtime invariant registry |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 //! figure-regeneration harness.
 
 pub use rom_cer as cer;
+pub use rom_chaos as chaos;
 pub use rom_engine as engine;
 pub use rom_net as net;
 pub use rom_obs as obs;

@@ -1,0 +1,100 @@
+//! Tier-1 chaos suite: every fault-injection scenario in the rom-chaos
+//! catalogue runs through the full streaming engine with every runtime
+//! invariant armed, across several seeds, and (a) no invariant ever
+//! trips, (b) the observability trace of a (scenario, seed) pair is
+//! byte-identical across repeated runs, and (c) the chaos RNG stream is
+//! isolated — arming a do-nothing scenario does not perturb the run.
+
+use rom::chaos::{InvariantRegistry, Scenario};
+use rom::engine::{AlgorithmKind, ChurnConfig, StreamingConfig, StreamingSim};
+use rom::obs::{JsonlSink, Obs, SharedBuffer, Tracer};
+
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+fn config(scenario: Option<&str>, seed: u64) -> StreamingConfig {
+    let mut churn = ChurnConfig::quick(AlgorithmKind::Rost, 150);
+    churn.seed = seed;
+    churn.warmup_secs = 150.0;
+    churn.measure_secs = 400.0;
+    // Injections start after warmup equilibrium and finish inside the
+    // measurement window.
+    churn.chaos = scenario.map(|name| {
+        Scenario::by_name(name, 180.0, 300.0).expect("catalogue scenario must resolve")
+    });
+    StreamingConfig::paper(churn, 2)
+}
+
+/// One fully-armed run: the JSONL trace bytes and the registry with
+/// whatever violations it accumulated.
+fn checked_run(scenario: &str, seed: u64) -> (Vec<u8>, InvariantRegistry) {
+    let buffer = SharedBuffer::new();
+    let obs = Obs::new(Tracer::to_sink(Box::new(JsonlSink::new(buffer.clone()))));
+    let (_report, registry, _obs) =
+        StreamingSim::new(config(Some(scenario), seed)).run_checked(InvariantRegistry::with_all(), obs);
+    (buffer.contents(), registry)
+}
+
+#[test]
+fn every_scenario_upholds_every_invariant_across_seeds() {
+    for scenario in Scenario::NAMES {
+        for seed in SEEDS {
+            let (trace, registry) = checked_run(scenario, seed);
+            assert_eq!(registry.len(), 6, "the full invariant set must be armed");
+            assert!(
+                registry.is_clean(),
+                "scenario `{scenario}` seed {seed} tripped: {:#?}",
+                registry.violations()
+            );
+            assert!(!trace.is_empty(), "a checked run must leave a trace");
+        }
+    }
+}
+
+#[test]
+fn checked_chaos_runs_are_byte_identical_per_seed() {
+    for scenario in Scenario::NAMES {
+        let (first, _) = checked_run(scenario, 11);
+        let (second, _) = checked_run(scenario, 11);
+        assert!(
+            first == second,
+            "scenario `{scenario}` seed 11: traces diverged between repeat runs"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_diverge_under_chaos() {
+    let (a, _) = checked_run("combined", 11);
+    let (b, _) = checked_run("combined", 23);
+    assert_ne!(a, b, "distinct seeds must explore distinct executions");
+}
+
+#[test]
+fn armed_baseline_matches_unarmed_run() {
+    // The chaos RNG is a dedicated fork and the invariant registry only
+    // reads engine state, so a scenario with zero injections must
+    // reproduce the plain run event-for-event.
+    let plain = StreamingSim::new(config(None, 11)).run();
+    let (report, registry, _obs) = StreamingSim::new(config(Some("baseline"), 11))
+        .run_checked(InvariantRegistry::with_all(), Obs::disabled());
+    assert!(registry.is_clean());
+    assert_eq!(plain.events_processed(), report.events_processed());
+    assert_eq!(plain.outages, report.outages);
+    assert_eq!(plain.packets_starved, report.packets_starved);
+    assert_eq!(
+        plain.starving_ratio_percent.mean().to_bits(),
+        report.starving_ratio_percent.mean().to_bits()
+    );
+}
+
+#[test]
+fn injected_scenarios_actually_perturb_the_run() {
+    let (baseline, _) = checked_run("baseline", 11);
+    for scenario in ["correlated-failures", "flash-crowd", "flapping", "bandwidth-decay"] {
+        let (perturbed, _) = checked_run(scenario, 11);
+        assert_ne!(
+            baseline, perturbed,
+            "scenario `{scenario}` left no mark on the trace"
+        );
+    }
+}
