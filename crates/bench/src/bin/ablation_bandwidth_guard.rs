@@ -40,7 +40,7 @@ fn main() {
                 }
                 cfg
             },
-            scale.seeds,
+            scale,
         );
         println!(
             "{}",

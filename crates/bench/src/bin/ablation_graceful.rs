@@ -29,7 +29,7 @@ fn main() {
                     cfg.graceful_fraction = graceful;
                     cfg
                 },
-                scale.seeds,
+                scale,
             )
         };
         println!(

@@ -39,7 +39,7 @@ fn main() {
                     cfg.selection = selection;
                     cfg
                 },
-                scale.seeds,
+                scale,
             )
         };
         let mlc = mean_over(&run(GroupSelection::MinimumLossCorrelation), |r| {

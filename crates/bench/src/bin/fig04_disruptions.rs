@@ -28,7 +28,7 @@ fn main() {
             let reports = replicate_churn_traced(
                 "fig04_rost_smallest",
                 |seed| churn_config(alg, size, seed),
-                scale.seeds,
+                scale,
                 scale
                     .trace
                     .filter(|_| alg == AlgorithmKind::Rost && size == smallest),

@@ -22,7 +22,7 @@ fn main() {
     let cdfs: Vec<(AlgorithmKind, Ecdf)> = AlgorithmKind::ALL
         .into_iter()
         .map(|alg| {
-            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale.seeds);
+            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale);
             let samples = reports
                 .iter()
                 .flat_map(|r| r.disruption_counts.iter().copied());

@@ -5,7 +5,7 @@
 //! climbs the tree; under the time-blind algorithms it keeps a roughly
 //! constant slope.
 
-use rom_bench::{banner, churn_config, fmt, row, Scale};
+use rom_bench::{banner, churn_config, fmt, row, CellOut, Scale};
 use rom_engine::{AlgorithmKind, ChurnSim, ObserverSpec};
 
 fn main() {
@@ -22,14 +22,19 @@ fn main() {
         "{}",
         row(["algorithm".into(), "minute:cumulative...".into()])
     );
-    for alg in AlgorithmKind::ALL {
-        let mut cfg = churn_config(alg, size, 1);
+    // The observer trace is one fixed-seed run per algorithm, so the
+    // sweep parallelizes over the algorithm axis: five points, one seed.
+    let out = scale.sweep().run(AlgorithmKind::ALL.len(), 1, |cell| {
+        let mut cfg = churn_config(AlgorithmKind::ALL[cell.point], size, 1);
         cfg.measure_secs = horizon_min * 60.0;
         cfg.observer = Some(ObserverSpec {
             bandwidth: 2.0,
             lifetime_secs: horizon_min * 60.0 + 600.0,
         });
-        let report = ChurnSim::new(cfg).run();
+        CellOut::plain(ChurnSim::new(cfg).run())
+    });
+    for (alg, reports) in AlgorithmKind::ALL.into_iter().zip(out.reports) {
+        let report = reports.into_iter().next().expect("one seed per point");
         let trace = report.observer.expect("observer configured");
         let mut cells = vec![alg.name().to_string()];
         for (i, minute) in trace.disruption_minutes.iter().enumerate() {

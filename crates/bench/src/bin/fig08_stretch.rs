@@ -17,7 +17,7 @@ fn main() {
     for size in scale.sizes() {
         let mut cells = vec![size.to_string()];
         for alg in AlgorithmKind::ALL {
-            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale.seeds);
+            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale);
             cells.push(fmt(mean_over(&reports, |r| r.stretch.mean())));
         }
         println!("{}", row(cells));

@@ -4,7 +4,7 @@
 //! it ages (rising tree position); under the other algorithms it
 //! fluctuates without converging.
 
-use rom_bench::{banner, churn_config, fmt, row, Scale};
+use rom_bench::{banner, churn_config, fmt, row, CellOut, Scale};
 use rom_engine::{AlgorithmKind, ChurnSim, ObserverSpec};
 
 fn main() {
@@ -18,14 +18,18 @@ fn main() {
     let horizon_min = scale.observer_minutes();
     println!("# focus size: {size} members, horizon: {horizon_min} minutes");
     println!("{}", row(["algorithm".into(), "minute:delay_ms...".into()]));
-    for alg in AlgorithmKind::ALL {
-        let mut cfg = churn_config(alg, size, 1);
+    // One fixed-seed run per algorithm: five sweep points, one seed each.
+    let out = scale.sweep().run(AlgorithmKind::ALL.len(), 1, |cell| {
+        let mut cfg = churn_config(AlgorithmKind::ALL[cell.point], size, 1);
         cfg.measure_secs = horizon_min * 60.0;
         cfg.observer = Some(ObserverSpec {
             bandwidth: 2.0,
             lifetime_secs: horizon_min * 60.0 + 600.0,
         });
-        let report = ChurnSim::new(cfg).run();
+        CellOut::plain(ChurnSim::new(cfg).run())
+    });
+    for (alg, reports) in AlgorithmKind::ALL.into_iter().zip(out.reports) {
+        let report = reports.into_iter().next().expect("one seed per point");
         let trace = report.observer.expect("observer configured");
         let mut cells = vec![alg.name().to_string()];
         for &(minute, delay) in &trace.delay_samples {

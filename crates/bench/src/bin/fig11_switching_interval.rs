@@ -35,7 +35,7 @@ fn main() {
                 cfg.rost = cfg.rost.with_switching_interval(interval);
                 cfg
             },
-            scale.seeds,
+            scale,
         );
         println!(
             "{}",

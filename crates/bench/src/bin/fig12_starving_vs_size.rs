@@ -37,7 +37,7 @@ fn main() {
                         k,
                     )
                 },
-                scale.seeds,
+                scale,
                 scale.trace.filter(|_| k == 1 && size == smallest),
             );
             cells.push(fmt(mean_over(&reports, |r| {

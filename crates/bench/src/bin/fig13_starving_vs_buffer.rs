@@ -32,7 +32,7 @@ fn main() {
                     cfg.buffer_secs = buffer;
                     cfg
                 },
-                scale.seeds,
+                scale,
             );
             cells.push(fmt(mean_over(&reports, |r| {
                 r.starving_ratio_percent.mean()

@@ -38,7 +38,7 @@ fn main() {
                 cfg.strategy = RecoveryStrategy::SingleSource;
                 cfg
             },
-            scale.seeds,
+            scale,
         ));
         // --trace captures the flagship configuration: ROST+CER at K=1.
         let rost_cer = pooled(replicate_streaming_traced(
@@ -49,7 +49,7 @@ fn main() {
                     k,
                 )
             },
-            scale.seeds,
+            scale,
             scale.trace.filter(|_| k == 1),
         ));
         println!(

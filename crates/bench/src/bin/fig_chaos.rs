@@ -7,28 +7,33 @@
 //! scheduled mid-measurement so warmup equilibrium is undisturbed.
 //!
 //! ```text
-//! fig_chaos --scenario <name> --seed <n> [--paper] [--trace PATH]
+//! fig_chaos --scenario <name> --seed <n> [--paper] [--jobs N] [--trace PATH]
 //! fig_chaos --list
 //! ```
 //!
-//! With `--trace`, the run's JSONL trace lands at `PATH` with the usual
-//! `PATH.manifest.json` / `PATH.metrics.json` sidecars; invariant
-//! violations appear in the trace as `chaos`-subsystem error events.
+//! With `--trace`, the run's JSONL trace lands at `PATH` with the
+//! aggregate manifest at `PATH.manifest.json` and the metrics snapshot
+//! at `PATH.metrics.json` (the same merged-sweep format every figure
+//! binary writes); invariant violations appear in the trace as
+//! `chaos`-subsystem error events.
 
-use rom_bench::{obs_to_file, trace_sidecars};
+use rom_bench::{default_jobs, run_manifest, CellOut, CellTrace, Sweep};
 use rom_chaos::{InvariantRegistry, Scenario};
 use rom_engine::{AlgorithmKind, ChurnConfig, StreamingConfig, StreamingSim};
-use rom_obs::{fnv1a, Obs};
+use rom_obs::{fnv1a, JsonlSink, Obs, SharedBuffer, Tracer};
 
 struct Args {
     scenario: String,
     seed: u64,
     paper: bool,
+    jobs: usize,
     trace: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fig_chaos [--scenario NAME] [--seed N] [--paper] [--trace PATH] [--list]");
+    eprintln!(
+        "usage: fig_chaos [--scenario NAME] [--seed N] [--paper] [--jobs N] [--trace PATH] [--list]"
+    );
     std::process::exit(2)
 }
 
@@ -37,6 +42,7 @@ fn parse_args() -> Args {
         scenario: "combined".to_string(),
         seed: 42,
         paper: false,
+        jobs: default_jobs(),
         trace: None,
     };
     let mut args = std::env::args().skip(1);
@@ -50,6 +56,13 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--paper" => parsed.paper = true,
+            "--jobs" => {
+                parsed.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--trace" => parsed.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--list" => {
                 for name in Scenario::NAMES {
@@ -93,15 +106,54 @@ fn main() {
     churn.chaos = Some(scenario);
     let cfg = StreamingConfig::paper(churn, 2);
     let config_digest = fnv1a(format!("{cfg:?}").as_bytes());
+    let name = format!("fig_chaos:{}", args.scenario);
 
-    let obs = match args.trace.as_deref() {
-        Some(path) => obs_to_file(path),
-        None => Obs::metrics_only(),
-    };
-    let registry = InvariantRegistry::with_all();
+    // A single checked cell through the sweep engine, so the trace
+    // artifacts merge and land exactly like every other binary's.
+    let mut out = Sweep::with_jobs(args.jobs).run(1, 1, |_cell| {
+        let registry = InvariantRegistry::with_all();
+        if args.trace.is_some() {
+            let buffer = SharedBuffer::new();
+            let obs = Obs::new(Tracer::to_sink(Box::new(JsonlSink::new(buffer.clone()))));
+            let (report, registry, obs) = StreamingSim::new(cfg.clone()).run_checked(registry, obs);
+            let trace = CellTrace {
+                jsonl: buffer.contents(),
+                metrics_json: obs.snapshot().to_json(),
+                manifest: run_manifest(
+                    &name,
+                    args.seed,
+                    config_digest,
+                    &obs,
+                    report.events_processed(),
+                    report.outcome(),
+                ),
+            };
+            CellOut {
+                report: (report, registry),
+                warnings: Vec::new(),
+                trace: Some(trace),
+            }
+        } else {
+            let (report, registry, _obs) =
+                StreamingSim::new(cfg.clone()).run_checked(registry, Obs::metrics_only());
+            CellOut::plain((report, registry))
+        }
+    });
+    // The grid is 1×1, so its cell coordinates carry no information;
+    // stamp the user's --seed into the aggregate manifest instead.
+    for (id, _) in &mut out.traces {
+        id.seed = args.seed;
+    }
+    if let Some(path) = args.trace.as_deref() {
+        out.write_trace(path, &name);
+    }
+    let (report, registry) = out
+        .into_single_point()
+        .into_iter()
+        .next()
+        .expect("one cell ran");
+
     let armed = registry.names().join("+");
-    let (report, registry, obs) = StreamingSim::new(cfg).run_checked(registry, obs);
-
     println!(
         "# fig_chaos — scenario `{}` (injections: {injections}) seed {} under invariants [{armed}]",
         args.scenario, args.seed
@@ -116,18 +168,6 @@ fn main() {
         report.outages,
         registry.violations().len()
     );
-
-    if let Some(path) = args.trace.as_deref() {
-        trace_sidecars(
-            path,
-            &format!("fig_chaos:{}", args.scenario),
-            args.seed,
-            config_digest,
-            &obs,
-            report.events_processed(),
-            report.outcome(),
-        );
-    }
 
     if !registry.is_clean() {
         for v in registry.violations() {

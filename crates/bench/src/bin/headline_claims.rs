@@ -8,9 +8,36 @@
 //!    a small increase in service delay of 10–15% compared to the
 //!    centralized depth-optimal approach";
 //! 3. "introduces a very low protocol overhead".
+//!
+//! Each algorithm's replicate sweep is one timed *phase*; the machine-
+//! readable perf baseline — wall time per phase, events/second, and the
+//! exact peak event-queue depth (`sim.queue_high_water`) — is written to
+//! `BENCH_headline.json` in the working directory. Timing never touches
+//! stdout, so the printed table stays byte-identical across runs and
+//! `--jobs` values.
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
-use rom_engine::{AlgorithmKind, ChurnReport};
+use rom_bench::{
+    banner, churn_config, fmt, mean_over, row, traced_churn_cell, truncation_warning, CellOut,
+    Scale, QUEUE_HIGH_WATER_GAUGE,
+};
+use rom_engine::{AlgorithmKind, ChurnReport, ChurnSim};
+use rom_obs::{MetricsSnapshot, Obs};
+use std::time::Instant;
+
+/// The perf-baseline record of one algorithm's replicate sweep.
+struct Phase {
+    name: &'static str,
+    wall_secs: f64,
+    events: u64,
+    peak_queue: f64,
+}
+
+/// The `sim.queue_high_water` peak of one run (0 when never recorded).
+fn queue_peak(metrics: &MetricsSnapshot) -> f64 {
+    metrics
+        .gauge(QUEUE_HIGH_WATER_GAUGE)
+        .map_or(0.0, |g| g.high_water)
+}
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,14 +49,46 @@ fn main() {
     let size = scale.focus_size();
     println!("# focus size: {size} members\n");
 
-    // --trace captures the ROST run (the algorithm the claims are about).
-    let run = |alg: AlgorithmKind| {
-        replicate_churn_traced(
-            "headline_claims_rost",
-            |s| churn_config(alg, size, s),
-            scale.seeds,
-            scale.trace.filter(|_| alg == AlgorithmKind::Rost),
-        )
+    // One timed phase per algorithm. Cells run under metrics-only
+    // observation so the queue high-water gauge is captured; --trace
+    // captures the seed-1 ROST run (the algorithm the claims are about).
+    let run = |alg: AlgorithmKind| -> (Vec<ChurnReport>, Phase) {
+        let traced = scale.trace.filter(|_| alg == AlgorithmKind::Rost);
+        let started = Instant::now();
+        let out = scale.sweep().run(1, scale.seeds, |cell| {
+            let cfg = churn_config(alg, size, cell.seed);
+            let (report, peak, trace) = if traced.is_some() && cell.seed == 1 {
+                let (report, metrics, artifacts) =
+                    traced_churn_cell("headline_claims_rost", cfg, cell.seed);
+                (report, queue_peak(&metrics), Some(artifacts))
+            } else {
+                let (report, obs) = ChurnSim::new(cfg).run_with_obs(Obs::metrics_only());
+                let peak = queue_peak(&obs.snapshot());
+                (report, peak, None)
+            };
+            CellOut {
+                warnings: truncation_warning("headline_claims", cell.seed, report.outcome)
+                    .into_iter()
+                    .collect(),
+                report: (report, peak),
+                trace,
+            }
+        });
+        let wall_secs = started.elapsed().as_secs_f64();
+        if let Some(path) = traced {
+            out.write_trace(path, "headline_claims_rost");
+        }
+        let cells = out.into_single_point();
+        let events = cells.iter().map(|(r, _)| r.events_processed).sum();
+        let peak_queue = cells.iter().map(|&(_, p)| p).fold(0.0, f64::max);
+        let reports = cells.into_iter().map(|(r, _)| r).collect();
+        let phase = Phase {
+            name: alg.name(),
+            wall_secs,
+            events,
+            peak_queue,
+        };
+        (reports, phase)
     };
     let metrics = |reports: &[ChurnReport]| {
         (
@@ -51,8 +110,10 @@ fn main() {
         ])
     );
     let mut by_alg = Vec::new();
+    let mut phases = Vec::new();
     for alg in AlgorithmKind::ALL {
-        let m = metrics(&run(alg));
+        let (reports, phase) = run(alg);
+        let m = metrics(&reports);
         println!(
             "{}",
             row([
@@ -64,6 +125,7 @@ fn main() {
             ])
         );
         by_alg.push((alg, m));
+        phases.push(phase);
     }
 
     let get = |alg: AlgorithmKind| by_alg.iter().find(|(a, _)| *a == alg).unwrap().1;
@@ -90,4 +152,53 @@ fn main() {
     println!("# claim 3 — overhead (paper: far below one reconnection/lifetime):");
     println!("claim3,rost_overhead,{}", fmt(rost.3));
     println!("claim3,far_below_one,{}", rost.3 < 0.5);
+
+    write_baseline(&phases, scale);
+    println!("\n# perf baseline written to BENCH_headline.json");
+}
+
+/// Writes the machine-readable perf baseline. Wall-clock timing is
+/// inherently run-dependent, so it lives only in this file — never on
+/// stdout.
+fn write_baseline(phases: &[Phase], scale: Scale) {
+    let per_sec = |events: u64, wall: f64| {
+        if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        }
+    };
+    let mut json = String::with_capacity(1024);
+    json.push_str("{\"name\":\"headline_claims\"");
+    json.push_str(&format!(
+        ",\"paper\":{},\"seeds\":{},\"jobs\":{},\"phases\":[",
+        scale.paper, scale.seeds, scale.jobs
+    ));
+    let mut total_wall = 0.0;
+    let mut total_events = 0u64;
+    for (i, p) in phases.iter().enumerate() {
+        total_wall += p.wall_secs;
+        total_events += p.events;
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"phase\":{:?},\"wall_secs\":{},\"events\":{},\"events_per_sec\":{},\"peak_queue_high_water\":{}}}",
+            p.name,
+            p.wall_secs,
+            p.events,
+            per_sec(p.events, p.wall_secs),
+            p.peak_queue,
+        ));
+    }
+    json.push_str(&format!(
+        "],\"total\":{{\"wall_secs\":{},\"events\":{},\"events_per_sec\":{}}}}}\n",
+        total_wall,
+        total_events,
+        per_sec(total_events, total_wall),
+    ));
+    if let Err(err) = std::fs::write("BENCH_headline.json", json) {
+        eprintln!("error: cannot write BENCH_headline.json: {err}");
+        std::process::exit(2)
+    }
 }

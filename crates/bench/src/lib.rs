@@ -11,18 +11,29 @@
 //!   scale that finishes in seconds-to-minutes on a laptop.
 //! - `--seeds N` — number of replicated runs per point (default 3; each
 //!   uses an independent seed and the printed value is the mean).
+//! - `--jobs N` — number of worker threads for the replicate sweep
+//!   (default: available parallelism). Output is byte-identical for any
+//!   `N`; `--jobs 1` runs the cells inline on the calling thread.
 //! - `--trace PATH` — write a structured JSONL trace of one designated
 //!   run (binary-specific; typically the flagship configuration at seed
-//!   1) to `PATH`, with its [`rom_obs::RunManifest`] at
-//!   `PATH.manifest.json` and the metrics snapshot at
+//!   1) to `PATH`, with the aggregate [`rom_obs::SweepManifest`] at
+//!   `PATH.manifest.json` and the metrics snapshots at
 //!   `PATH.metrics.json`. Traces are deterministic: same seed, same
-//!   bytes.
+//!   bytes — regardless of `--jobs`.
+
+mod sweep;
+
+pub use sweep::{CellId, CellOut, CellTrace, Sweep, SweepOutput};
 
 use rom_engine::{AlgorithmKind, ChurnConfig, ChurnSim, StreamingConfig, StreamingSim};
 use rom_engine::{ChurnReport, StreamingReport};
-use rom_obs::{fnv1a, JsonlSink, Obs, RunManifest, Tracer};
+use rom_obs::{fnv1a, JsonlSink, MetricsSnapshot, Obs, RunManifest, SharedBuffer, Tracer};
 use rom_sim::RunOutcome;
 use rom_stats::Summary;
+
+/// The gauge under which the engine records the exact peak event-queue
+/// depth of a run (see `run_inner` in `rom-engine`).
+pub const QUEUE_HIGH_WATER_GAUGE: &str = "sim.queue_high_water";
 
 /// Scale and replication options shared by every figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,19 +42,24 @@ pub struct Scale {
     pub paper: bool,
     /// Number of replicated seeds per data point.
     pub seeds: u64,
+    /// Worker threads for the replicate sweep (`--jobs N`, default:
+    /// available parallelism; 1 = serial).
+    pub jobs: usize,
     /// JSONL trace output path (`--trace PATH`); tracing is off when
     /// `None`. Leaked to `'static` so `Scale` stays `Copy`.
     pub trace: Option<&'static str>,
 }
 
 impl Scale {
-    /// Parses `--paper`, `--seeds N` and `--trace PATH` from the process
-    /// arguments. Unknown arguments abort with a usage message.
+    /// Parses `--paper`, `--seeds N`, `--jobs N` and `--trace PATH` from
+    /// the process arguments. Unknown arguments abort with a usage
+    /// message.
     #[must_use]
     pub fn from_args() -> Self {
         let mut scale = Scale {
             paper: false,
             seeds: 3,
+            jobs: default_jobs(),
             trace: None,
         };
         let mut args = std::env::args().skip(1);
@@ -57,6 +73,14 @@ impl Scale {
                         .unwrap_or_else(|| usage());
                     scale.seeds = n;
                 }
+                "--jobs" => {
+                    let n: usize = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage());
+                    scale.jobs = n;
+                }
                 "--trace" => {
                     let path = args.next().unwrap_or_else(|| usage());
                     scale.trace = Some(Box::leak(path.into_boxed_str()));
@@ -66,6 +90,12 @@ impl Scale {
             }
         }
         scale
+    }
+
+    /// The sweep engine configured with this scale's worker count.
+    #[must_use]
+    pub fn sweep(self) -> Sweep {
+        Sweep::with_jobs(self.jobs)
     }
 
     /// The steady-state sizes swept by the size-axis figures
@@ -102,8 +132,14 @@ impl Scale {
     }
 }
 
+/// The default `--jobs`: every available core.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 fn usage() -> ! {
-    eprintln!("usage: <figure-binary> [--paper] [--seeds N] [--trace PATH]");
+    eprintln!("usage: <figure-binary> [--paper] [--seeds N] [--jobs N] [--trace PATH]");
     std::process::exit(2)
 }
 
@@ -113,100 +149,159 @@ pub fn churn_config(algorithm: AlgorithmKind, size: usize, seed: u64) -> ChurnCo
     ChurnConfig::paper(algorithm, size).with_seed(seed)
 }
 
-/// Runs one churn configuration per seed and returns the reports.
+/// Runs one churn configuration per seed (in parallel over
+/// `scale.jobs` workers) and returns the reports in seed order.
 #[must_use]
-pub fn replicate_churn(make: impl Fn(u64) -> ChurnConfig, seeds: u64) -> Vec<ChurnReport> {
-    (1..=seeds)
-        .map(|seed| {
-            let report = ChurnSim::new(make(seed)).run();
-            warn_on_truncation("churn", seed, report.outcome);
-            report
-        })
-        .collect()
+pub fn replicate_churn(
+    make: impl Fn(u64) -> ChurnConfig + Sync,
+    scale: Scale,
+) -> Vec<ChurnReport> {
+    replicate_churn_traced("churn", make, scale, None)
 }
 
-/// Runs one streaming configuration per seed and returns the reports.
+/// Runs one streaming configuration per seed (in parallel over
+/// `scale.jobs` workers) and returns the reports in seed order.
 #[must_use]
 pub fn replicate_streaming(
-    make: impl Fn(u64) -> StreamingConfig,
-    seeds: u64,
+    make: impl Fn(u64) -> StreamingConfig + Sync,
+    scale: Scale,
 ) -> Vec<StreamingReport> {
-    (1..=seeds)
-        .map(|seed| {
-            let report = StreamingSim::new(make(seed)).run();
-            warn_on_truncation("streaming", seed, report.outcome());
-            report
-        })
-        .collect()
+    replicate_streaming_traced("streaming", make, scale, None)
 }
 
 /// Like [`replicate_churn`], but traces the seed-1 run to `trace` when
-/// set (see [`trace_sidecars`] for the files written). `name` labels the
-/// run in its manifest.
+/// set: the merged JSONL lands at the path with its aggregate manifest
+/// and metrics sidecars (see [`SweepOutput::write_trace`]). `name`
+/// labels the run in its manifest.
 #[must_use]
 pub fn replicate_churn_traced(
     name: &str,
-    make: impl Fn(u64) -> ChurnConfig,
-    seeds: u64,
+    make: impl Fn(u64) -> ChurnConfig + Sync,
+    scale: Scale,
     trace: Option<&str>,
 ) -> Vec<ChurnReport> {
-    (1..=seeds)
-        .map(|seed| {
-            let cfg = make(seed);
-            let report = match trace.filter(|_| seed == 1) {
-                Some(path) => {
-                    let digest = fnv1a(format!("{cfg:?}").as_bytes());
-                    let (report, obs) = ChurnSim::new(cfg).run_with_obs(obs_to_file(path));
-                    trace_sidecars(path, name, seed, digest, &obs, report.events_processed, report.outcome);
-                    report
-                }
-                None => ChurnSim::new(cfg).run(),
-            };
-            warn_on_truncation(name, seed, report.outcome);
-            report
-        })
-        .collect()
+    let out = scale.sweep().run(1, scale.seeds, |cell| {
+        let cfg = make(cell.seed);
+        let (report, trace) = match trace.filter(|_| cell.seed == 1) {
+            Some(_) => {
+                let (report, _metrics, artifacts) = traced_churn_cell(name, cfg, cell.seed);
+                (report, Some(artifacts))
+            }
+            None => (ChurnSim::new(cfg).run(), None),
+        };
+        CellOut {
+            warnings: truncation_warning(name, cell.seed, report.outcome)
+                .into_iter()
+                .collect(),
+            report,
+            trace,
+        }
+    });
+    if let Some(path) = trace {
+        out.write_trace(path, name);
+    }
+    out.into_single_point()
 }
 
 /// Like [`replicate_streaming`], but traces the seed-1 run to `trace`
-/// when set (see [`trace_sidecars`] for the files written). `name` labels
-/// the run in its manifest.
+/// when set (see [`replicate_churn_traced`]). `name` labels the run in
+/// its manifest.
 #[must_use]
 pub fn replicate_streaming_traced(
     name: &str,
-    make: impl Fn(u64) -> StreamingConfig,
-    seeds: u64,
+    make: impl Fn(u64) -> StreamingConfig + Sync,
+    scale: Scale,
     trace: Option<&str>,
 ) -> Vec<StreamingReport> {
-    (1..=seeds)
-        .map(|seed| {
-            let cfg = make(seed);
-            let report = match trace.filter(|_| seed == 1) {
-                Some(path) => {
-                    let digest = fnv1a(format!("{cfg:?}").as_bytes());
-                    let (report, obs) = StreamingSim::new(cfg).run_with_obs(obs_to_file(path));
-                    trace_sidecars(path, name, seed, digest, &obs, report.events_processed(), report.outcome());
-                    report
-                }
-                None => StreamingSim::new(cfg).run(),
-            };
-            warn_on_truncation(name, seed, report.outcome());
-            report
-        })
-        .collect()
+    let out = scale.sweep().run(1, scale.seeds, |cell| {
+        let cfg = make(cell.seed);
+        let (report, trace) = match trace.filter(|_| cell.seed == 1) {
+            Some(_) => {
+                let (report, _metrics, artifacts) = traced_streaming_cell(name, cfg, cell.seed);
+                (report, Some(artifacts))
+            }
+            None => (StreamingSim::new(cfg).run(), None),
+        };
+        CellOut {
+            warnings: truncation_warning(name, cell.seed, report.outcome())
+                .into_iter()
+                .collect(),
+            report,
+            trace,
+        }
+    });
+    if let Some(path) = trace {
+        out.write_trace(path, name);
+    }
+    out.into_single_point()
 }
 
-/// An [`Obs`] pipeline writing JSONL trace lines to `path`, aborting the
-/// process when the file cannot be created (a bench-appropriate policy).
+/// Runs one churn configuration with a private in-memory trace pipeline
+/// and returns the report, the metrics snapshot and the cell's trace
+/// artifacts (ready for deterministic merging by the sweep engine).
 #[must_use]
-pub fn obs_to_file(path: &str) -> Obs {
-    match JsonlSink::create(path) {
-        Ok(sink) => Obs::new(Tracer::to_sink(Box::new(sink))),
-        Err(err) => {
-            eprintln!("error: cannot create trace file {path}: {err}");
-            std::process::exit(2)
-        }
-    }
+pub fn traced_churn_cell(
+    name: &str,
+    cfg: ChurnConfig,
+    seed: u64,
+) -> (ChurnReport, MetricsSnapshot, CellTrace) {
+    let digest = fnv1a(format!("{cfg:?}").as_bytes());
+    let buffer = SharedBuffer::new();
+    let obs = Obs::new(Tracer::to_sink(Box::new(JsonlSink::new(buffer.clone()))));
+    let (report, obs) = ChurnSim::new(cfg).run_with_obs(obs);
+    let (metrics, trace) = cell_artifacts(
+        name,
+        seed,
+        digest,
+        &obs,
+        &buffer,
+        report.events_processed,
+        report.outcome,
+    );
+    (report, metrics, trace)
+}
+
+/// Streaming variant of [`traced_churn_cell`].
+#[must_use]
+pub fn traced_streaming_cell(
+    name: &str,
+    cfg: StreamingConfig,
+    seed: u64,
+) -> (StreamingReport, MetricsSnapshot, CellTrace) {
+    let digest = fnv1a(format!("{cfg:?}").as_bytes());
+    let buffer = SharedBuffer::new();
+    let obs = Obs::new(Tracer::to_sink(Box::new(JsonlSink::new(buffer.clone()))));
+    let (report, obs) = StreamingSim::new(cfg).run_with_obs(obs);
+    let (metrics, trace) = cell_artifacts(
+        name,
+        seed,
+        digest,
+        &obs,
+        &buffer,
+        report.events_processed(),
+        report.outcome(),
+    );
+    (report, metrics, trace)
+}
+
+/// Packages one observed run's telemetry into its [`CellTrace`].
+fn cell_artifacts(
+    name: &str,
+    seed: u64,
+    config_digest: u64,
+    obs: &Obs,
+    buffer: &SharedBuffer,
+    events_processed: u64,
+    outcome: RunOutcome,
+) -> (MetricsSnapshot, CellTrace) {
+    let metrics = obs.snapshot();
+    let manifest = run_manifest(name, seed, config_digest, obs, events_processed, outcome);
+    let trace = CellTrace {
+        jsonl: buffer.contents(),
+        metrics_json: metrics.to_json(),
+        manifest,
+    };
+    (metrics, trace)
 }
 
 /// Builds the [`RunManifest`] of a traced run: name, seed, provenance
@@ -232,37 +327,15 @@ pub fn run_manifest(
     manifest
 }
 
-/// Writes the provenance sidecars of a traced run: the [`RunManifest`] at
-/// `PATH.manifest.json` and the metrics snapshot at `PATH.metrics.json`.
-/// The manifest carries the FNV-1a digest of the metrics JSON, so the
-/// whole observation pipeline is covered by a byte-comparable record.
-pub fn trace_sidecars(
-    path: &str,
-    name: &str,
-    seed: u64,
-    config_digest: u64,
-    obs: &Obs,
-    events_processed: u64,
-    outcome: RunOutcome,
-) {
-    let metrics = obs.snapshot().to_json();
-    let manifest = run_manifest(name, seed, config_digest, obs, events_processed, outcome);
-    for (file, contents) in [
-        (format!("{path}.manifest.json"), manifest.to_json()),
-        (format!("{path}.metrics.json"), metrics),
-    ] {
-        if let Err(err) = std::fs::write(&file, contents) {
-            eprintln!("warning: cannot write {file}: {err}");
-        }
-    }
-}
-
-/// Flags runs whose event loop stopped early: their measurements cover
-/// less simulated time than the configuration asked for.
-fn warn_on_truncation(name: &str, seed: u64, outcome: RunOutcome) {
-    if outcome == RunOutcome::BudgetExhausted {
-        eprintln!("warning: {name} seed {seed}: event budget exhausted, run truncated");
-    }
+/// The deferred-warning text for a run whose event loop stopped early
+/// (its measurements cover less simulated time than configured), or
+/// `None` for a complete run. Returned through the cell's result slot so
+/// the sweep engine prints it in deterministic `(point, seed)` order
+/// after the join — worker threads never write to stderr directly.
+#[must_use]
+pub fn truncation_warning(name: &str, seed: u64, outcome: RunOutcome) -> Option<String> {
+    (outcome == RunOutcome::BudgetExhausted)
+        .then(|| format!("warning: {name} seed {seed}: event budget exhausted, run truncated"))
 }
 
 /// Mean of a per-report scalar across replicated runs.
@@ -315,6 +388,7 @@ mod tests {
         let s = Scale {
             paper: false,
             seeds: 3,
+            jobs: 1,
             trace: None,
         };
         assert_eq!(s.sizes(), vec![500, 1_000, 2_000, 4_000]);
@@ -322,11 +396,13 @@ mod tests {
         let p = Scale {
             paper: true,
             seeds: 3,
+            jobs: 1,
             trace: None,
         };
         assert_eq!(p.sizes().last(), Some(&14_000));
         assert_eq!(p.focus_size(), 8_000);
         assert_eq!(p.observer_minutes(), 300.0);
+        assert!(default_jobs() >= 1);
     }
 
     #[test]
@@ -343,5 +419,14 @@ mod tests {
         let c = churn_config(AlgorithmKind::Rost, 1_000, 7);
         assert_eq!(c.seed, 7);
         assert_eq!(c.target_size, 1_000);
+    }
+
+    #[test]
+    fn truncation_warning_only_on_budget_exhaustion() {
+        assert!(truncation_warning("x", 1, RunOutcome::HorizonReached).is_none());
+        assert!(truncation_warning("x", 1, RunOutcome::Drained).is_none());
+        let warning =
+            truncation_warning("fig", 4, RunOutcome::BudgetExhausted).expect("warns on truncation");
+        assert!(warning.contains("fig seed 4"));
     }
 }

@@ -124,8 +124,9 @@ impl fmt::Display for Violation {
 ///
 /// Both hooks default to no-ops so an invariant implements only the side
 /// it cares about. Checkers must be deterministic: same inputs in the
-/// same order, same violations.
-pub trait Invariant: fmt::Debug {
+/// same order, same violations. Invariants are `Send` so a fully-armed
+/// simulator can run on a sweep worker thread.
+pub trait Invariant: fmt::Debug + Send {
     /// Stable name, used in reports and trace events.
     fn name(&self) -> &'static str;
 
@@ -704,22 +705,22 @@ mod tests {
         let tree = small_tree();
         let mut registry = InvariantRegistry::new().with_stride(3);
         #[derive(Debug, Default)]
-        struct Counter(std::rc::Rc<std::cell::Cell<u64>>);
+        struct Counter(std::sync::Arc<std::sync::atomic::AtomicU64>);
         impl Invariant for Counter {
             fn name(&self) -> &'static str {
                 "counter"
             }
             fn on_event(&mut self, _t: &MulticastTree, _n: SimTime) -> Vec<Violation> {
-                self.0.set(self.0.get() + 1);
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 Vec::new()
             }
         }
-        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
-        registry.register(Box::new(Counter(std::rc::Rc::clone(&calls))));
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        registry.register(Box::new(Counter(std::sync::Arc::clone(&calls))));
         let mut obs = Obs::disabled();
         for step in 1..=9 {
             registry.after_event(&tree, SimTime::from_secs(step as f64), &mut obs);
         }
-        assert_eq!(calls.get(), 3);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 3);
     }
 }

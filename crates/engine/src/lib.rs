@@ -26,3 +26,19 @@ pub use config::{
 pub use proximity::OracleProximity;
 pub use streaming::{StreamingReport, StreamingSim};
 pub use workload::Workload;
+
+// The parallel sweep engine in rom-bench builds a fully-configured
+// simulator (including its observability pipeline and armed invariants)
+// inside a worker thread and ships the report back to the collector; that
+// is only sound if every one of these types is `Send`. Pin it at compile
+// time so a non-`Send` field (an `Rc`, a thread-local handle) can never
+// sneak into the simulators again.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ChurnSim>();
+    assert_send::<StreamingSim>();
+    assert_send::<ChurnConfig>();
+    assert_send::<StreamingConfig>();
+    assert_send::<ChurnReport>();
+    assert_send::<StreamingReport>();
+};

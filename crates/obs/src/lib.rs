@@ -51,7 +51,7 @@ mod manifest;
 mod metrics;
 mod trace;
 
-pub use manifest::{fnv1a, RunManifest};
+pub use manifest::{fnv1a, RunManifest, SweepManifest};
 pub use metrics::{
     GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS,
 };

@@ -103,6 +103,116 @@ impl RunManifest {
     }
 }
 
+/// Aggregate provenance for a multi-run sweep: every traced cell's
+/// [`RunManifest`] keyed by its `(point, seed)` grid coordinates, merged
+/// into one record.
+///
+/// Workers may insert in any completion order; [`SweepManifest::to_json`]
+/// and [`SweepManifest::cells`] always present cells sorted by
+/// `(point, seed)`, so the serialized aggregate is independent of worker
+/// count and scheduling — the property the parallel sweep engine's
+/// determinism wall pins.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepManifest {
+    /// Human name of the sweep (e.g. the bench binary).
+    pub name: String,
+    cells: Vec<(usize, u64, RunManifest)>,
+}
+
+impl SweepManifest {
+    /// An empty aggregate named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepManifest {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Records the manifest of the cell at grid coordinates
+    /// `(point, seed)`. Insertion order is irrelevant.
+    pub fn push(&mut self, point: usize, seed: u64, manifest: RunManifest) {
+        self.cells.push((point, seed, manifest));
+    }
+
+    /// Number of recorded cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cell was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The recorded cells, sorted by `(point, seed)`.
+    #[must_use]
+    pub fn cells(&self) -> Vec<&(usize, u64, RunManifest)> {
+        let mut sorted: Vec<_> = self.cells.iter().collect();
+        sorted.sort_by_key(|(point, seed, _)| (*point, *seed));
+        sorted
+    }
+
+    /// Sum of `events_processed` across all cells.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.cells.iter().map(|(_, _, m)| m.events_processed).sum()
+    }
+
+    /// Sum of recorded trace events across all cells.
+    #[must_use]
+    pub fn trace_events(&self) -> u64 {
+        self.cells.iter().map(|(_, _, m)| m.trace_events).sum()
+    }
+
+    /// Serializes the aggregate as one deterministic JSON object with
+    /// cells sorted by `(point, seed)` (trailing newline included). The
+    /// `cells_digest` field is the FNV-1a hash over the sorted per-cell
+    /// manifest JSONs, so two aggregates are byte-comparable at a glance.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let sorted = self.cells();
+        let mut body = String::with_capacity(256 * (1 + sorted.len()));
+        let mut digest_input = String::new();
+        let mut first = true;
+        for (point, seed, manifest) in sorted {
+            if !first {
+                body.push(',');
+            }
+            first = false;
+            let cell_json = manifest.to_json();
+            let cell_json = cell_json.trim_end();
+            digest_input.push_str(cell_json);
+            body.push_str("{\"point\":");
+            json::push_u64(&mut body, *point as u64);
+            body.push_str(",\"seed\":");
+            json::push_u64(&mut body, *seed);
+            body.push_str(",\"manifest\":");
+            body.push_str(cell_json);
+            body.push('}');
+        }
+
+        let mut out = String::with_capacity(body.len() + 128);
+        out.push_str("{\"name\":");
+        json::push_str_literal(&mut out, &self.name);
+        out.push_str(",\"cells\":");
+        json::push_u64(&mut out, self.cells.len() as u64);
+        out.push_str(",\"events_processed\":");
+        json::push_u64(&mut out, self.events_processed());
+        out.push_str(",\"trace_events\":");
+        json::push_u64(&mut out, self.trace_events());
+        out.push_str(",\"cells_digest\":\"");
+        use std::fmt::Write as _;
+        let _ = write!(out, "{:016x}", fnv1a(digest_input.as_bytes()));
+        out.push_str("\",\"runs\":[");
+        out.push_str(&body);
+        out.push_str("]}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +240,55 @@ mod tests {
         let a = js.find("\"alg\"").expect("alg present");
         let b = js.find("\"metrics_digest\"").expect("digest present");
         assert!(a < b);
+    }
+
+    #[test]
+    fn sweep_manifest_sorts_cells_regardless_of_insertion_order() {
+        let cell = |name: &str, seed: u64, events: u64| {
+            let mut m = RunManifest::new(name, seed);
+            m.events_processed = events;
+            m.trace_events = events / 2;
+            m.outcome = "HorizonReached".to_string();
+            m
+        };
+        // Completion order (worker-dependent) vs grid order.
+        let mut scrambled = SweepManifest::new("sweep");
+        scrambled.push(1, 2, cell("b", 2, 40));
+        scrambled.push(0, 1, cell("a", 1, 10));
+        scrambled.push(1, 1, cell("b", 1, 30));
+        scrambled.push(0, 2, cell("a", 2, 20));
+        let mut ordered = SweepManifest::new("sweep");
+        ordered.push(0, 1, cell("a", 1, 10));
+        ordered.push(0, 2, cell("a", 2, 20));
+        ordered.push(1, 1, cell("b", 1, 30));
+        ordered.push(1, 2, cell("b", 2, 40));
+
+        assert_eq!(scrambled.to_json(), ordered.to_json());
+        assert_eq!(scrambled.len(), 4);
+        assert_eq!(scrambled.events_processed(), 100);
+        assert_eq!(scrambled.trace_events(), 50);
+        let coords: Vec<(usize, u64)> = scrambled
+            .cells()
+            .iter()
+            .map(|(p, s, _)| (*p, *s))
+            .collect();
+        assert_eq!(coords, vec![(0, 1), (0, 2), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn sweep_manifest_json_shape() {
+        let mut sweep = SweepManifest::new("fig04");
+        sweep.push(0, 1, RunManifest::new("fig04_rost", 1));
+        let js = sweep.to_json();
+        assert!(js.starts_with("{\"name\":\"fig04\",\"cells\":1,"));
+        assert!(js.contains("\"runs\":[{\"point\":0,\"seed\":1,\"manifest\":{\"name\":\"fig04_rost\""));
+        assert!(js.ends_with("]}\n"));
+        // Embedded manifests must not carry their trailing newline.
+        assert_eq!(js.matches('\n').count(), 1);
+
+        let empty = SweepManifest::new("empty");
+        assert!(empty.is_empty());
+        assert!(empty.to_json().contains("\"runs\":[]"));
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! The structured trace layer: typed sim-time events, subsystem/level
 //! filtering, and pluggable sinks.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::json;
 
@@ -236,8 +235,10 @@ impl TraceEvent {
 /// Destination for trace events.
 ///
 /// Implementations must be deterministic: same event sequence in, same
-/// observable state out.
-pub trait Sink: fmt::Debug {
+/// observable state out. Sinks are `Send` so a whole observed simulator
+/// can be handed to a sweep worker thread; each run still owns its sink
+/// exclusively — there is no concurrent recording into one sink.
+pub trait Sink: fmt::Debug + Send {
     /// Records one event. Infallible by design; sinks that can fail
     /// (e.g. file I/O) swallow errors and expose a count instead.
     fn record(&mut self, event: &TraceEvent);
@@ -273,16 +274,23 @@ impl Sink for NullSink {
 /// inside the tracer).
 #[derive(Debug)]
 pub struct RingSink {
-    buf: Rc<RefCell<VecDeque<TraceEvent>>>,
+    buf: Arc<Mutex<VecDeque<TraceEvent>>>,
     capacity: usize,
+}
+
+/// Locks a shared buffer, recovering the data even if another holder
+/// panicked mid-access (determinism is per-run; a poisoned run has
+/// already failed loudly).
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl RingSink {
     /// A ring retaining at most `capacity` events (oldest evicted first).
     #[must_use]
     pub fn new(capacity: usize) -> (RingSink, RingHandle) {
-        let buf = Rc::new(RefCell::new(VecDeque::new()));
-        let handle = RingHandle(Rc::clone(&buf));
+        let buf = Arc::new(Mutex::new(VecDeque::new()));
+        let handle = RingHandle(Arc::clone(&buf));
         (RingSink { buf, capacity }, handle)
     }
 }
@@ -292,7 +300,7 @@ impl Sink for RingSink {
         if self.capacity == 0 {
             return;
         }
-        let mut buf = self.buf.borrow_mut();
+        let mut buf = lock_unpoisoned(&self.buf);
         if buf.len() == self.capacity {
             buf.pop_front();
         }
@@ -302,25 +310,25 @@ impl Sink for RingSink {
 
 /// Read side of a [`RingSink`].
 #[derive(Debug, Clone)]
-pub struct RingHandle(Rc<RefCell<VecDeque<TraceEvent>>>);
+pub struct RingHandle(Arc<Mutex<VecDeque<TraceEvent>>>);
 
 impl RingHandle {
     /// Number of retained events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        lock_unpoisoned(&self.0).len()
     }
 
     /// True if nothing was retained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        lock_unpoisoned(&self.0).is_empty()
     }
 
     /// A copy of the retained events, oldest first.
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.0.borrow().iter().cloned().collect()
+        lock_unpoisoned(&self.0).iter().cloned().collect()
     }
 }
 
@@ -365,7 +373,7 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write + fmt::Debug> Sink for JsonlSink<W> {
+impl<W: Write + fmt::Debug + Send> Sink for JsonlSink<W> {
     fn record(&mut self, event: &TraceEvent) {
         self.line.clear();
         event.write_json(&mut self.line);
@@ -389,7 +397,7 @@ impl<W: Write + fmt::Debug> Sink for JsonlSink<W> {
 /// byte-identity determinism tests are built on this.
 #[derive(Debug, Clone, Default)]
 pub struct SharedBuffer {
-    bytes: Rc<RefCell<Vec<u8>>>,
+    bytes: Arc<Mutex<Vec<u8>>>,
 }
 
 impl SharedBuffer {
@@ -402,25 +410,25 @@ impl SharedBuffer {
     /// A copy of everything written so far.
     #[must_use]
     pub fn contents(&self) -> Vec<u8> {
-        self.bytes.borrow().clone()
+        lock_unpoisoned(&self.bytes).clone()
     }
 
     /// Number of bytes written so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.bytes.borrow().len()
+        lock_unpoisoned(&self.bytes).len()
     }
 
     /// True if nothing was written.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.bytes.borrow().is_empty()
+        lock_unpoisoned(&self.bytes).is_empty()
     }
 }
 
 impl Write for SharedBuffer {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.bytes.borrow_mut().extend_from_slice(buf);
+        lock_unpoisoned(&self.bytes).extend_from_slice(buf);
         Ok(buf.len())
     }
 

@@ -14,18 +14,23 @@
 //! this test's traffic.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-/// Counts every heap allocation made through the global allocator.
+/// Counts heap allocations made through the global allocator, per
+/// thread: the libtest harness runs its own bookkeeping threads whose
+/// stray allocations must not count against the hot path under test.
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 // SAFETY: delegates directly to the system allocator; the counter is a
-// relaxed atomic with no other side effects.
+// const-initialized thread-local `Cell` (no lazy allocation), read with
+// `try_with` so allocation during TLS teardown stays safe.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
@@ -34,7 +39,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -43,7 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(Cell::get)
 }
 
 use rom_obs::{Level, NullSink, Obs, Subsystem, TraceEvent, Tracer};
