@@ -1,0 +1,216 @@
+//! Criterion suite for the arena tree core: the four operations the PR-5
+//! slab rewrite targets — id lookup, attach/detach, the ROST switch, and
+//! the descendants walk — each at 100 / 1 000 / 10 000 members.
+//!
+//! Besides the usual criterion text report, the custom `main` writes
+//! `BENCH_tree.json` (best-of-samples ns/op per operation and size) to the
+//! working directory, mirroring how `headline_claims` records
+//! `BENCH_headline.json`; CI archives both.
+
+use criterion::{criterion_group, Criterion};
+use rom_overlay::{Location, MemberProfile, MulticastTree, NodeId};
+use rom_sim::{SimRng, SimTime};
+use rom_stats::BoundedPareto;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [u64; 3] = [100, 1_000, 10_000];
+
+/// Builds a min-depth-shaped tree of `n` members with paper bandwidths.
+/// The source is capped at out-degree 8 (instead of the paper's 100) so
+/// even the 100-member tree has real depth — otherwise every member hangs
+/// off the root and the switch/descendants ops have nothing to do.
+fn build_tree(n: u64, seed: u64) -> MulticastTree {
+    let mut rng = SimRng::seed_from(seed);
+    let bw = BoundedPareto::paper_bandwidth();
+    let source = MemberProfile::new(NodeId::SOURCE, 8.0, SimTime::ZERO, 1e9, Location(0));
+    let mut tree = MulticastTree::new(source, 1.0);
+    for id in 1..=n {
+        // Clamp below at one slot: with the capped source, a run of
+        // free-riders could otherwise exhaust the capacity pool before
+        // the tree reaches `n` members.
+        let profile = MemberProfile::new(
+            NodeId(id),
+            bw.sample(&mut rng).max(1.0),
+            SimTime::from_secs(id as f64),
+            1e9,
+            Location(id as u32),
+        );
+        let parent = tree
+            .attached_by_depth()
+            .find(|&p| tree.has_free_slot(p))
+            .expect("capacity available");
+        tree.attach(profile, parent).expect("valid parent");
+    }
+    tree
+}
+
+/// A parent that keeps a free slot available for repeated attach/detach.
+fn free_parent(tree: &MulticastTree) -> NodeId {
+    tree.attached_by_depth()
+        .find(|&p| tree.has_free_slot(p))
+        .expect("capacity available")
+}
+
+/// A node whose position swap with its parent is legal in both directions
+/// (so a promote/demote pair restores the original shape).
+fn switch_candidate(tree: &MulticastTree) -> NodeId {
+    tree.attached_by_depth()
+        .find(|&n| {
+            n != tree.root()
+                && tree.parent(n).is_some_and(|p| p != tree.root())
+                && tree.capacity(n) >= 1
+        })
+        .expect("switchable node")
+}
+
+/// Sweep of `depth` + `profile` reads over every member id — the lookup
+/// pattern of the join-decision loops.
+fn lookup_pass(tree: &MulticastTree, ids: &[NodeId]) -> usize {
+    let mut acc = 0usize;
+    for &id in ids {
+        acc += tree.depth(id).unwrap_or(0);
+        acc += usize::from(tree.profile(id).is_some());
+    }
+    acc
+}
+
+fn bench_tree_core(c: &mut Criterion) {
+    for &n in &SIZES {
+        let mut tree = build_tree(n, n);
+        let ids: Vec<NodeId> = tree.member_ids().collect();
+        let parent = free_parent(&tree);
+        let candidate = switch_candidate(&tree);
+        let first_child: NodeId = tree.children(tree.root()).next().expect("root has a child");
+        let mut scratch: Vec<NodeId> = Vec::new();
+        let name = format!("tree_core_{n}");
+        let mut group = c.benchmark_group(&name);
+        group.bench_function("lookup_sweep", |b| {
+            b.iter(|| black_box(lookup_pass(&tree, &ids)));
+        });
+        group.bench_function("descendants_walk", |b| {
+            b.iter(|| {
+                scratch.clear();
+                tree.descendants_into(first_child, &mut scratch);
+                black_box(scratch.len())
+            });
+        });
+        group.bench_function("attach_detach", |b| {
+            b.iter(|| {
+                let joiner =
+                    MemberProfile::new(NodeId(1_000_000), 2.0, SimTime::ZERO, 1e9, Location(1));
+                tree.attach(joiner, parent).expect("free slot");
+                black_box(tree.remove(NodeId(1_000_000)).expect("known member"));
+            });
+        });
+        group.bench_function("switch_pair", |b| {
+            b.iter(|| {
+                let rec = tree
+                    .swap_with_parent(candidate, |p| p.bandwidth)
+                    .expect("legal switch");
+                black_box(
+                    tree.swap_with_parent(rec.demoted, |p| p.bandwidth)
+                        .expect("legal switch back"),
+                );
+            });
+        });
+        group.finish();
+    }
+}
+
+/// Keeps `cargo bench --workspace` affordable on one core: the simulation
+/// benches dominate and 10–20 samples resolve them fine.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_tree_core
+}
+
+/// Best of 5 timed batches of `iters` calls, in ns per call.
+fn measure<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn write_bench_json() {
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let mut tree = build_tree(n, n);
+        let ids: Vec<NodeId> = tree.member_ids().collect();
+        let parent = free_parent(&tree);
+        let candidate = switch_candidate(&tree);
+        let first_child: NodeId = tree.children(tree.root()).next().expect("root has a child");
+        let mut scratch: Vec<NodeId> = Vec::new();
+        let iters = (200_000 / n).max(20);
+
+        let lookup = measure(iters, || {
+            black_box(lookup_pass(&tree, &ids));
+        }) / ids.len() as f64;
+        rows.push((String::from("lookup"), n, lookup));
+
+        let walk = measure(iters, || {
+            scratch.clear();
+            tree.descendants_into(first_child, &mut scratch);
+            black_box(scratch.len());
+        });
+        rows.push((String::from("descendants"), n, walk));
+
+        let attach = measure(iters, || {
+            let joiner =
+                MemberProfile::new(NodeId(1_000_000), 2.0, SimTime::ZERO, 1e9, Location(1));
+            tree.attach(joiner, parent).expect("free slot");
+            black_box(tree.remove(NodeId(1_000_000)).expect("known member"));
+        });
+        rows.push((String::from("attach_detach"), n, attach));
+
+        let switch = measure(iters, || {
+            let rec = tree
+                .swap_with_parent(candidate, |p| p.bandwidth)
+                .expect("legal switch");
+            black_box(
+                tree.swap_with_parent(rec.demoted, |p| p.bandwidth)
+                    .expect("legal switch back"),
+            );
+        }) / 2.0;
+        rows.push((String::from("switch"), n, switch));
+    }
+
+    let mut json = String::from("{\n  \"suite\": \"tree_core\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n");
+    for (i, (op, n, ns)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"op\": \"{op}\", \"members\": {n}, \"ns_per_op\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Cargo runs bench binaries from the package root; anchor the artifact
+    // at the workspace root where CI archives it.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tree.json");
+    if let Err(err) = std::fs::write(path, json) {
+        eprintln!("error: cannot write BENCH_tree.json: {err}");
+        std::process::exit(1);
+    }
+    println!("\n# tree microbench written to BENCH_tree.json");
+}
+
+fn main() {
+    benches();
+    write_bench_json();
+}

@@ -39,6 +39,17 @@ fn bench_underlay(c: &mut Criterion) {
     c.bench_function("dijkstra_full_graph", |b| {
         b.iter(|| black_box(dijkstra(net.graph(), UnderlayId(0))));
     });
+
+    // Exercises the lazy-deletion guard in `dijkstra`: starting from a stub
+    // leaf, the search relaxes through the stub domain before reaching the
+    // transit mesh, so many heap entries are superseded before they pop and
+    // the stale-entry skip (`dist > best` → continue) does real work. A
+    // regression there shows up here long before it moves the oracle-build
+    // numbers.
+    c.bench_function("dijkstra_stale_entry_skip", |b| {
+        let src = *stubs.last().expect("network has stub nodes");
+        b.iter(|| black_box(dijkstra(net.graph(), src)));
+    });
 }
 
 /// Keeps `cargo bench --workspace` affordable on one core: the simulation

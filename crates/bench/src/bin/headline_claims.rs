@@ -39,6 +39,25 @@ fn queue_peak(metrics: &MetricsSnapshot) -> f64 {
         .map_or(0.0, |g| g.high_water)
 }
 
+/// Times a fixed single-core integer spin, in ns per iteration.
+///
+/// Recorded in the baseline so the perf smoke can compare runs across
+/// machines: `events_per_sec × spin_ns` cancels raw CPU speed to first
+/// order, leaving only genuine changes in work per event. Only meaningful
+/// to compare between runs with the same `jobs` setting.
+fn calibration_spin_ns() -> f64 {
+    const ITERS: u64 = 1 << 24;
+    let started = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    for _ in 0..ITERS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    std::hint::black_box(x);
+    started.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
 fn main() {
     let scale = Scale::from_args();
     banner(
@@ -153,14 +172,14 @@ fn main() {
     println!("claim3,rost_overhead,{}", fmt(rost.3));
     println!("claim3,far_below_one,{}", rost.3 < 0.5);
 
-    write_baseline(&phases, scale);
+    write_baseline(&phases, scale, calibration_spin_ns());
     println!("\n# perf baseline written to BENCH_headline.json");
 }
 
 /// Writes the machine-readable perf baseline. Wall-clock timing is
 /// inherently run-dependent, so it lives only in this file — never on
 /// stdout.
-fn write_baseline(phases: &[Phase], scale: Scale) {
+fn write_baseline(phases: &[Phase], scale: Scale, spin_ns: f64) {
     let per_sec = |events: u64, wall: f64| {
         if wall > 0.0 {
             events as f64 / wall
@@ -171,8 +190,8 @@ fn write_baseline(phases: &[Phase], scale: Scale) {
     let mut json = String::with_capacity(1024);
     json.push_str("{\"name\":\"headline_claims\"");
     json.push_str(&format!(
-        ",\"paper\":{},\"seeds\":{},\"jobs\":{},\"phases\":[",
-        scale.paper, scale.seeds, scale.jobs
+        ",\"paper\":{},\"seeds\":{},\"jobs\":{},\"calibration_spin_ns\":{},\"phases\":[",
+        scale.paper, scale.seeds, scale.jobs, spin_ns
     ));
     let mut total_wall = 0.0;
     let mut total_events = 0u64;

@@ -38,32 +38,8 @@ use rom_overlay::{MulticastTree, NodeId};
 /// ```
 #[must_use]
 pub fn loss_correlation(tree: &MulticastTree, a: NodeId, b: NodeId) -> Option<usize> {
-    if !tree.is_attached(a) || !tree.is_attached(b) {
-        return None;
-    }
-    if a == b {
-        return tree.depth(a);
-    }
-    // Walk the deeper member up to the other's depth, then walk both up
-    // until they meet; the meeting point is the LCA.
-    let mut x = a;
-    let mut y = b;
-    let mut dx = tree.depth(x)?;
-    let mut dy = tree.depth(y)?;
-    while dx > dy {
-        x = tree.parent(x)?;
-        dx -= 1;
-    }
-    while dy > dx {
-        y = tree.parent(y)?;
-        dy -= 1;
-    }
-    while x != y {
-        x = tree.parent(x)?;
-        y = tree.parent(y)?;
-        dx -= 1;
-    }
-    Some(dx)
+    // Two id→index lookups, then the walk follows arena parent links.
+    tree.lca_depth(a, b)
 }
 
 /// Total pairwise loss correlation of a candidate recovery group — the

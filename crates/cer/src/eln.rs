@@ -72,7 +72,7 @@ impl ElnScope {
     /// ```
     #[must_use]
     pub fn of_failure(tree: &MulticastTree, failed: NodeId) -> Self {
-        let rejoining: Vec<NodeId> = tree.children(failed).to_vec();
+        let rejoining: Vec<NodeId> = tree.children(failed).collect();
         let mut notified: Vec<NodeId> = tree
             .descendants(failed)
             .into_iter()

@@ -175,24 +175,32 @@ impl PartialTree {
 
     /// Loss correlation within the fragment: common root-path edges.
     /// `None` when either node cannot be traced to the root.
+    ///
+    /// The shared root-path prefix ends at the pair's lowest common
+    /// ancestor, so instead of materializing both paths the walk equalizes
+    /// depths along parent links and climbs in lockstep until the nodes
+    /// meet — no allocation, and [`depth`](Self::depth) already rejects
+    /// untraceable or cyclic fragments.
     #[must_use]
     pub fn loss_correlation(&self, a: NodeId, b: NodeId) -> Option<usize> {
-        let path = |mut n: NodeId| -> Option<Vec<NodeId>> {
-            let mut p = vec![n];
-            while Some(n) != self.root {
-                n = self.parent(n)?;
-                p.push(n);
-                if p.len() > self.parent.len() + 2 {
-                    return None;
-                }
-            }
-            p.reverse();
-            Some(p)
-        };
-        let pa = path(a)?;
-        let pb = path(b)?;
-        let shared_nodes = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count();
-        Some(shared_nodes.saturating_sub(1))
+        let mut da = self.depth(a)?;
+        let mut db = self.depth(b)?;
+        let mut x = a;
+        let mut y = b;
+        while da > db {
+            x = self.parent(x)?;
+            da -= 1;
+        }
+        while db > da {
+            y = self.parent(y)?;
+            db -= 1;
+        }
+        while x != y {
+            x = self.parent(x)?;
+            y = self.parent(y)?;
+            da -= 1;
+        }
+        Some(da)
     }
 }
 

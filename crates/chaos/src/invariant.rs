@@ -318,9 +318,9 @@ impl Invariant for DegreeBudget {
 
     fn on_event(&mut self, tree: &MulticastTree, now: SimTime) -> Vec<Violation> {
         let mut found = Vec::new();
-        for id in tree.member_ids() {
-            let degree = tree.children(id).len();
-            let capacity = tree.capacity(id);
+        for (id, ix) in tree.member_entries() {
+            let degree = tree.child_count_ix(ix);
+            let capacity = tree.capacity_ix(ix);
             if degree > capacity {
                 found.push(Violation::new(
                     self.name(),

@@ -301,7 +301,7 @@ pub fn pick_cluster(tree: &MulticastTree, radius: usize, rng: &mut SimRng) -> Ve
     for _ in 0..radius {
         let mut next = Vec::new();
         for &n in &frontier {
-            let mut neighbors: Vec<NodeId> = tree.children(n).to_vec();
+            let mut neighbors: Vec<NodeId> = tree.children(n).collect();
             if let Some(p) = tree.parent(n) {
                 neighbors.push(p);
             }

@@ -642,7 +642,7 @@ impl ChurnSim {
             .profile(orphan)
             .expect("orphan exists in tree")
             .clone();
-        let has_children = !self.tree.children(orphan).is_empty();
+        let has_children = self.tree.child_count(orphan) > 0;
         let candidates = self.candidates_for(orphan);
         let ctx = JoinContext {
             tree: &self.tree,
@@ -764,12 +764,26 @@ impl ChurnSim {
     }
 
     /// Overlay path delay from the source to `id` in milliseconds.
-    fn overlay_delay_ms(&self, id: NodeId) -> Option<f64> {
-        let path = self.tree.overlay_path(id)?;
+    ///
+    /// `chain` is a caller-owned scratch buffer so the per-member quality
+    /// sweep does one allocation total instead of one path `Vec` per
+    /// member. The leaf→root index chain is summed in reverse so the
+    /// floating-point accumulation order stays root-first, exactly as the
+    /// `overlay_path` formulation produced.
+    fn overlay_delay_ms(&self, id: NodeId, chain: &mut Vec<rom_overlay::NodeIndex>) -> Option<f64> {
+        let ix = self.tree.index_of(id)?;
+        self.tree.depth_ix(ix)?; // detached members have no root path
+        chain.clear();
+        chain.push(ix);
+        let mut cur = ix;
+        while let Some(p) = self.tree.parent_ix(cur) {
+            chain.push(p);
+            cur = p;
+        }
         let mut total = 0.0;
-        for hop in path.windows(2) {
-            let a = self.tree.profile(hop[0])?.location;
-            let b = self.tree.profile(hop[1])?.location;
+        for i in (1..chain.len()).rev() {
+            let a = self.tree.profile_ix(chain[i]).location;
+            let b = self.tree.profile_ix(chain[i - 1]).location;
             total += self.oracle.delay_ms(UnderlayId(a.0), UnderlayId(b.0));
         }
         Some(total)
@@ -1268,7 +1282,7 @@ impl ChurnSim {
             let mut affected = Vec::new();
             for &child in &shed {
                 affected.push(child);
-                affected.extend(self.tree.descendants(child));
+                self.tree.descendants_into(child, &mut affected);
             }
             for &m in &shed {
                 *self.reconnections.entry(m).or_insert(0) += 1;
@@ -1283,12 +1297,13 @@ impl ChurnSim {
     fn sample_tree_quality(&mut self, now: SimTime) {
         let mut population = 0u64;
         let attached: Vec<NodeId> = self.tree.attached_by_depth().collect();
+        let mut chain = Vec::new();
         for id in attached {
             if id == self.tree.root() {
                 continue;
             }
             population += 1;
-            let Some(delay) = self.overlay_delay_ms(id) else {
+            let Some(delay) = self.overlay_delay_ms(id, &mut chain) else {
                 continue;
             };
             self.report.service_delay_ms.add(delay);

@@ -194,7 +194,7 @@ impl StreamingState {
         mut invariants: Option<&mut InvariantRegistry>,
     ) {
         let mut subtree = vec![orphan];
-        subtree.extend(tree.descendants(orphan));
+        tree.descendants_into(orphan, &mut subtree);
         for member in subtree {
             let Some(t0) = self
                 .members

@@ -24,10 +24,13 @@ impl TreeAlgorithm for LongestFirst {
     fn select(&self, ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> JoinDecision {
         let mut best: Option<(f64, f64, NodeId)> = None;
         for &cand in ctx.candidates {
-            if !ctx.tree.has_free_slot(cand) || !ctx.tree.is_attached(cand) {
+            let Some(ix) = ctx.tree.index_of(cand) else {
+                continue;
+            };
+            if !ctx.tree.has_free_slot_ix(ix) || !ctx.tree.is_attached_ix(ix) {
                 continue;
             }
-            let p = ctx.tree.profile(cand).expect("candidate has a profile");
+            let p = ctx.tree.profile_ix(ix);
             let age = p.age(ctx.now);
             let delay = proximity.delay_ms(ctx.joiner.location, p.location);
             let better = match best {

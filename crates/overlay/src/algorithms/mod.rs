@@ -90,18 +90,19 @@ pub trait TreeAlgorithm: std::fmt::Debug {
 pub fn min_depth_parent(ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> Option<NodeId> {
     let mut best: Option<(usize, f64, NodeId)> = None;
     for &cand in ctx.candidates {
-        if !ctx.tree.has_free_slot(cand) {
+        // One id→index lookup per candidate; every later access is a
+        // direct arena read.
+        let Some(ix) = ctx.tree.index_of(cand) else {
+            continue;
+        };
+        if !ctx.tree.has_free_slot_ix(ix) {
             continue;
         }
-        let Some(depth) = ctx.tree.depth(cand) else {
+        let Some(depth) = ctx.tree.depth_ix(ix) else {
             continue;
         };
         let key_delay = || {
-            let loc = ctx
-                .tree
-                .profile(cand)
-                .expect("candidate has a profile")
-                .location;
+            let loc = ctx.tree.profile_ix(ix).location;
             proximity.delay_ms(ctx.joiner.location, loc)
         };
         match best {

@@ -35,8 +35,10 @@ fn find_eviction<K: OrderKey>(ctx: &JoinContext<'_>) -> Option<NodeId> {
     let tree = ctx.tree;
     for depth in 1..=tree.max_depth() {
         let mut weakest: Option<(f64, NodeId)> = None;
-        for cand in tree.layer(depth) {
-            let key = K::key(tree.profile(cand).expect("attached"), ctx.now);
+        // Contiguous layer scan: entries carry the arena index, so the
+        // profile read is a direct slot access with no map lookup.
+        for (cand, ix) in tree.layer_entries(depth) {
+            let key = K::key(tree.profile_ix(ix), ctx.now);
             if key < joiner_key {
                 let better = match weakest {
                     None => true,

@@ -59,5 +59,5 @@ pub use member::MemberProfile;
 pub use multitree::MultiTreeSession;
 pub use proximity::{IndexProximity, Proximity, ZeroProximity};
 pub use stats::TreeStats;
-pub use tree::{paper_source, MulticastTree, RemovedMember, ReplaceOutcome, SwitchRecord};
+pub use tree::{paper_source, MulticastTree, NodeIndex, RemovedMember, ReplaceOutcome, SwitchRecord};
 pub use view::ViewSampler;

@@ -189,7 +189,10 @@ impl MultiTreeSession {
     /// stripe alone.
     #[must_use]
     pub fn failure_exposure(&self, member: NodeId) -> usize {
-        self.trees.iter().map(|t| t.descendants(member).len()).sum()
+        self.trees
+            .iter()
+            .map(|t| t.subtree_size(member).saturating_sub(1))
+            .sum()
     }
 }
 
@@ -231,7 +234,7 @@ mod tests {
         for id in 1..=40u64 {
             let designated = s.designated_stripe(NodeId(id));
             for stripe in 0..4 {
-                let kids = s.tree(stripe).children(NodeId(id)).len();
+                let kids = s.tree(stripe).child_count(NodeId(id));
                 if stripe == designated {
                     // May or may not have children, but only here CAN it.
                     continue;
@@ -377,7 +380,7 @@ mod rost_per_stripe_tests {
         session.tree(0).check_invariants().unwrap();
         // Stripe 1 is untouched: member 4 is a leaf there.
         session.tree(1).check_invariants().unwrap();
-        assert!(session.tree(1).children(NodeId(4)).is_empty());
+        assert_eq!(session.tree(1).child_count(NodeId(4)), 0);
         // Both members still receive both stripes.
         assert_eq!(session.stripes_received(NodeId(4)), 2);
         assert_eq!(session.stripes_received(NodeId(2)), 2);

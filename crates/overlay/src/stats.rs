@@ -73,8 +73,7 @@ impl MulticastTree {
         for &id in order.iter().rev() {
             let child_total: usize = self
                 .children(id)
-                .iter()
-                .map(|c| descendants.get(c).copied().unwrap_or(0) + 1)
+                .map(|c| descendants.get(&c).copied().unwrap_or(0) + 1)
                 .sum();
             descendants.insert(id, child_total);
         }
@@ -87,7 +86,7 @@ impl MulticastTree {
                 depth_histogram.resize(depth + 1, 0);
             }
             depth_histogram[depth] += 1;
-            let kids = self.children(id).len();
+            let kids = self.child_count(id);
             if kids > 0 {
                 internal += 1;
                 fanout_total += kids;

@@ -20,7 +20,25 @@
 //! rejoins them. The tree is therefore transiently a forest, and most
 //! queries distinguish *attached* members (reachable from the source) from
 //! detached ones.
+//!
+//! # Arena representation
+//!
+//! Internally the tree is a dense slab arena, not an id-keyed map: each
+//! member's [`NodeId`] is interned to a [`NodeIndex`] (a `u32` slot
+//! number) exactly once at insert, slots live in a flat `Vec`, and all
+//! parent/child links are index-typed. A single sorted id→index map
+//! remains for the operations whose *output* is id-ordered (member
+//! iteration, invariant checks); everything else — walks, depth restamps,
+//! the per-event hot paths of the construction algorithms — follows raw
+//! indices with no map lookups and no per-call allocation. Removed slots
+//! go on a free list and are reused (their child `Vec` allocation
+//! included). The index assignment itself is deterministic for a given
+//! operation sequence but deliberately unobservable: every public
+//! iteration order is defined in terms of ids and depths, so the arena
+//! produces byte-identical output to the id-keyed representation it
+//! replaced.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use rom_sim::SimTime;
@@ -29,12 +47,36 @@ use crate::error::{InvariantViolation, TreeError};
 use crate::id::NodeId;
 use crate::member::MemberProfile;
 
+/// A member's slot number in the tree's internal arena.
+///
+/// Interned from the member's [`NodeId`] when it first enters the tree
+/// (via [`MulticastTree::index_of`]); stable until the member is removed,
+/// after which the slot may be reused for a different member. Index-based
+/// accessors (`*_ix`) skip the id→index map entirely, which is what makes
+/// the per-event hot paths allocation- and lookup-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIndex(u32);
+
+impl NodeIndex {
+    /// Sentinel for "no slot" (absent parent links, free-list markers).
+    const NIL: NodeIndex = NodeIndex(u32::MAX);
+
+    /// The raw slot number as a `usize` (for array indexing).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 #[derive(Debug, Clone)]
 struct TreeSlot {
+    /// The id this slot currently belongs to (stale once freed).
+    id: NodeId,
     profile: MemberProfile,
     capacity: usize,
-    parent: Option<NodeId>,
-    children: Vec<NodeId>,
+    /// `NodeIndex::NIL` for the root, orphan roots, and freed slots.
+    parent: NodeIndex,
+    children: Vec<NodeIndex>,
     depth: usize,
     attached: bool,
 }
@@ -105,11 +147,26 @@ pub struct SwitchRecord {
 pub struct MulticastTree {
     stream_rate: f64,
     root: NodeId,
-    nodes: BTreeMap<NodeId, TreeSlot>,
-    /// Attached members bucketed by depth; `BTreeSet` keeps iteration
-    /// deterministic.
-    depth_index: Vec<BTreeSet<NodeId>>,
+    root_ix: NodeIndex,
+    /// The slab arena. Freed slots are recycled through `free`.
+    slots: Vec<TreeSlot>,
+    free: Vec<NodeIndex>,
+    /// The single sorted id→index map; every id-ordered iteration the
+    /// public API exposes is defined through it.
+    ids: BTreeMap<NodeId, NodeIndex>,
+    /// Attached members bucketed by depth, each layer sorted by id so
+    /// iteration order is exactly (depth, id).
+    depth_index: Vec<Vec<(NodeId, NodeIndex)>>,
     orphan_roots: BTreeSet<NodeId>,
+    /// O(1) cache: total entries across `depth_index`.
+    attached_total: usize,
+    /// O(1) cache: index of the deepest non-empty layer.
+    deepest: usize,
+    /// Reusable frontier stack for `&self` walks (descendants,
+    /// subtree_size); never held across a public call boundary.
+    scratch: RefCell<Vec<NodeIndex>>,
+    /// Reusable frontier stack for `&mut self` depth restamps.
+    restamp_buf: Vec<(NodeIndex, usize)>,
 }
 
 impl MulticastTree {
@@ -123,27 +180,94 @@ impl MulticastTree {
         assert!(stream_rate > 0.0, "stream rate must be positive");
         let root = source.id;
         let capacity = source.out_capacity(stream_rate);
-        let mut nodes = BTreeMap::new();
-        nodes.insert(
-            root,
-            TreeSlot {
-                profile: source,
-                capacity,
-                parent: None,
-                children: Vec::new(),
-                depth: 0,
-                attached: true,
-            },
-        );
-        let mut depth_index = vec![BTreeSet::new()];
-        depth_index[0].insert(root);
+        let root_ix = NodeIndex(0);
+        let slots = vec![TreeSlot {
+            id: root,
+            profile: source,
+            capacity,
+            parent: NodeIndex::NIL,
+            children: Vec::new(),
+            depth: 0,
+            attached: true,
+        }];
+        let mut ids = BTreeMap::new();
+        ids.insert(root, root_ix);
         MulticastTree {
             stream_rate,
             root,
-            nodes,
-            depth_index,
+            root_ix,
+            slots,
+            free: Vec::new(),
+            ids,
+            depth_index: vec![vec![(root, root_ix)]],
             orphan_roots: BTreeSet::new(),
+            attached_total: 1,
+            deepest: 0,
+            scratch: RefCell::new(Vec::new()),
+            restamp_buf: Vec::new(),
         }
+    }
+
+    #[inline]
+    fn s(&self, ix: NodeIndex) -> &TreeSlot {
+        &self.slots[ix.index()]
+    }
+
+    #[inline]
+    fn sm(&mut self, ix: NodeIndex) -> &mut TreeSlot {
+        &mut self.slots[ix.index()]
+    }
+
+    /// Takes a slot for a new member, recycling a freed one (and its child
+    /// `Vec` allocation) when available.
+    fn alloc(
+        &mut self,
+        id: NodeId,
+        profile: MemberProfile,
+        capacity: usize,
+        parent: NodeIndex,
+        depth: usize,
+        attached: bool,
+    ) -> NodeIndex {
+        if let Some(ix) = self.free.pop() {
+            let slot = &mut self.slots[ix.index()];
+            slot.id = id;
+            slot.profile = profile;
+            slot.capacity = capacity;
+            slot.parent = parent;
+            slot.children.clear();
+            slot.depth = depth;
+            slot.attached = attached;
+            ix
+        } else {
+            assert!(
+                self.slots.len() < NodeIndex::NIL.index(),
+                "tree arena exhausted the u32 index space"
+            );
+            let ix = NodeIndex(self.slots.len() as u32);
+            self.slots.push(TreeSlot {
+                id,
+                profile,
+                capacity,
+                parent,
+                children: Vec::new(),
+                depth,
+                attached,
+            });
+            ix
+        }
+    }
+
+    /// Returns a slot to the free list. The child `Vec` is kept (cleared)
+    /// so its allocation is reused; `attached` is cleared so arena-wide
+    /// scans (e.g. [`mean_internal_out_degree`](Self::mean_internal_out_degree))
+    /// skip freed slots naturally.
+    fn free_slot(&mut self, ix: NodeIndex) {
+        let slot = &mut self.slots[ix.index()];
+        slot.parent = NodeIndex::NIL;
+        slot.children.clear();
+        slot.attached = false;
+        self.free.push(ix);
     }
 
     /// The multicast source.
@@ -161,72 +285,150 @@ impl MulticastTree {
     /// Total members, attached or not (including the source).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.ids.len()
     }
 
     /// True if only the source is present.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() == 1
+        self.ids.len() == 1
     }
 
-    /// Number of members currently connected to the source.
+    /// Number of members currently connected to the source. O(1): an
+    /// incrementally maintained counter, not a per-layer sum.
     #[must_use]
     pub fn attached_count(&self) -> usize {
-        self.depth_index.iter().map(BTreeSet::len).sum()
+        self.attached_total
     }
 
     /// True if `id` is present (attached or orphaned).
     #[must_use]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.contains_key(&id)
+        self.ids.contains_key(&id)
+    }
+
+    /// The member's arena index, if present. Intern once, then use the
+    /// `*_ix` accessors to skip the id→index map on every later access.
+    #[must_use]
+    pub fn index_of(&self, id: NodeId) -> Option<NodeIndex> {
+        self.ids.get(&id).copied()
+    }
+
+    /// The id occupying arena slot `ix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds; returns a stale id if the slot was
+    /// freed — only pass indices obtained from this tree's current state.
+    #[must_use]
+    pub fn id_of(&self, ix: NodeIndex) -> NodeId {
+        self.s(ix).id
     }
 
     /// True if `id` is present and connected to the source.
     #[must_use]
     pub fn is_attached(&self, id: NodeId) -> bool {
-        self.nodes.get(&id).is_some_and(|s| s.attached)
+        self.index_of(id).is_some_and(|ix| self.s(ix).attached)
+    }
+
+    /// Index-typed [`is_attached`](Self::is_attached).
+    #[must_use]
+    pub fn is_attached_ix(&self, ix: NodeIndex) -> bool {
+        self.s(ix).attached
     }
 
     /// The member's profile, if present.
     #[must_use]
     pub fn profile(&self, id: NodeId) -> Option<&MemberProfile> {
-        self.nodes.get(&id).map(|s| &s.profile)
+        self.index_of(id).map(|ix| &self.s(ix).profile)
+    }
+
+    /// Index-typed [`profile`](Self::profile).
+    #[must_use]
+    pub fn profile_ix(&self, ix: NodeIndex) -> &MemberProfile {
+        &self.s(ix).profile
     }
 
     /// The member's parent; `None` for the root, orphan roots and unknown
     /// ids.
     #[must_use]
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.nodes.get(&id).and_then(|s| s.parent)
+        let ix = self.index_of(id)?;
+        let p = self.s(ix).parent;
+        (p != NodeIndex::NIL).then(|| self.s(p).id)
     }
 
-    /// The member's children (empty slice for unknown ids).
+    /// Index-typed [`parent`](Self::parent).
     #[must_use]
-    pub fn children(&self, id: NodeId) -> &[NodeId] {
-        self.nodes.get(&id).map_or(&[], |s| &s.children)
+    pub fn parent_ix(&self, ix: NodeIndex) -> Option<NodeIndex> {
+        let p = self.s(ix).parent;
+        (p != NodeIndex::NIL).then_some(p)
+    }
+
+    /// The member's children in adoption order (empty for unknown ids).
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let slice: &[NodeIndex] = self
+            .index_of(id)
+            .map_or(&[][..], |ix| &self.s(ix).children);
+        slice.iter().map(move |&c| self.s(c).id)
+    }
+
+    /// The member's children as arena indices, in adoption order.
+    #[must_use]
+    pub fn children_ix(&self, ix: NodeIndex) -> &[NodeIndex] {
+        &self.s(ix).children
+    }
+
+    /// Number of children of `id` (0 for unknown ids).
+    #[must_use]
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.index_of(id).map_or(0, |ix| self.s(ix).children.len())
+    }
+
+    /// Index-typed [`child_count`](Self::child_count).
+    #[must_use]
+    pub fn child_count_ix(&self, ix: NodeIndex) -> usize {
+        self.s(ix).children.len()
     }
 
     /// The member's depth below the source (root = 0); `None` when the
     /// member is detached or unknown.
     #[must_use]
     pub fn depth(&self, id: NodeId) -> Option<usize> {
-        let slot = self.nodes.get(&id)?;
+        let slot = self.s(self.index_of(id)?);
+        slot.attached.then_some(slot.depth)
+    }
+
+    /// Index-typed [`depth`](Self::depth).
+    #[must_use]
+    pub fn depth_ix(&self, ix: NodeIndex) -> Option<usize> {
+        let slot = self.s(ix);
         slot.attached.then_some(slot.depth)
     }
 
     /// The member's out-degree capacity.
     #[must_use]
     pub fn capacity(&self, id: NodeId) -> usize {
-        self.nodes.get(&id).map_or(0, |s| s.capacity)
+        self.index_of(id).map_or(0, |ix| self.s(ix).capacity)
+    }
+
+    /// Index-typed [`capacity`](Self::capacity).
+    #[must_use]
+    pub fn capacity_ix(&self, ix: NodeIndex) -> usize {
+        self.s(ix).capacity
     }
 
     /// Unused forwarding slots of `id` (0 for unknown ids).
     #[must_use]
     pub fn free_slots(&self, id: NodeId) -> usize {
-        self.nodes
-            .get(&id)
-            .map_or(0, |s| s.capacity.saturating_sub(s.children.len()))
+        self.index_of(id).map_or(0, |ix| self.free_slots_ix(ix))
+    }
+
+    /// Index-typed [`free_slots`](Self::free_slots).
+    #[must_use]
+    pub fn free_slots_ix(&self, ix: NodeIndex) -> usize {
+        let slot = self.s(ix);
+        slot.capacity.saturating_sub(slot.children.len())
     }
 
     /// True if `id` can accept one more child.
@@ -235,14 +437,25 @@ impl MulticastTree {
         self.free_slots(id) > 0
     }
 
+    /// Index-typed [`has_free_slot`](Self::has_free_slot).
+    #[must_use]
+    pub fn has_free_slot_ix(&self, ix: NodeIndex) -> bool {
+        self.free_slots_ix(ix) > 0
+    }
+
     /// Current orphan subtree roots, in id order.
     pub fn orphan_roots(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.orphan_roots.iter().copied()
     }
 
-    /// All member ids, attached and detached, in arbitrary order.
+    /// All member ids, attached and detached, in id order.
     pub fn member_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().copied()
+        self.ids.keys().copied()
+    }
+
+    /// All members with their arena indices, in id order.
+    pub fn member_entries(&self) -> impl Iterator<Item = (NodeId, NodeIndex)> + '_ {
+        self.ids.iter().map(|(&id, &ix)| (id, ix))
     }
 
     /// Attached members in breadth-first (depth, then id) order — the
@@ -251,126 +464,221 @@ impl MulticastTree {
     pub fn attached_by_depth(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.depth_index
             .iter()
-            .flat_map(|layer| layer.iter().copied())
+            .flat_map(|layer| layer.iter().map(|&(id, _)| id))
     }
 
-    /// The attached members at exactly `depth`.
+    /// The attached members at exactly `depth`, in id order.
     pub fn layer(&self, depth: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.layer_entries(depth).map(|(id, _)| id)
+    }
+
+    /// The attached members at exactly `depth` with their arena indices,
+    /// in id order.
+    pub fn layer_entries(&self, depth: usize) -> impl Iterator<Item = (NodeId, NodeIndex)> + '_ {
         self.depth_index
             .get(depth)
             .into_iter()
             .flat_map(|layer| layer.iter().copied())
     }
 
-    /// The deepest attached layer index.
+    /// The deepest attached layer index. O(1): maintained incrementally.
     #[must_use]
     pub fn max_depth(&self) -> usize {
-        self.depth_index
-            .iter()
-            .rposition(|layer| !layer.is_empty())
-            .unwrap_or(0)
+        self.deepest
     }
 
     /// Ancestors of `id` from its parent up to the subtree root (the source
     /// for attached members). Empty for roots and unknown ids.
     #[must_use]
     pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut cur = self.parent(id);
-        while let Some(p) = cur {
-            out.push(p);
-            cur = self.parent(p);
-        }
-        out
+        self.ancestors_iter(id).collect()
+    }
+
+    /// Non-allocating [`ancestors`](Self::ancestors): walks parent links
+    /// lazily.
+    pub fn ancestors_iter(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self
+            .index_of(id)
+            .map_or(NodeIndex::NIL, |ix| self.s(ix).parent);
+        std::iter::from_fn(move || {
+            if cur == NodeIndex::NIL {
+                return None;
+            }
+            let slot = self.s(cur);
+            cur = slot.parent;
+            Some(slot.id)
+        })
     }
 
     /// True if `ancestor` lies on the path from `id` to its subtree root.
     #[must_use]
     pub fn is_ancestor(&self, ancestor: NodeId, id: NodeId) -> bool {
-        let mut cur = self.parent(id);
-        while let Some(p) = cur {
-            if p == ancestor {
+        let Some(ix) = self.index_of(id) else {
+            return false;
+        };
+        let mut cur = self.s(ix).parent;
+        while cur != NodeIndex::NIL {
+            let slot = self.s(cur);
+            if slot.id == ancestor {
                 return true;
             }
-            cur = self.parent(p);
+            cur = slot.parent;
         }
         false
     }
 
-    /// All descendants of `id` (excluding `id`), breadth-first.
+    /// Depth of the lowest common ancestor of two *attached* members —
+    /// the paper's loss-correlation level between a pair of receivers
+    /// (`lca_depth(a, a)` is `a`'s own depth). `None` when either member
+    /// is detached or unknown. Allocation-free: equalizes depths along
+    /// parent links, then walks both paths up in lockstep.
+    #[must_use]
+    pub fn lca_depth(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let (mut x, mut y) = (self.index_of(a)?, self.index_of(b)?);
+        let (sx, sy) = (self.s(x), self.s(y));
+        if !sx.attached || !sy.attached {
+            return None;
+        }
+        let (mut dx, mut dy) = (sx.depth, sy.depth);
+        while dx > dy {
+            x = self.s(x).parent;
+            dx -= 1;
+        }
+        while dy > dx {
+            y = self.s(y).parent;
+            dy -= 1;
+        }
+        while x != y {
+            x = self.s(x).parent;
+            y = self.s(y).parent;
+            dx -= 1;
+        }
+        Some(dx)
+    }
+
+    /// All descendants of `id` (excluding `id`), in the tree's canonical
+    /// walk order (children in adoption order, deepest-last-child first).
     #[must_use]
     pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut frontier = vec![id];
-        while let Some(n) = frontier.pop() {
-            for &c in self.children(n) {
-                out.push(c);
-                frontier.push(c);
-            }
-        }
+        self.descendants_into(id, &mut out);
         out
     }
 
+    /// Appends the descendants of `id` to `out` (same order as
+    /// [`descendants`](Self::descendants)) without allocating a frontier:
+    /// callers that already own a buffer get an allocation-free walk.
+    pub fn descendants_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        let Some(ix) = self.index_of(id) else {
+            return;
+        };
+        let mut frontier = self.scratch.borrow_mut();
+        frontier.clear();
+        frontier.push(ix);
+        while let Some(n) = frontier.pop() {
+            for &c in &self.s(n).children {
+                out.push(self.s(c).id);
+                frontier.push(c);
+            }
+        }
+    }
+
     /// Number of members in the subtree rooted at `id`, including `id`
-    /// itself (0 for unknown ids).
+    /// itself (0 for unknown ids). A counting walk — no result `Vec`.
     #[must_use]
     pub fn subtree_size(&self, id: NodeId) -> usize {
-        if self.contains(id) {
-            1 + self.descendants(id).len()
-        } else {
-            0
+        let Some(ix) = self.index_of(id) else {
+            return 0;
+        };
+        let mut frontier = self.scratch.borrow_mut();
+        frontier.clear();
+        frontier.push(ix);
+        let mut count = 0;
+        while let Some(n) = frontier.pop() {
+            count += 1;
+            frontier.extend(self.s(n).children.iter().copied());
         }
+        count
     }
 
     /// The overlay path from the source to `id` (inclusive), or `None` when
-    /// `id` is detached or unknown.
+    /// `id` is detached or unknown. Exactly one allocation, filled
+    /// backwards from the member's known depth.
     #[must_use]
     pub fn overlay_path(&self, id: NodeId) -> Option<Vec<NodeId>> {
-        if !self.is_attached(id) {
+        let ix = self.index_of(id)?;
+        let slot = self.s(ix);
+        if !slot.attached {
             return None;
         }
-        let mut path = self.ancestors(id);
-        path.reverse();
-        path.push(id);
+        let mut path = vec![id; slot.depth + 1];
+        let mut cur = slot.parent;
+        let mut i = slot.depth;
+        while cur != NodeIndex::NIL {
+            i -= 1;
+            let s = self.s(cur);
+            path[i] = s.id;
+            cur = s.parent;
+        }
         Some(path)
     }
 
-    fn index_insert(&mut self, id: NodeId, depth: usize) {
+    fn index_insert(&mut self, id: NodeId, ix: NodeIndex, depth: usize) {
         if self.depth_index.len() <= depth {
-            self.depth_index.resize_with(depth + 1, BTreeSet::new);
+            self.depth_index.resize_with(depth + 1, Vec::new);
         }
-        self.depth_index[depth].insert(id);
+        let layer = &mut self.depth_index[depth];
+        match layer.binary_search_by_key(&id, |e| e.0) {
+            Ok(_) => debug_assert!(false, "duplicate depth-index entry for {id}"),
+            Err(pos) => {
+                layer.insert(pos, (id, ix));
+                self.attached_total += 1;
+                if depth > self.deepest {
+                    self.deepest = depth;
+                }
+            }
+        }
     }
 
     fn index_remove(&mut self, id: NodeId, depth: usize) {
         if let Some(layer) = self.depth_index.get_mut(depth) {
-            layer.remove(&id);
+            if let Ok(pos) = layer.binary_search_by_key(&id, |e| e.0) {
+                layer.remove(pos);
+                self.attached_total -= 1;
+                while self.deepest > 0 && self.depth_index[self.deepest].is_empty() {
+                    self.deepest -= 1;
+                }
+            }
         }
     }
 
-    /// Marks the subtree rooted at `id` attached/detached and rebuilds its
-    /// depths starting from `base_depth`. Returns the subtree size.
-    fn restamp_subtree(&mut self, id: NodeId, base_depth: usize, attached: bool) -> usize {
+    /// Marks the subtree rooted at `ix` attached/detached and rebuilds its
+    /// depths starting from `base_depth`. Returns the subtree size. Uses
+    /// the tree's reusable restamp stack — no per-call allocation.
+    fn restamp_subtree(&mut self, ix: NodeIndex, base_depth: usize, attached: bool) -> usize {
         let mut count = 0;
-        let mut frontier = vec![(id, base_depth)];
+        let mut frontier = std::mem::take(&mut self.restamp_buf);
+        frontier.clear();
+        frontier.push((ix, base_depth));
         while let Some((n, d)) = frontier.pop() {
             count += 1;
-            let slot = self.nodes.get_mut(&n).expect("subtree member exists");
+            let slot = &mut self.slots[n.index()];
             let was_attached = slot.attached;
             let old_depth = slot.depth;
+            let id = slot.id;
             slot.attached = attached;
             slot.depth = d;
-            let children = slot.children.clone();
             if was_attached {
-                self.index_remove(n, old_depth);
+                self.index_remove(id, old_depth);
             }
             if attached {
-                self.index_insert(n, d);
+                self.index_insert(id, n, d);
             }
-            for c in children {
+            for &c in &self.slots[n.index()].children {
                 frontier.push((c, d + 1));
             }
         }
+        self.restamp_buf = frontier;
         count
     }
 
@@ -386,35 +694,22 @@ impl MulticastTree {
         if self.contains(id) {
             return Err(TreeError::DuplicateMember(id));
         }
-        let parent_slot = self
-            .nodes
-            .get(&parent)
+        let pix = self
+            .index_of(parent)
             .ok_or(TreeError::UnknownMember(parent))?;
-        if !parent_slot.attached {
+        let pslot = self.s(pix);
+        if !pslot.attached {
             return Err(TreeError::ParentDetached(parent));
         }
-        if parent_slot.children.len() >= parent_slot.capacity {
+        if pslot.children.len() >= pslot.capacity {
             return Err(TreeError::ParentFull(parent));
         }
-        let depth = parent_slot.depth + 1;
+        let depth = pslot.depth + 1;
         let capacity = profile.out_capacity(self.stream_rate);
-        self.nodes
-            .get_mut(&parent)
-            .expect("checked")
-            .children
-            .push(id);
-        self.nodes.insert(
-            id,
-            TreeSlot {
-                profile,
-                capacity,
-                parent: Some(parent),
-                children: Vec::new(),
-                depth,
-                attached: true,
-            },
-        );
-        self.index_insert(id, depth);
+        let ix = self.alloc(id, profile, capacity, pix, depth, true);
+        self.sm(pix).children.push(ix);
+        self.ids.insert(id, ix);
+        self.index_insert(id, ix, depth);
         Ok(())
     }
 
@@ -430,11 +725,11 @@ impl MulticastTree {
         if !self.orphan_roots.contains(&orphan) {
             return Err(TreeError::NotAnOrphan(orphan));
         }
-        let parent_slot = self
-            .nodes
-            .get(&parent)
+        let pix = self
+            .index_of(parent)
             .ok_or(TreeError::UnknownMember(parent))?;
-        if !parent_slot.attached {
+        let pslot = self.s(pix);
+        if !pslot.attached {
             // Covers both detached parents and parents inside this orphan's
             // own subtree (which are necessarily detached).
             if parent == orphan || self.is_ancestor(orphan, parent) {
@@ -442,18 +737,15 @@ impl MulticastTree {
             }
             return Err(TreeError::ParentDetached(parent));
         }
-        if parent_slot.children.len() >= parent_slot.capacity {
+        if pslot.children.len() >= pslot.capacity {
             return Err(TreeError::ParentFull(parent));
         }
-        let base_depth = parent_slot.depth + 1;
-        self.nodes
-            .get_mut(&parent)
-            .expect("checked")
-            .children
-            .push(orphan);
-        self.nodes.get_mut(&orphan).expect("orphan exists").parent = Some(parent);
+        let base_depth = pslot.depth + 1;
+        let oix = self.index_of(orphan).expect("orphan exists");
+        self.sm(pix).children.push(oix);
+        self.sm(oix).parent = pix;
         self.orphan_roots.remove(&orphan);
-        self.restamp_subtree(orphan, base_depth, true);
+        self.restamp_subtree(oix, base_depth, true);
         Ok(())
     }
 
@@ -469,33 +761,38 @@ impl MulticastTree {
         if id == self.root {
             return Err(TreeError::RootImmovable);
         }
-        if !self.contains(id) {
+        let Some(ix) = self.index_of(id) else {
             return Err(TreeError::UnknownMember(id));
-        }
+        };
         let affected_descendants = self.descendants(id);
-        let slot = self.nodes.get(&id).expect("checked").clone();
+        let slot = self.s(ix);
+        let profile = slot.profile.clone();
+        let parent = slot.parent;
+        let attached = slot.attached;
+        let depth = slot.depth;
+        let child_ixs = slot.children.clone();
 
         // Detach from the parent (if any).
-        if let Some(p) = slot.parent {
-            let siblings = &mut self.nodes.get_mut(&p).expect("parent exists").children;
-            siblings.retain(|&c| c != id);
+        if parent != NodeIndex::NIL {
+            self.sm(parent).children.retain(|&c| c != ix);
         }
-        if slot.attached {
-            self.index_remove(id, slot.depth);
+        if attached {
+            self.index_remove(id, depth);
         }
         self.orphan_roots.remove(&id);
 
         // Children become orphan roots; their subtrees go detached.
-        let orphaned_children = slot.children.clone();
-        for &c in &orphaned_children {
-            self.nodes.get_mut(&c).expect("child exists").parent = None;
-            self.orphan_roots.insert(c);
+        let orphaned_children: Vec<NodeId> = child_ixs.iter().map(|&c| self.s(c).id).collect();
+        for (i, &c) in child_ixs.iter().enumerate() {
+            self.sm(c).parent = NodeIndex::NIL;
+            self.orphan_roots.insert(orphaned_children[i]);
             self.restamp_subtree(c, 0, false);
         }
 
-        self.nodes.remove(&id);
+        self.ids.remove(&id);
+        self.free_slot(ix);
         Ok(RemovedMember {
-            profile: slot.profile,
+            profile,
             orphaned_children,
             affected_descendants,
         })
@@ -524,69 +821,69 @@ impl MulticastTree {
         if self.contains(newcomer.id) {
             return Err(TreeError::DuplicateMember(newcomer.id));
         }
-        let evict_slot = self
-            .nodes
-            .get(&evict)
+        let eix = self
+            .index_of(evict)
             .ok_or(TreeError::UnknownMember(evict))?;
-        if !evict_slot.attached {
+        let eslot = self.s(eix);
+        if !eslot.attached {
             return Err(TreeError::UnknownMember(evict));
         }
-        let parent = evict_slot.parent.expect("attached non-root has a parent");
-        let depth = evict_slot.depth;
-        let mut former_children = evict_slot.children.clone();
+        debug_assert!(
+            eslot.parent != NodeIndex::NIL,
+            "attached non-root has a parent"
+        );
+        let pix = eslot.parent;
+        let depth = eslot.depth;
+        let mut former: Vec<(NodeId, NodeIndex)> = eslot
+            .children
+            .iter()
+            .map(|&c| (self.s(c).id, c))
+            .collect();
 
         let new_id = newcomer.id;
         let new_capacity = newcomer.out_capacity(self.stream_rate);
 
-        // Swap the parent's child pointer.
-        let siblings = &mut self.nodes.get_mut(&parent).expect("parent exists").children;
-        let pos = siblings.iter().position(|&c| c == evict).expect("linked");
-        siblings[pos] = new_id;
-
-        // Rank the evictee's children: highest priority kept.
-        former_children.sort_by(|a, b| {
-            let pa = keep_priority(&self.nodes[a].profile);
-            let pb = keep_priority(&self.nodes[b].profile);
-            pb.total_cmp(&pa).then_with(|| a.cmp(b))
+        // Rank the evictee's children: highest priority kept, id tiebreak.
+        former.sort_by(|a, b| {
+            let pa = keep_priority(&self.s(a.1).profile);
+            let pb = keep_priority(&self.s(b.1).profile);
+            pb.total_cmp(&pa).then_with(|| a.0.cmp(&b.0))
         });
-        let adopted: Vec<NodeId> = former_children.iter().copied().take(new_capacity).collect();
-        let overflow: Vec<NodeId> = former_children.iter().copied().skip(new_capacity).collect();
+        let keep = former.len().min(new_capacity);
+        let (adopted_pairs, overflow_pairs) = former.split_at(keep);
 
-        // Install the newcomer.
-        self.nodes.insert(
-            new_id,
-            TreeSlot {
-                profile: newcomer,
-                capacity: new_capacity,
-                parent: Some(parent),
-                children: adopted.clone(),
-                depth,
-                attached: true,
-            },
-        );
-        self.index_insert(new_id, depth);
-        for &c in &adopted {
-            self.nodes.get_mut(&c).expect("child exists").parent = Some(new_id);
+        // Install the newcomer and swap the parent's child pointer.
+        let nix = self.alloc(new_id, newcomer, new_capacity, pix, depth, true);
+        let siblings = &mut self.sm(pix).children;
+        let pos = siblings.iter().position(|&c| c == eix).expect("linked");
+        siblings[pos] = nix;
+        let adopted_ix: Vec<NodeIndex> = adopted_pairs.iter().map(|&(_, c)| c).collect();
+        self.sm(nix).children.extend(adopted_ix.iter().copied());
+        self.ids.insert(new_id, nix);
+        self.index_insert(new_id, nix, depth);
+        for &c in &adopted_ix {
+            self.sm(c).parent = nix;
         }
         // Depths below the adopted children are unchanged (same level).
 
         // Evictee becomes a childless orphan root.
-        let evict_slot = self.nodes.get_mut(&evict).expect("checked");
-        evict_slot.parent = None;
-        evict_slot.children.clear();
-        evict_slot.attached = false;
+        let eslot = self.sm(eix);
+        eslot.parent = NodeIndex::NIL;
+        eslot.children.clear();
+        eslot.attached = false;
         self.index_remove(evict, depth);
         self.orphan_roots.insert(evict);
 
         // Overflow children become orphan subtree roots.
-        for &c in &overflow {
-            self.nodes.get_mut(&c).expect("child exists").parent = None;
-            self.orphan_roots.insert(c);
+        for &(cid, c) in overflow_pairs {
+            self.sm(c).parent = NodeIndex::NIL;
+            self.orphan_roots.insert(cid);
             self.restamp_subtree(c, 0, false);
         }
 
         let mut displaced = vec![evict];
-        displaced.extend(overflow);
+        displaced.extend(overflow_pairs.iter().map(|&(cid, _)| cid));
+        let adopted = adopted_pairs.iter().map(|&(cid, _)| cid).collect();
         Ok(ReplaceOutcome { displaced, adopted })
     }
 
@@ -613,67 +910,75 @@ impl MulticastTree {
         if !self.orphan_roots.contains(&usurper) {
             return Err(TreeError::NotAnOrphan(usurper));
         }
-        let evict_slot = self
-            .nodes
-            .get(&evict)
+        let eix = self
+            .index_of(evict)
             .ok_or(TreeError::UnknownMember(evict))?;
-        if !evict_slot.attached {
+        let eslot = self.s(eix);
+        if !eslot.attached {
             return Err(TreeError::UnknownMember(evict));
         }
-        let parent = evict_slot.parent.expect("attached non-root has a parent");
-        let depth = evict_slot.depth;
-        let mut former_children = evict_slot.children.clone();
+        debug_assert!(
+            eslot.parent != NodeIndex::NIL,
+            "attached non-root has a parent"
+        );
+        let pix = eslot.parent;
+        let depth = eslot.depth;
+        let mut former: Vec<(NodeId, NodeIndex)> = eslot
+            .children
+            .iter()
+            .map(|&c| (self.s(c).id, c))
+            .collect();
 
-        let usurper_slot = &self.nodes[&usurper];
-        let spare = usurper_slot
-            .capacity
-            .saturating_sub(usurper_slot.children.len());
+        let uix = self.index_of(usurper).expect("orphan exists");
+        let spare = self.free_slots_ix(uix);
 
         // Swap the parent's child pointer.
-        let siblings = &mut self.nodes.get_mut(&parent).expect("parent exists").children;
-        let pos = siblings.iter().position(|&c| c == evict).expect("linked");
-        siblings[pos] = usurper;
+        let siblings = &mut self.sm(pix).children;
+        let pos = siblings.iter().position(|&c| c == eix).expect("linked");
+        siblings[pos] = uix;
 
-        former_children.sort_by(|a, b| {
-            let pa = keep_priority(&self.nodes[a].profile);
-            let pb = keep_priority(&self.nodes[b].profile);
-            pb.total_cmp(&pa).then_with(|| a.cmp(b))
+        former.sort_by(|a, b| {
+            let pa = keep_priority(&self.s(a.1).profile);
+            let pb = keep_priority(&self.s(b.1).profile);
+            pb.total_cmp(&pa).then_with(|| a.0.cmp(&b.0))
         });
-        let adopted: Vec<NodeId> = former_children.iter().copied().take(spare).collect();
-        let overflow: Vec<NodeId> = former_children.iter().copied().skip(spare).collect();
+        let keep = former.len().min(spare);
+        let (adopted_pairs, overflow_pairs) = former.split_at(keep);
+        let adopted_ix: Vec<NodeIndex> = adopted_pairs.iter().map(|&(_, c)| c).collect();
 
         {
-            let u = self.nodes.get_mut(&usurper).expect("checked");
-            u.parent = Some(parent);
-            u.children.extend(adopted.iter().copied());
+            let u = self.sm(uix);
+            u.parent = pix;
+            u.children.extend(adopted_ix.iter().copied());
         }
         self.orphan_roots.remove(&usurper);
-        for &c in &adopted {
-            self.nodes.get_mut(&c).expect("child exists").parent = Some(usurper);
+        for &c in &adopted_ix {
+            self.sm(c).parent = uix;
         }
 
         // Evictee becomes a childless orphan root.
         {
-            let e = self.nodes.get_mut(&evict).expect("checked");
-            e.parent = None;
+            let e = self.sm(eix);
+            e.parent = NodeIndex::NIL;
             e.children.clear();
             e.attached = false;
         }
         self.index_remove(evict, depth);
         self.orphan_roots.insert(evict);
 
-        for &c in &overflow {
-            self.nodes.get_mut(&c).expect("child exists").parent = None;
-            self.orphan_roots.insert(c);
+        for &(cid, c) in overflow_pairs {
+            self.sm(c).parent = NodeIndex::NIL;
+            self.orphan_roots.insert(cid);
             self.restamp_subtree(c, 0, false);
         }
 
         // The usurper's whole subtree (its old children plus the adopted
         // ones) becomes attached at the evictee's former depth.
-        self.restamp_subtree(usurper, depth, true);
+        self.restamp_subtree(uix, depth, true);
 
         let mut displaced = vec![evict];
-        displaced.extend(overflow);
+        displaced.extend(overflow_pairs.iter().map(|&(cid, _)| cid));
+        let adopted = adopted_pairs.iter().map(|&(cid, _)| cid).collect();
         Ok(ReplaceOutcome { displaced, adopted })
     }
 
@@ -698,33 +1003,41 @@ impl MulticastTree {
         if child == self.root {
             return Err(TreeError::RootImmovable);
         }
-        let child_slot = self
-            .nodes
-            .get(&child)
+        let cix = self
+            .index_of(child)
             .ok_or(TreeError::UnknownMember(child))?;
-        if !child_slot.attached {
+        let cslot = self.s(cix);
+        if !cslot.attached {
             return Err(TreeError::NoSwitchableParent(child));
         }
-        let parent = child_slot
-            .parent
-            .ok_or(TreeError::NoSwitchableParent(child))?;
-        if parent == self.root {
+        if cslot.parent == NodeIndex::NIL {
             return Err(TreeError::NoSwitchableParent(child));
         }
-        let child_capacity = child_slot.capacity;
-        let child_children = child_slot.children.clone();
-        let parent_slot = &self.nodes[&parent];
-        let grandparent = parent_slot
-            .parent
-            .expect("attached non-root parent has a parent");
-        let parent_capacity = parent_slot.capacity;
-        let parent_depth = parent_slot.depth;
-        // Former siblings of the child (they will follow the promoted node).
-        let siblings: Vec<NodeId> = parent_slot
+        let pix = cslot.parent;
+        if pix == self.root_ix {
+            return Err(TreeError::NoSwitchableParent(child));
+        }
+        let child_capacity = cslot.capacity;
+        let child_children: Vec<(NodeId, NodeIndex)> = cslot
             .children
             .iter()
-            .copied()
-            .filter(|&c| c != child)
+            .map(|&c| (self.s(c).id, c))
+            .collect();
+        let pslot = self.s(pix);
+        let parent = pslot.id;
+        debug_assert!(
+            pslot.parent != NodeIndex::NIL,
+            "attached non-root parent has a parent"
+        );
+        let gix = pslot.parent;
+        let parent_capacity = pslot.capacity;
+        let parent_depth = pslot.depth;
+        // Former siblings of the child (they will follow the promoted node).
+        let siblings: Vec<(NodeId, NodeIndex)> = pslot
+            .children
+            .iter()
+            .filter(|&&c| c != cix)
+            .map(|&c| (self.s(c).id, c))
             .collect();
 
         if child_capacity == 0 {
@@ -737,41 +1050,33 @@ impl MulticastTree {
         // siblings fit, because |siblings| + 1 ≤ parent capacity ≤ child
         // capacity; without the guard the lowest-priority siblings are
         // displaced to keep the tree legal.
-        let mut ranked_siblings = siblings.clone();
+        let mut ranked_siblings = siblings;
         ranked_siblings.sort_by(|a, b| {
-            let pa = priority(&self.nodes[a].profile);
-            let pb = priority(&self.nodes[b].profile);
-            pb.total_cmp(&pa).then_with(|| a.cmp(b))
+            let pa = priority(&self.s(a.1).profile);
+            let pb = priority(&self.s(b.1).profile);
+            pb.total_cmp(&pa).then_with(|| a.0.cmp(&b.0))
         });
         let sibling_keep = ranked_siblings.len().min(child_capacity - 1);
-        let followed: Vec<NodeId> = ranked_siblings[..sibling_keep].to_vec();
-        let displaced_siblings: Vec<NodeId> = ranked_siblings[sibling_keep..].to_vec();
-        let mut promoted_children: Vec<NodeId> = followed.clone();
-        promoted_children.push(parent);
+        let (followed, displaced_siblings) = ranked_siblings.split_at(sibling_keep);
 
         // Distribute the child's former children: the demoted parent keeps
         // the lowest-priority ones, the highest-priority spill to the
         // promoted node's spare slots (paper: "chooses f, the node with the
         // largest BTP, and reconnects to node b").
-        let mut ranked = child_children.clone();
+        let mut ranked = child_children;
         ranked.sort_by(|a, b| {
-            let pa = priority(&self.nodes[a].profile);
-            let pb = priority(&self.nodes[b].profile);
-            pb.total_cmp(&pa).then_with(|| a.cmp(b))
+            let pa = priority(&self.s(a.1).profile);
+            let pb = priority(&self.s(b.1).profile);
+            pb.total_cmp(&pa).then_with(|| a.0.cmp(&b.0))
         });
         let keep_count = ranked.len().min(parent_capacity);
         let spill_count = ranked.len() - keep_count;
-        let spilled: Vec<NodeId> = ranked[..spill_count].to_vec();
-        let kept: Vec<NodeId> = ranked[spill_count..].to_vec();
+        let (spilled, kept) = ranked.split_at(spill_count);
 
-        let spare = child_capacity.saturating_sub(promoted_children.len());
-        let (to_promoted, mut displaced): (Vec<NodeId>, Vec<NodeId>) = if spilled.len() <= spare {
-            (spilled, Vec::new())
-        } else {
-            let (a, b) = spilled.split_at(spare);
-            (a.to_vec(), b.to_vec())
-        };
-        promoted_children.extend(to_promoted.iter().copied());
+        let spare = child_capacity.saturating_sub(followed.len() + 1);
+        let to_spare = spilled.len().min(spare);
+        let (to_promoted, overflow) = spilled.split_at(to_spare);
+        let mut displaced: Vec<(NodeId, NodeIndex)> = overflow.to_vec();
         displaced.extend(displaced_siblings.iter().copied());
 
         // Count parent-pointer changes before surgery: the promoted child,
@@ -782,56 +1087,61 @@ impl MulticastTree {
         // trigger, not here.
         let parent_changes = 2 + followed.len() + kept.len();
         let mut reparented = vec![child, parent];
-        reparented.extend(followed.iter().copied());
-        reparented.extend(kept.iter().copied());
+        reparented.extend(followed.iter().map(|&(id, _)| id));
+        reparented.extend(kept.iter().map(|&(id, _)| id));
 
         // --- pointer surgery ---
-        let gp_children = &mut self
-            .nodes
-            .get_mut(&grandparent)
-            .expect("grandparent exists")
-            .children;
+        let gp_children = &mut self.sm(gix).children;
         let pos = gp_children
             .iter()
-            .position(|&c| c == parent)
+            .position(|&c| c == pix)
             .expect("linked");
-        gp_children[pos] = child;
+        gp_children[pos] = cix;
 
         {
-            let child_slot = self.nodes.get_mut(&child).expect("exists");
-            child_slot.parent = Some(grandparent);
-            child_slot.children = promoted_children.clone();
+            let cslot = self.sm(cix);
+            cslot.parent = gix;
+            cslot.children.clear();
         }
+        // Promoted child's new children, in order: followed siblings, the
+        // demoted parent, then the spilled grandchildren.
+        let mut promoted_children: Vec<NodeIndex> =
+            followed.iter().map(|&(_, c)| c).collect();
+        promoted_children.push(pix);
+        promoted_children.extend(to_promoted.iter().map(|&(_, c)| c));
+        self.sm(cix).children = promoted_children;
         {
-            let parent_slot = self.nodes.get_mut(&parent).expect("exists");
-            parent_slot.parent = Some(child);
-            parent_slot.children = kept.clone();
+            let pslot = self.sm(pix);
+            pslot.parent = cix;
+            pslot.children.clear();
         }
-        for &s in &followed {
-            self.nodes.get_mut(&s).expect("exists").parent = Some(child);
+        let kept_ix: Vec<NodeIndex> = kept.iter().map(|&(_, c)| c).collect();
+        self.sm(pix).children.extend(kept_ix.iter().copied());
+        for &(_, s) in followed {
+            self.sm(s).parent = cix;
         }
-        for &k in &kept {
-            self.nodes.get_mut(&k).expect("exists").parent = Some(parent);
+        for &k in &kept_ix {
+            self.sm(k).parent = pix;
         }
-        for &t in &to_promoted {
-            self.nodes.get_mut(&t).expect("exists").parent = Some(child);
+        for &(_, t) in to_promoted {
+            self.sm(t).parent = cix;
         }
-        for &d in &displaced {
-            self.nodes.get_mut(&d).expect("exists").parent = None;
-            self.orphan_roots.insert(d);
+        for &(did, d) in &displaced {
+            self.sm(d).parent = NodeIndex::NIL;
+            self.orphan_roots.insert(did);
             self.restamp_subtree(d, 0, false);
         }
 
         // Depths: everything under the promoted child may have shifted.
-        self.restamp_subtree(child, parent_depth, true);
+        self.restamp_subtree(cix, parent_depth, true);
 
         Ok(SwitchRecord {
             promoted: child,
             demoted: parent,
             parent_changes,
             reparented,
-            spilled_to_promoted: to_promoted,
-            displaced,
+            spilled_to_promoted: to_promoted.iter().map(|&(id, _)| id).collect(),
+            displaced: displaced.iter().map(|&(id, _)| id).collect(),
         })
     }
 
@@ -854,32 +1164,37 @@ impl MulticastTree {
             bandwidth >= 0.0 && bandwidth.is_finite(),
             "bandwidth must be finite and non-negative"
         );
-        let slot = self.nodes.get_mut(&id).ok_or(TreeError::UnknownMember(id))?;
+        let ix = self.index_of(id).ok_or(TreeError::UnknownMember(id))?;
+        let rate = self.stream_rate;
+        let slot = &mut self.slots[ix.index()];
         slot.profile.bandwidth = bandwidth;
-        slot.capacity = slot.profile.out_capacity(self.stream_rate);
-        let mut shed = Vec::new();
+        slot.capacity = slot.profile.out_capacity(rate);
+        let mut shed_ix = Vec::new();
         while slot.children.len() > slot.capacity {
             if let Some(child) = slot.children.pop() {
-                shed.push(child);
+                shed_ix.push(child);
             } else {
                 break;
             }
         }
-        for &c in &shed {
-            self.nodes.get_mut(&c).expect("child exists").parent = None;
-            self.orphan_roots.insert(c);
+        let shed: Vec<NodeId> = shed_ix.iter().map(|&c| self.s(c).id).collect();
+        for (i, &c) in shed_ix.iter().enumerate() {
+            self.sm(c).parent = NodeIndex::NIL;
+            self.orphan_roots.insert(shed[i]);
             self.restamp_subtree(c, 0, false);
         }
         Ok(shed)
     }
 
     /// Mean out-degree of attached members that have at least one child —
-    /// the `d` of the paper's `2d + 1` switch-overhead estimate.
+    /// the `d` of the paper's `2d + 1` switch-overhead estimate. A
+    /// contiguous scan of the arena (freed slots are detached and
+    /// childless, so they filter out naturally).
     #[must_use]
     pub fn mean_internal_out_degree(&self) -> f64 {
         let mut total = 0usize;
         let mut count = 0usize;
-        for slot in self.nodes.values() {
+        for slot in &self.slots {
             if slot.attached && !slot.children.is_empty() {
                 total += slot.children.len();
                 count += 1;
@@ -896,15 +1211,13 @@ impl MulticastTree {
     /// state without removing any member.
     #[cfg(test)]
     pub(crate) fn remove_parent_link_for_test(&mut self, id: NodeId) {
-        let parent = self.nodes[&id].parent.expect("test node has a parent");
-        self.nodes
-            .get_mut(&parent)
-            .expect("parent exists")
-            .children
-            .retain(|&c| c != id);
-        self.nodes.get_mut(&id).expect("exists").parent = None;
+        let ix = self.index_of(id).expect("exists");
+        let pix = self.s(ix).parent;
+        assert!(pix != NodeIndex::NIL, "test node has a parent");
+        self.sm(pix).children.retain(|&c| c != ix);
+        self.sm(ix).parent = NodeIndex::NIL;
         self.orphan_roots.insert(id);
-        self.restamp_subtree(id, 0, false);
+        self.restamp_subtree(ix, 0, false);
     }
 
     /// Verifies every structural invariant; used by tests and property
@@ -916,17 +1229,32 @@ impl MulticastTree {
     pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
         let fail = |msg: String| Err(InvariantViolation::new(msg));
 
+        // Arena bookkeeping sanity.
+        if self.ids.len() + self.free.len() != self.slots.len() {
+            return fail(format!(
+                "{} ids + {} free slots != {} arena slots",
+                self.ids.len(),
+                self.free.len(),
+                self.slots.len()
+            ));
+        }
+
         // Root sanity.
-        let root_slot = match self.nodes.get(&self.root) {
-            Some(s) => s,
-            None => return fail("root is missing".into()),
+        let root_slot = match self.index_of(self.root) {
+            Some(ix) if ix == self.root_ix => self.s(ix),
+            _ => return fail("root is missing".into()),
         };
-        if !root_slot.attached || root_slot.depth != 0 || root_slot.parent.is_some() {
+        if !root_slot.attached || root_slot.depth != 0 || root_slot.parent != NodeIndex::NIL {
             return fail("root must be attached at depth 0 with no parent".into());
         }
 
         let mut reachable = 0usize;
-        for (&id, slot) in &self.nodes {
+        for (&id, &ix) in &self.ids {
+            let slot = self.s(ix);
+            // Interning consistency.
+            if slot.id != id {
+                return fail(format!("{id} interned to slot holding {}", slot.id));
+            }
             // Degree constraint.
             if slot.children.len() > slot.capacity {
                 return fail(format!(
@@ -936,11 +1264,10 @@ impl MulticastTree {
                 ));
             }
             // Parent/child pointer symmetry.
-            if let Some(p) = slot.parent {
-                let Some(pslot) = self.nodes.get(&p) else {
-                    return fail(format!("{id} points at missing parent {p}"));
-                };
-                if !pslot.children.contains(&id) {
+            if slot.parent != NodeIndex::NIL {
+                let p = self.s(slot.parent).id;
+                let pslot = self.s(slot.parent);
+                if !pslot.children.contains(&ix) {
                     return fail(format!("{p} does not list child {id}"));
                 }
                 if slot.attached {
@@ -958,44 +1285,69 @@ impl MulticastTree {
                 return fail(format!("{id} has no parent but is not an orphan root"));
             }
             for &c in &slot.children {
-                match self.nodes.get(&c) {
-                    Some(cslot) if cslot.parent == Some(id) => {}
-                    Some(_) => return fail(format!("{c} does not point back at parent {id}")),
-                    None => return fail(format!("{id} lists missing child {c}")),
+                let cslot = self.s(c);
+                if self.index_of(cslot.id) != Some(c) {
+                    return fail(format!("{id} lists missing child slot {}", c.index()));
+                }
+                if cslot.parent != ix {
+                    return fail(format!("{} does not point back at parent {id}", cslot.id));
                 }
             }
             // Depth-index agreement.
             if slot.attached {
                 reachable += 1;
-                let in_index = self
-                    .depth_index
-                    .get(slot.depth)
-                    .is_some_and(|l| l.contains(&id));
+                let in_index = self.depth_index.get(slot.depth).is_some_and(|l| {
+                    l.binary_search_by_key(&id, |e| e.0)
+                        .is_ok_and(|pos| l[pos].1 == ix)
+                });
                 if !in_index {
                     return fail(format!("{id} missing from depth index at {}", slot.depth));
                 }
             }
         }
 
-        // Index contains nothing extra.
-        let indexed: usize = self.depth_index.iter().map(BTreeSet::len).sum();
+        // Index contains nothing extra, layers are id-sorted, and the O(1)
+        // caches agree with a recount.
+        let indexed: usize = self.depth_index.iter().map(Vec::len).sum();
         if indexed != reachable {
             return fail(format!(
                 "depth index holds {indexed} ids but {reachable} attached members exist"
             ));
         }
+        if self.attached_total != reachable {
+            return fail(format!(
+                "attached_count cache {} but {reachable} attached members exist",
+                self.attached_total
+            ));
+        }
+        let deepest = self
+            .depth_index
+            .iter()
+            .rposition(|layer| !layer.is_empty())
+            .unwrap_or(0);
+        if self.deepest != deepest {
+            return fail(format!(
+                "max_depth cache {} but deepest non-empty layer is {deepest}",
+                self.deepest
+            ));
+        }
+        for layer in &self.depth_index {
+            if !layer.windows(2).all(|w| w[0].0 < w[1].0) {
+                return fail("depth-index layer is not id-sorted".into());
+            }
+        }
 
         // Attached members are exactly those reachable from the root
         // (also proves acyclicity of the attached part).
         let mut seen = 0usize;
-        let mut frontier = vec![self.root];
+        let mut frontier = vec![self.root_ix];
         let mut visited = BTreeSet::new();
         while let Some(n) = frontier.pop() {
             if !visited.insert(n) {
-                return fail(format!("cycle through {n}"));
+                return fail(format!("cycle through {}", self.s(n).id));
             }
             seen += 1;
-            frontier.extend(self.children(n).iter().copied());
+            frontier.extend(self.s(n).children.iter().copied());
         }
         if seen != reachable {
             return fail(format!(
@@ -1005,9 +1357,22 @@ impl MulticastTree {
 
         // Orphan roots really are detached roots.
         for &o in &self.orphan_roots {
-            match self.nodes.get(&o) {
-                Some(s) if s.parent.is_none() && !s.attached => {}
-                _ => return fail(format!("{o} is not a valid orphan root")),
+            match self.index_of(o) {
+                Some(ix) => {
+                    let s = self.s(ix);
+                    if s.parent != NodeIndex::NIL || s.attached {
+                        return fail(format!("{o} is not a valid orphan root"));
+                    }
+                }
+                None => return fail(format!("{o} is not a valid orphan root")),
+            }
+        }
+
+        // Freed slots carry no live state.
+        for &f in &self.free {
+            let s = self.s(f);
+            if s.attached || !s.children.is_empty() || self.index_of(s.id) == Some(f) {
+                return fail(format!("freed slot {} still holds live state", f.index()));
             }
         }
         Ok(())
@@ -1035,6 +1400,10 @@ mod tests {
         MulticastTree::new(profile(0, root_bw), 1.0)
     }
 
+    fn children_of(t: &MulticastTree, id: u64) -> Vec<NodeId> {
+        t.children(NodeId(id)).collect()
+    }
+
     #[test]
     fn new_tree_has_only_root() {
         let t = tree_with_capacity(100.0);
@@ -1057,7 +1426,7 @@ mod tests {
         assert_eq!(t.max_depth(), 2);
         assert_eq!(t.layer(1).collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
         assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
-        assert_eq!(t.children(NodeId(1)), &[NodeId(3)]);
+        assert_eq!(children_of(&t, 1), vec![NodeId(3)]);
         assert_eq!(
             t.overlay_path(NodeId(3)).unwrap(),
             vec![NodeId(0), NodeId(1), NodeId(3)]
@@ -1107,7 +1476,7 @@ mod tests {
         let shed = t.set_bandwidth(NodeId(1), 1.2).unwrap();
         assert_eq!(shed, vec![NodeId(4), NodeId(3)]);
         assert_eq!(t.capacity(NodeId(1)), 1);
-        assert_eq!(t.children(NodeId(1)), &[NodeId(2)]);
+        assert_eq!(children_of(&t, 1), vec![NodeId(2)]);
         assert!(!t.is_attached(NodeId(3)));
         assert!(!t.is_attached(NodeId(5)));
         assert_eq!(
@@ -1330,7 +1699,7 @@ mod tests {
         t.check_invariants().unwrap();
         // Demoted parent (capacity 2) keeps 2, the rest spill to node 2
         // (capacity 5, 2 slots used by node 1 + nothing else → 3 spare).
-        assert_eq!(t.children(NodeId(1)).len(), 2);
+        assert_eq!(t.child_count(NodeId(1)), 2);
         assert_eq!(record.spilled_to_promoted.len(), 3);
         assert!(record.displaced.is_empty());
     }
@@ -1344,6 +1713,10 @@ mod tests {
         assert_eq!(
             t.ancestors(NodeId(3)),
             vec![NodeId(2), NodeId(1), NodeId(0)]
+        );
+        assert_eq!(
+            t.ancestors_iter(NodeId(3)).collect::<Vec<_>>(),
+            t.ancestors(NodeId(3))
         );
         assert!(t.is_ancestor(NodeId(0), NodeId(3)));
         assert!(t.is_ancestor(NodeId(1), NodeId(3)));
@@ -1446,5 +1819,107 @@ mod tests {
         let src = paper_source(Location(0));
         assert_eq!(src.out_capacity(1.0), 100);
         assert_eq!(src.id, NodeId::SOURCE);
+    }
+
+    // --- arena-specific behaviour ---
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 2.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(0)).unwrap();
+        let freed = t.index_of(NodeId(1)).unwrap();
+        t.remove(NodeId(1)).unwrap();
+        assert_eq!(t.index_of(NodeId(1)), None);
+        // The next insert recycles the freed slot.
+        t.attach(profile(3, 2.0), NodeId(0)).unwrap();
+        assert_eq!(t.index_of(NodeId(3)), Some(freed));
+        assert_eq!(t.id_of(freed), NodeId(3));
+        assert_eq!(t.len(), 3);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn index_accessors_agree_with_id_accessors() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 1.0), NodeId(1)).unwrap();
+        for (id, ix) in t.member_entries() {
+            assert_eq!(t.id_of(ix), id);
+            assert_eq!(t.index_of(id), Some(ix));
+            assert_eq!(t.depth_ix(ix), t.depth(id));
+            assert_eq!(t.capacity_ix(ix), t.capacity(id));
+            assert_eq!(t.free_slots_ix(ix), t.free_slots(id));
+            assert_eq!(t.child_count_ix(ix), t.child_count(id));
+            assert_eq!(t.is_attached_ix(ix), t.is_attached(id));
+            assert_eq!(t.profile_ix(ix).id, id);
+            assert_eq!(
+                t.parent_ix(ix).map(|p| t.id_of(p)),
+                t.parent(id)
+            );
+            let via_ix: Vec<NodeId> = t.children_ix(ix).iter().map(|&c| t.id_of(c)).collect();
+            assert_eq!(via_ix, t.children(id).collect::<Vec<_>>());
+        }
+        for depth in 0..=t.max_depth() {
+            let entries: Vec<_> = t.layer_entries(depth).collect();
+            assert_eq!(
+                entries.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                t.layer(depth).collect::<Vec<_>>()
+            );
+            for (id, ix) in entries {
+                assert_eq!(t.index_of(id), Some(ix));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_counters_match_recomputation() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(2)).unwrap();
+        t.remove(NodeId(1)).unwrap();
+        assert_eq!(t.attached_count(), t.attached_by_depth().count());
+        // Deepest attached member is the root again → max_depth falls to 0.
+        assert_eq!(t.max_depth(), 0);
+        t.reattach(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(t.attached_count(), t.attached_by_depth().count());
+        assert_eq!(t.max_depth(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lca_depth_matches_path_intersection() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(4, 1.0), NodeId(2)).unwrap();
+        // Path 0-1-2-4 vs 0-1-3: LCA is node 1 at depth 1.
+        assert_eq!(t.lca_depth(NodeId(4), NodeId(3)), Some(1));
+        assert_eq!(t.lca_depth(NodeId(3), NodeId(4)), Some(1));
+        // Ancestor pair: LCA is the ancestor itself.
+        assert_eq!(t.lca_depth(NodeId(1), NodeId(4)), Some(1));
+        // Same node: its own depth.
+        assert_eq!(t.lca_depth(NodeId(4), NodeId(4)), Some(3));
+        // Detached or unknown members have no correlation level.
+        t.remove_parent_link_for_test(NodeId(2));
+        assert_eq!(t.lca_depth(NodeId(4), NodeId(3)), None);
+        assert_eq!(t.lca_depth(NodeId(99), NodeId(3)), None);
+    }
+
+    #[test]
+    fn descendants_into_appends_in_walk_order() {
+        let mut t = tree_with_capacity(10.0);
+        t.attach(profile(1, 3.0), NodeId(0)).unwrap();
+        t.attach(profile(2, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(3, 2.0), NodeId(1)).unwrap();
+        t.attach(profile(4, 1.0), NodeId(2)).unwrap();
+        let direct = t.descendants(NodeId(1));
+        let mut buf = vec![NodeId(77)];
+        t.descendants_into(NodeId(1), &mut buf);
+        assert_eq!(buf[0], NodeId(77));
+        assert_eq!(&buf[1..], &direct[..]);
     }
 }

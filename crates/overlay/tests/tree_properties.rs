@@ -167,6 +167,75 @@ proptest! {
         }
     }
 
+    /// The O(1) cached counters (`attached_count`, `max_depth`) always
+    /// match a from-scratch recomputation over the membership, no matter
+    /// how mutations interleave. Guards the PR-5 arena bookkeeping: the
+    /// pre-arena `attached_count` re-summed every depth layer per call, so
+    /// a stale increment here would silently skew every report that reads
+    /// the population size.
+    #[test]
+    fn cached_counters_match_recomputation(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = MulticastTree::new(profile(0, 4.0), 1.0);
+        let mut next_id = 1u64;
+        for op in ops {
+            match op {
+                Op::Attach { bw_tenths, pick } => {
+                    let parents = attached_with_free_slot(&tree);
+                    if let Some(parent) = pick_from(&parents, pick) {
+                        tree.attach(profile(next_id, f64::from(bw_tenths) / 10.0), parent).unwrap();
+                        next_id += 1;
+                    }
+                }
+                Op::Remove { pick } => {
+                    let mut victims: Vec<NodeId> =
+                        tree.member_ids().filter(|&n| n != tree.root()).collect();
+                    victims.sort();
+                    if let Some(v) = pick_from(&victims, pick) {
+                        tree.remove(v).unwrap();
+                    }
+                }
+                Op::Reattach { pick, parent_pick } => {
+                    let orphans: Vec<NodeId> = tree.orphan_roots().collect();
+                    let parents = attached_with_free_slot(&tree);
+                    if let (Some(o), Some(p)) = (pick_from(&orphans, pick), pick_from(&parents, parent_pick)) {
+                        tree.reattach(o, p).unwrap();
+                    }
+                }
+                Op::Swap { pick } => {
+                    let nodes = attached_non_root(&tree);
+                    if let Some(n) = pick_from(&nodes, pick) {
+                        let _ = tree.swap_with_parent(n, |p| p.bandwidth);
+                    }
+                }
+                Op::Replace { bw_tenths, pick } => {
+                    let targets = attached_non_root(&tree);
+                    if let Some(t) = pick_from(&targets, pick) {
+                        tree.replace(t, profile(next_id, f64::from(bw_tenths) / 10.0), |p| p.bandwidth).unwrap();
+                        next_id += 1;
+                    }
+                }
+                Op::Usurp { pick, evict_pick } => {
+                    let orphans: Vec<NodeId> = tree.orphan_roots().collect();
+                    let targets = attached_non_root(&tree);
+                    if let (Some(o), Some(t)) = (pick_from(&orphans, pick), pick_from(&targets, evict_pick)) {
+                        tree.usurp(t, o, |p| p.bandwidth).unwrap();
+                    }
+                }
+            }
+            let recomputed_attached = tree
+                .member_ids()
+                .filter(|&n| tree.is_attached(n))
+                .count();
+            prop_assert_eq!(tree.attached_count(), recomputed_attached);
+            let recomputed_max_depth = tree
+                .member_ids()
+                .filter_map(|n| tree.depth(n))
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(tree.max_depth(), recomputed_max_depth);
+        }
+    }
+
     /// Depths reported by the index always match the distance to the root
     /// along parent pointers.
     #[test]

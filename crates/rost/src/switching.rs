@@ -88,6 +88,10 @@ pub struct SwitchingProtocol {
     locks: LockTable,
     next_op: u64,
     stats: SwitchStats,
+    /// Reusable lock-set buffer: one switching attempt per event makes
+    /// this the hottest allocation in the ROST loop, so it is kept warm
+    /// across attempts.
+    lock_buf: Vec<NodeId>,
 }
 
 impl SwitchingProtocol {
@@ -99,6 +103,7 @@ impl SwitchingProtocol {
             locks: LockTable::new(),
             next_op: 0,
             stats: SwitchStats::default(),
+            lock_buf: Vec::new(),
         }
     }
 
@@ -153,17 +158,19 @@ impl SwitchingProtocol {
         now: SimTime,
         bandwidth_guard: bool,
     ) -> bool {
-        let Some(parent) = tree.parent(node) else {
+        // Intern once: the whole check then runs on arena indices with a
+        // single id→index lookup instead of one per accessor.
+        let Some(ix) = tree.index_of(node) else {
             return false;
         };
-        if parent == tree.root() || !tree.is_attached(node) {
+        let Some(pix) = tree.parent_ix(ix) else {
+            return false;
+        };
+        if tree.id_of(pix) == tree.root() || !tree.is_attached_ix(ix) {
             return false;
         }
-        let (Some(child_profile), Some(parent_profile)) =
-            (tree.profile(node), tree.profile(parent))
-        else {
-            return false;
-        };
+        let child_profile = tree.profile_ix(ix);
+        let parent_profile = tree.profile_ix(pix);
         Btp::of(child_profile, now) > Btp::of(parent_profile, now)
             && (!bandwidth_guard || child_profile.bandwidth >= parent_profile.bandwidth)
     }
@@ -172,16 +179,33 @@ impl SwitchingProtocol {
     /// grandparent, children and siblings (§3.3).
     #[must_use]
     pub fn lock_set(tree: &MulticastTree, node: NodeId) -> Vec<NodeId> {
-        let mut set = vec![node];
-        if let Some(parent) = tree.parent(node) {
-            set.push(parent);
-            if let Some(gp) = tree.parent(parent) {
-                set.push(gp);
-            }
-            set.extend(tree.children(parent).iter().copied().filter(|&s| s != node));
-        }
-        set.extend(tree.children(node).iter().copied());
+        let mut set = Vec::new();
+        Self::lock_set_into(tree, node, &mut set);
         set
+    }
+
+    /// [`lock_set`](Self::lock_set) into a caller-owned buffer (cleared
+    /// first): the per-attempt path reuses one warm buffer instead of
+    /// allocating a fresh `Vec` per switching check.
+    pub fn lock_set_into(tree: &MulticastTree, node: NodeId, set: &mut Vec<NodeId>) {
+        set.clear();
+        set.push(node);
+        let Some(ix) = tree.index_of(node) else {
+            return;
+        };
+        if let Some(pix) = tree.parent_ix(ix) {
+            set.push(tree.id_of(pix));
+            if let Some(gp) = tree.parent_ix(pix) {
+                set.push(tree.id_of(gp));
+            }
+            set.extend(
+                tree.children_ix(pix)
+                    .iter()
+                    .filter(|&&s| s != ix)
+                    .map(|&s| tree.id_of(s)),
+            );
+        }
+        set.extend(tree.children_ix(ix).iter().map(|&c| tree.id_of(c)));
     }
 
     /// Runs one switching check for `node` at `now`.
@@ -200,9 +224,12 @@ impl SwitchingProtocol {
             self.stats.not_eligible += 1;
             return SwitchOutcome::NotEligible;
         }
-        let set = Self::lock_set(tree, node);
+        let mut set = std::mem::take(&mut self.lock_buf);
+        Self::lock_set_into(tree, node, &mut set);
         let op = self.allocate_op();
-        if !self.locks.try_lock_all(op, &set) {
+        let locked = self.locks.try_lock_all(op, &set);
+        self.lock_buf = set;
+        if !locked {
             self.stats.busy += 1;
             return SwitchOutcome::Busy;
         }

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Perf-regression smoke: re-runs the headline sweep at --jobs 1 and fails
+# when machine-normalized throughput drops more than ROM_PERF_TOLERANCE
+# (default 0.20) below the committed BENCH_headline.json baseline. See
+# crates/bench/src/bin/perf_smoke.rs for the normalization details.
+set -eu
+cd "$(dirname "$0")/.."
+
+tolerance="${ROM_PERF_TOLERANCE:-0.20}"
+baseline="${ROM_PERF_BASELINE:-BENCH_headline.json}"
+
+saved="$(mktemp)"
+trap 'rm -f "$saved"' EXIT
+cp "$baseline" "$saved"
+
+# headline_claims rewrites BENCH_headline.json in place; the committed
+# numbers are already safe in $saved.
+cargo run -q --release -p rom-bench --bin headline_claims -- --jobs 1 > /dev/null
+
+cargo run -q --release -p rom-bench --bin perf_smoke -- \
+  --baseline "$saved" --fresh BENCH_headline.json --tolerance "$tolerance"
