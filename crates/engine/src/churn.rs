@@ -249,13 +249,16 @@ impl ChurnSim {
     /// Builds a churn simulator with the packet-level streaming layer
     /// attached (used by [`crate::StreamingSim`]).
     pub(crate) fn new_with_streaming(cfg: StreamingConfig) -> Self {
-        let root_rng = SimRng::seed_from(cfg.churn.seed);
-        let state = StreamingState::new(&cfg, root_rng.fork("streaming"));
+        // Identical stream to forking off the root RNG: `fork` is a pure
+        // function of `(seed, label)`.
+        let streaming_rng = SimRng::seed_from(cfg.churn.seed).fork("streaming");
+        let state = StreamingState::new(&cfg, streaming_rng);
         Self::build(cfg.churn, Some(state))
     }
 
     fn build(cfg: ChurnConfig, streaming: Option<StreamingState>) -> Self {
         cfg.validate();
+        // rom-lint: allow(rng-fork-discipline) -- this IS the run's root RNG (minted once from cfg.seed); every subsystem stream below is a labeled fork of it
         let root_rng = SimRng::seed_from(cfg.seed);
         let mut topo_rng = root_rng.fork("topology");
         let net = TransitStubNetwork::generate(&cfg.topology, &mut topo_rng);

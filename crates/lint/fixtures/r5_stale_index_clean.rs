@@ -1,0 +1,32 @@
+//! R5 `stale-arena-index` clean fixture: every pattern here holds an
+//! arena index safely, including the re-intern-after-mutation negative
+//! case the rule must NOT flag.
+//!
+//! NOT compiled into any crate; scanned by `crates/lint/tests/fixture.rs`.
+
+fn reinterned_by_assignment(tree: &mut MulticastTree, id: NodeId, victim: NodeId) -> Option<usize> {
+    let mut ix = tree.index_of(id)?;
+    tree.remove(victim);
+    ix = tree.index_of(id)?; // re-interned after the mutation: not stale
+    tree.depth_ix(ix)
+}
+
+fn reinterned_by_shadowing(tree: &mut MulticastTree, id: NodeId, bw: u64) -> Option<usize> {
+    let ix = tree.index_of(id)?;
+    tree.set_bandwidth(id, bw);
+    let ix = tree.index_of(id)?; // shadowing re-intern: not stale
+    tree.depth_ix(ix)
+}
+
+fn used_before_mutation(tree: &mut MulticastTree, id: NodeId, victim: NodeId) -> Option<usize> {
+    let ix = tree.index_of(id)?;
+    let depth = tree.depth_ix(ix); // use precedes the mutation: fine
+    tree.remove(victim);
+    depth
+}
+
+fn disjoint_trees(a: &MulticastTree, b: &mut MulticastTree, id: NodeId) -> Option<usize> {
+    let ix = a.index_of(id)?;
+    b.remove(id); // a different tree: `a`'s arena is untouched
+    a.depth_ix(ix)
+}

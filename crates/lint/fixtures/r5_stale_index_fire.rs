@@ -1,0 +1,11 @@
+//! R5 `stale-arena-index` firing fixture: a `NodeIndex` held across a
+//! mutating tree call.
+//!
+//! NOT compiled into any crate. `crates/lint/tests/fixture.rs` scans it
+//! to prove the scope-aware pass sees statement order.
+
+fn stale_after_removal(tree: &mut MulticastTree, id: NodeId, victim: NodeId) -> Option<usize> {
+    let ix = tree.index_of(id)?; // interned here...
+    tree.remove(victim); // ...slot freed (and maybe recycled) here...
+    tree.depth_ix(ix) // R5 stale-arena-index: `ix` may alias another member
+}

@@ -1,0 +1,16 @@
+//! R6 `rng-fork-discipline` clean fixture: the two sanctioned ways to
+//! obtain a stream.
+//!
+//! NOT compiled into any crate; scanned by `crates/lint/tests/fixture.rs`.
+
+fn disciplined(root: &SimRng) -> u64 {
+    let mut topo = root.fork("topology"); // labeled fork off the root RNG
+    topo.next_u64()
+}
+
+fn reconstructed_root(seed: u64) -> u64 {
+    // Chaining a labeled fork onto the seed is the sanctioned root-stream
+    // reconstruction: `fork` is a pure function of `(seed, label)`.
+    let mut link = SimRng::seed_from(seed).fork("link-chaos");
+    link.next_u64()
+}

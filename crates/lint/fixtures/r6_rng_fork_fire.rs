@@ -1,0 +1,19 @@
+//! R6 `rng-fork-discipline` firing fixture: ad-hoc seeding, cloned
+//! streams, dynamic fork labels, and foreign generator types.
+//!
+//! NOT compiled into any crate; scanned by `crates/lint/tests/fixture.rs`.
+
+fn undisciplined(seed: u64) -> u64 {
+    let mut lone = SimRng::seed_from(seed); // R6: bare seeding, no labeled fork
+    let mut dup = lone.clone(); // R6: duplicates the stream mid-flight
+    lone.next_u64() ^ dup.next_u64()
+}
+
+fn relabeled(root: &SimRng, label: &str) -> SimRng {
+    root.fork(label) // R6: label is not a string literal
+}
+
+fn foreign(seed: u64) -> u64 {
+    let mut r = SmallRng::seed_from_u64(seed); // R6 twice: foreign type + ad-hoc seeding
+    r.next_u64()
+}

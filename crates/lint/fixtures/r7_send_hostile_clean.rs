@@ -1,0 +1,15 @@
+//! R7 `send-hostile-state` clean fixture: thread-safe equivalents of
+//! everything the firing fixture does.
+//!
+//! NOT compiled into any crate; scanned by `crates/lint/tests/fixture.rs`.
+
+use std::sync::{Arc, Mutex};
+
+struct SharedCache {
+    entries: Arc<Mutex<Vec<u32>>>,
+}
+
+fn scratch_buffer() -> Vec<u32> {
+    // Owned state passed explicitly instead of thread_local!.
+    Vec::new()
+}

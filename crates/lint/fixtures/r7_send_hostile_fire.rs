@@ -1,0 +1,16 @@
+//! R7 `send-hostile-state` firing fixture: single-threaded interior
+//! mutability and shared ownership the sweep engine cannot move across
+//! worker threads without scrutiny.
+//!
+//! NOT compiled into any crate; scanned by `crates/lint/tests/fixture.rs`.
+
+use std::cell::RefCell; // R7: interior mutability (!Sync)
+use std::rc::Rc; // R7: non-atomic shared ownership (!Send)
+
+thread_local! { // R7: per-thread state breaks cross-worker determinism
+    static SCRATCH: Vec<u32> = Vec::new();
+}
+
+struct SharedCache {
+    entries: Rc<Vec<u32>>, // R7: Rc again, in field position
+}

@@ -36,8 +36,24 @@ impl Default for Config {
             Rule::PanicSites,
             ["rost", "cer", "wire"].map(String::from).to_vec(),
         );
+        rule_crates.insert(
+            Rule::StaleArenaIndex,
+            ["overlay", "rost", "cer", "engine", "chaos"]
+                .map(String::from)
+                .to_vec(),
+        );
+        rule_crates.insert(
+            Rule::SendHostileState,
+            ["sim", "engine", "rost", "cer", "chaos", "overlay"]
+                .map(String::from)
+                .to_vec(),
+        );
         let mut rule_exempt = BTreeMap::new();
         rule_exempt.insert(Rule::AmbientEntropy, vec!["bench".to_string()]);
+        rule_exempt.insert(
+            Rule::RngForkDiscipline,
+            vec!["sim".to_string(), "bench".to_string()],
+        );
         Config {
             roots: ["crates", "src", "examples", "tests"]
                 .map(String::from)
@@ -168,7 +184,7 @@ impl Config {
         }
     }
 
-    /// The rules that apply to `crate_name`, in R1..R4 order.
+    /// The rules that apply to `crate_name`, in R1..R7 order.
     #[must_use]
     pub fn rules_for(&self, crate_name: &str) -> Vec<Rule> {
         Rule::ALL
@@ -265,5 +281,16 @@ crates = ["rost"]
         }
         assert!(!cfg.rule_applies(Rule::PanicSites, "engine"));
         assert!(!cfg.rule_applies(Rule::AmbientEntropy, "bench"));
+        for c in ["overlay", "rost", "cer", "engine", "chaos"] {
+            assert!(cfg.rule_applies(Rule::StaleArenaIndex, c));
+        }
+        assert!(!cfg.rule_applies(Rule::StaleArenaIndex, "net"));
+        for c in ["sim", "engine", "rost", "cer", "chaos", "overlay"] {
+            assert!(cfg.rule_applies(Rule::SendHostileState, c));
+        }
+        assert!(!cfg.rule_applies(Rule::SendHostileState, "wire"));
+        assert!(!cfg.rule_applies(Rule::RngForkDiscipline, "sim"));
+        assert!(!cfg.rule_applies(Rule::RngForkDiscipline, "bench"));
+        assert!(cfg.rule_applies(Rule::RngForkDiscipline, "engine"));
     }
 }

@@ -4,7 +4,7 @@
 //! reproducible from a single `u64` seed, and on protocol state machines
 //! that degrade into typed errors instead of aborting. Reviewer vigilance
 //! does not scale to that bar; this crate machine-enforces it with a
-//! from-scratch token-level scanner (no external dependencies) and four
+//! from-scratch token-level scanner (no external dependencies) and seven
 //! project-specific rules:
 //!
 //! - **R1 `unordered-collections`** — no `HashMap`/`HashSet` in the
@@ -16,6 +16,18 @@
 //!   (`rost`, `cer`, `wire`).
 //! - **R4 `float-compare`** — no `==`/`!=` against float expressions and
 //!   no `partial_cmp(..).unwrap()`; use `total_cmp`/`to_bits`.
+//! - **R5 `stale-arena-index`** — no use of an arena `NodeIndex` binding
+//!   after a `&mut` tree mutation on the same tree (the slab's LIFO free
+//!   list recycles slots); re-intern after mutating.
+//! - **R6 `rng-fork-discipline`** — every RNG stream originates from a
+//!   labeled `fork("...")` off the run's root RNG; no ad-hoc seeding,
+//!   foreign generator types, or `.clone()`d streams outside `sim`.
+//! - **R7 `send-hostile-state`** — no new `RefCell`/`Rc`/`thread_local!`
+//!   in crates the parallel sweep engine must keep `Send`.
+//!
+//! R1–R4 are single-token-shape rules; R5–R6 run on the scope-aware walk
+//! in [`scope`] (a brace/statement tree over the same lexer — see
+//! DESIGN.md "Scope-aware lint passes").
 //!
 //! Policy lives in the checked-in `lint.toml`. Individual sites are
 //! suppressible with an auditable inline comment that must carry a
@@ -27,11 +39,13 @@
 //!
 //! Run it as `cargo run -p rom-lint` (scan the workspace per `lint.toml`)
 //! or `cargo run -p rom-lint -- path/to/file.rs` (scan explicit paths with
-//! every rule enabled, regardless of crate policy).
+//! every rule enabled, regardless of crate policy). `--format json` emits
+//! the same findings as stable sorted records, suppressed sites included.
 
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 
 pub use config::{Config, ConfigError};
 pub use rules::{Rule, Violation};
@@ -47,13 +61,20 @@ pub struct FileViolation {
     pub path: PathBuf,
     /// The finding.
     pub violation: Violation,
+    /// The trimmed source line the violation fired on.
+    pub snippet: String,
+    /// The allow justification, for suppressed findings.
+    pub justification: Option<String>,
 }
 
 /// The outcome of a scan.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Violations across all scanned files, in path/line order.
+    /// Active violations across all scanned files, in path/line order.
     pub violations: Vec<FileViolation>,
+    /// Findings silenced by a justified `rom-lint: allow` — not failures,
+    /// but part of the auditable record (`--format json` includes them).
+    pub suppressed: Vec<FileViolation>,
     /// How many `.rs` files were scanned.
     pub files_scanned: usize,
 }
@@ -90,6 +111,91 @@ impl Report {
         );
         out
     }
+
+    /// Renders the report as JSON: stable, sorted records (path, line,
+    /// rule, suppression status last) so diffs between CI runs are
+    /// meaningful. Suppressed findings are included with their
+    /// justification; active ones carry `"suppressed": false`.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut records: Vec<(&FileViolation, bool)> = self
+            .violations
+            .iter()
+            .map(|fv| (fv, false))
+            .chain(self.suppressed.iter().map(|fv| (fv, true)))
+            .collect();
+        records.sort_by(|(a, asup), (b, bsup)| {
+            (&a.path, a.violation.line, a.violation.rule, *asup).cmp(&(
+                &b.path,
+                b.violation.line,
+                b.violation.rule,
+                *bsup,
+            ))
+        });
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"active\": {},", self.violations.len());
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed.len());
+        out.push_str("  \"violations\": [");
+        for (k, (fv, suppressed)) in records.iter().enumerate() {
+            let v = &fv.violation;
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"rule\": \"{}\", ", v.rule.id());
+            let _ = write!(out, "\"shorthand\": \"{}\", ", v.rule.shorthand());
+            let _ = write!(
+                out,
+                "\"file\": \"{}\", ",
+                json_escape(&fv.path.to_string_lossy().replace('\\', "/"))
+            );
+            let _ = write!(out, "\"line\": {}, ", v.line);
+            let _ = write!(out, "\"message\": \"{}\", ", json_escape(&v.message));
+            let _ = write!(out, "\"snippet\": \"{}\", ", json_escape(&fv.snippet));
+            let _ = write!(out, "\"suppressed\": {suppressed}");
+            if let Some(just) = &fv.justification {
+                let _ = write!(out, ", \"justification\": \"{}\"", json_escape(just));
+            }
+            out.push('}');
+        }
+        if records.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A violation silenced by a justified `rom-lint: allow` comment.
+#[derive(Debug, Clone)]
+pub struct SuppressedViolation {
+    /// The silenced finding.
+    pub violation: Violation,
+    /// The justification text after `--` in the allow comment.
+    pub justification: String,
 }
 
 /// Scans one source text with the given rules, honouring inline
@@ -97,15 +203,22 @@ impl Report {
 /// reported as `allow-syntax` violations.
 #[must_use]
 pub fn scan_source(source: &str, rules: &[Rule]) -> Vec<Violation> {
+    scan_source_full(source, rules).0
+}
+
+/// Like [`scan_source`], but also returns the findings a justified allow
+/// silenced — the auditable half of the suppression ledger.
+#[must_use]
+pub fn scan_source_full(source: &str, rules: &[Rule]) -> (Vec<Violation>, Vec<SuppressedViolation>) {
     let lexed = LexedFile::lex(source);
-    let mut raw = rules::check(&lexed, rules);
+    let raw = rules::check(&lexed, rules);
 
     // Partition suppressions into usable ones and syntax errors.
-    let mut usable: Vec<(Rule, u32)> = Vec::new();
+    let mut usable: Vec<(Rule, u32, &str)> = Vec::new();
     let mut meta: Vec<Violation> = Vec::new();
     for s in &lexed.suppressions {
         match (Rule::parse(&s.rule), &s.justification) {
-            (Some(rule), Some(_)) => usable.push((rule, s.target_line)),
+            (Some(rule), Some(just)) => usable.push((rule, s.target_line, just.as_str())),
             (Some(_), None) => meta.push(Violation {
                 rule: Rule::AllowSyntax,
                 line: s.comment_line,
@@ -118,21 +231,31 @@ pub fn scan_source(source: &str, rules: &[Rule]) -> Vec<Violation> {
                 rule: Rule::AllowSyntax,
                 line: s.comment_line,
                 message: format!(
-                    "unknown rule `{}` in rom-lint allow comment (known: unordered-collections, ambient-entropy, panic-sites, float-compare)",
+                    "unknown rule `{}` in rom-lint allow comment (known: unordered-collections, ambient-entropy, panic-sites, float-compare, stale-arena-index, rng-fork-discipline, send-hostile-state)",
                     s.rule
                 ),
             }),
         }
     }
 
-    raw.retain(|v| {
-        !usable
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for v in raw {
+        match usable
             .iter()
-            .any(|&(rule, line)| rule == v.rule && line == v.line)
-    });
-    raw.extend(meta);
-    raw.sort_by_key(|v| (v.line, v.rule));
-    raw
+            .find(|(rule, line, _)| *rule == v.rule && *line == v.line)
+        {
+            Some((_, _, just)) => suppressed.push(SuppressedViolation {
+                violation: v,
+                justification: (*just).to_string(),
+            }),
+            None => active.push(v),
+        }
+    }
+    active.extend(meta);
+    active.sort_by_key(|v| (v.line, v.rule));
+    suppressed.sort_by_key(|s| (s.violation.line, s.violation.rule));
+    (active, suppressed)
 }
 
 /// Derives the crate name governing `rel_path` (`crates/<name>/…` →
@@ -180,10 +303,23 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
             continue;
         }
         let source = std::fs::read_to_string(&abs)?;
-        for violation in scan_source(&source, &rules) {
+        let (active, suppressed) = scan_source_full(&source, &rules);
+        for violation in active {
+            let snippet = snippet_of(&source, violation.line);
             report.violations.push(FileViolation {
                 path: rel.clone(),
                 violation,
+                snippet,
+                justification: None,
+            });
+        }
+        for s in suppressed {
+            let snippet = snippet_of(&source, s.violation.line);
+            report.suppressed.push(FileViolation {
+                path: rel.clone(),
+                violation: s.violation,
+                snippet,
+                justification: Some(s.justification),
             });
         }
     }
@@ -209,14 +345,38 @@ pub fn scan_paths(paths: &[PathBuf]) -> std::io::Result<Report> {
     for path in files {
         let source = std::fs::read_to_string(&path)?;
         report.files_scanned += 1;
-        for violation in scan_source(&source, &Rule::ALL) {
+        let (active, suppressed) = scan_source_full(&source, &Rule::ALL);
+        for violation in active {
+            let snippet = snippet_of(&source, violation.line);
             report.violations.push(FileViolation {
                 path: path.clone(),
                 violation,
+                snippet,
+                justification: None,
+            });
+        }
+        for s in suppressed {
+            let snippet = snippet_of(&source, s.violation.line);
+            report.suppressed.push(FileViolation {
+                path: path.clone(),
+                violation: s.violation,
+                snippet,
+                justification: Some(s.justification),
             });
         }
     }
     Ok(report)
+}
+
+/// The trimmed text of 1-based `line` in `source` (empty when out of
+/// range — e.g. a suppression comment line folded away by the lexer).
+fn snippet_of(source: &str, line: u32) -> String {
+    source
+        .lines()
+        .nth((line as usize).saturating_sub(1))
+        .unwrap_or("")
+        .trim()
+        .to_string()
 }
 
 /// Whether `rel_path` is an integration-test file (lives under a `tests/`

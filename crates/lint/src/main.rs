@@ -3,6 +3,8 @@
 //! - `rom-lint` — scan the workspace per the checked-in `lint.toml`.
 //! - `rom-lint <path>…` — scan explicit files/directories with every rule
 //!   enabled (used for the committed violation fixtures and ad-hoc checks).
+//! - `--format json` — emit stable sorted JSON records instead of text
+//!   (CI uploads this as the lint artifact); suppressed sites included.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/config/I-O error.
 
@@ -14,25 +16,53 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "rom-lint: workspace determinism & robustness linter\n\n\
-             usage: rom-lint            scan the workspace per lint.toml\n\
-             \u{20}      rom-lint <path>...  scan explicit paths with all rules\n\n\
+             usage: rom-lint [--format json]            scan the workspace per lint.toml\n\
+             \u{20}      rom-lint [--format json] <path>...  scan explicit paths with all rules\n\n\
              rules: R1 unordered-collections, R2 ambient-entropy,\n\
-             \u{20}      R3 panic-sites, R4 float-compare\n\
+             \u{20}      R3 panic-sites, R4 float-compare, R5 stale-arena-index,\n\
+             \u{20}      R6 rng-fork-discipline, R7 send-hostile-state\n\
              suppress: // rom-lint: allow(<rule>) -- <justification>"
         );
         return ExitCode::SUCCESS;
     }
 
-    let result = if args.is_empty() {
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "rom-lint: --format takes `json` or `text`, got `{}`",
+                        other.unwrap_or("<nothing>")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("rom-lint: unknown flag `{flag}` (see --help)");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let result = if paths.is_empty() {
         scan_workspace_mode()
     } else {
-        let paths: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
         rom_lint::scan_paths(&paths).map_err(|e| format!("rom-lint: {e}"))
     };
 
     match result {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

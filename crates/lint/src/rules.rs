@@ -6,12 +6,21 @@
 //! | R2 `ambient-entropy` | no `Instant::now`/`SystemTime`/`thread_rng`/`rand::rng` — time and randomness flow through `rom_sim` | everywhere except `bench` |
 //! | R3 `panic-sites` | no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code | protocol crates |
 //! | R4 `float-compare` | no `==`/`!=` against float expressions, no `partial_cmp(..).unwrap()` — use `total_cmp`/`to_bits` | everywhere |
+//! | R5 `stale-arena-index` | no use of an arena `NodeIndex` binding after a `&mut` tree mutation on the same tree — re-intern it | arena-consuming crates |
+//! | R6 `rng-fork-discipline` | every RNG stream derives from a labeled `fork("...")` off the root RNG; no ad-hoc seeding, foreign RNG types, or `.clone()`d streams | everywhere except `sim`/`bench` |
+//! | R7 `send-hostile-state` | no new `RefCell`/`Rc`/`thread_local!` in crates the sweep engine must move across threads | `Send`-required crates |
+//!
+//! R1–R4 are token-shape rules. R5–R6 run on the scope-aware walk in
+//! [`crate::scope`], which tracks `let` bindings, their provenance, and
+//! method-call receivers — enough structure to see statement order
+//! without being a Rust parser.
 //!
 //! All rules skip `#[cfg(test)]`/`#[test]` regions except R4, which also
 //! fires in tests (a NaN-poisoned sort panics no matter where it runs, and
 //! float-equality asserts are exactly how tolerance bugs hide in suites).
 
 use crate::lexer::{LexedFile, TokenKind};
+use crate::scope::{self, Analysis};
 
 /// Identifies one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -24,6 +33,15 @@ pub enum Rule {
     PanicSites,
     /// R4: float `==`/`!=` or `partial_cmp(..).unwrap()`.
     FloatCompare,
+    /// R5: an arena index binding used after a tree mutation on the same
+    /// receiver (the LIFO free list may have recycled its slot).
+    StaleArenaIndex,
+    /// R6: an RNG stream not derived via a labeled `fork("...")` off the
+    /// run's root RNG.
+    RngForkDiscipline,
+    /// R7: `RefCell`/`Rc`/`thread_local!` in a crate that must stay
+    /// `Send` for the parallel sweep engine.
+    SendHostileState,
     /// Meta-rule: a `rom-lint: allow` comment that is malformed (unknown
     /// rule name or missing `-- justification`).
     AllowSyntax,
@@ -31,11 +49,14 @@ pub enum Rule {
 
 impl Rule {
     /// Every real (suppressible) rule.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 7] = [
         Rule::UnorderedCollections,
         Rule::AmbientEntropy,
         Rule::PanicSites,
         Rule::FloatCompare,
+        Rule::StaleArenaIndex,
+        Rule::RngForkDiscipline,
+        Rule::SendHostileState,
     ];
 
     /// The rule's stable identifier, as used in `lint.toml` and in
@@ -47,11 +68,14 @@ impl Rule {
             Rule::AmbientEntropy => "ambient-entropy",
             Rule::PanicSites => "panic-sites",
             Rule::FloatCompare => "float-compare",
+            Rule::StaleArenaIndex => "stale-arena-index",
+            Rule::RngForkDiscipline => "rng-fork-discipline",
+            Rule::SendHostileState => "send-hostile-state",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
 
-    /// The paper-issue shorthand (R1–R4).
+    /// The paper-issue shorthand (R1–R7).
     #[must_use]
     pub fn shorthand(self) -> &'static str {
         match self {
@@ -59,6 +83,9 @@ impl Rule {
             Rule::AmbientEntropy => "R2",
             Rule::PanicSites => "R3",
             Rule::FloatCompare => "R4",
+            Rule::StaleArenaIndex => "R5",
+            Rule::RngForkDiscipline => "R6",
+            Rule::SendHostileState => "R7",
             Rule::AllowSyntax => "R0",
         }
     }
@@ -71,6 +98,9 @@ impl Rule {
             "ambient-entropy" | "r2" | "R2" => Some(Rule::AmbientEntropy),
             "panic-sites" | "r3" | "R3" => Some(Rule::PanicSites),
             "float-compare" | "r4" | "R4" => Some(Rule::FloatCompare),
+            "stale-arena-index" | "r5" | "R5" => Some(Rule::StaleArenaIndex),
+            "rng-fork-discipline" | "r6" | "R6" => Some(Rule::RngForkDiscipline),
+            "send-hostile-state" | "r7" | "R7" => Some(Rule::SendHostileState),
             _ => None,
         }
     }
@@ -98,12 +128,24 @@ pub struct Violation {
 #[must_use]
 pub fn check(lexed: &LexedFile, rules: &[Rule]) -> Vec<Violation> {
     let mut out = Vec::new();
+    // R5/R6 share one scope-aware walk; run it only when either is on.
+    let analysis = rules
+        .iter()
+        .any(|r| matches!(r, Rule::StaleArenaIndex | Rule::RngForkDiscipline))
+        .then(|| scope::analyze(lexed));
     for &rule in rules {
         match rule {
             Rule::UnorderedCollections => check_unordered_collections(lexed, &mut out),
             Rule::AmbientEntropy => check_ambient_entropy(lexed, &mut out),
             Rule::PanicSites => check_panic_sites(lexed, &mut out),
             Rule::FloatCompare => check_float_compare(lexed, &mut out),
+            Rule::StaleArenaIndex => {
+                check_stale_arena_index(lexed, analysis.as_ref().expect("walk ran"), &mut out);
+            }
+            Rule::RngForkDiscipline => {
+                check_rng_fork(lexed, analysis.as_ref().expect("walk ran"), &mut out);
+            }
+            Rule::SendHostileState => check_send_hostile(lexed, &mut out),
             Rule::AllowSyntax => {}
         }
     }
@@ -284,6 +326,136 @@ fn check_float_compare(lexed: &LexedFile, out: &mut Vec<Violation>) {
     }
 }
 
+fn check_stale_arena_index(lexed: &LexedFile, analysis: &Analysis, out: &mut Vec<Violation>) {
+    for u in &analysis.stale_uses {
+        if skip_for_tests(lexed, u.token_index, Rule::StaleArenaIndex) {
+            continue;
+        }
+        out.push(Violation {
+            rule: Rule::StaleArenaIndex,
+            line: u.use_line,
+            message: format!(
+                "`{}` was interned from `{}.{}(..)` on line {}, but `{}.{}(..)` on line {} may \
+                 have freed or recycled its slot: re-intern via `index_of` after the mutation",
+                u.name, u.receiver, u.producer, u.bind_line, u.receiver, u.mutator, u.mutate_line
+            ),
+        });
+    }
+}
+
+fn check_rng_fork(lexed: &LexedFile, analysis: &Analysis, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let prev = toks.get(i.wrapping_sub(1)).map(|t| t.text.as_str());
+        let finding = match tok.text.as_str() {
+            // Foreign generator types: the workspace's byte-pinned
+            // streams come from `rom_sim::SimRng` alone.
+            "SmallRng" | "StdRng" | "ThreadRng" => Some(format!(
+                "foreign RNG type `{}`: all randomness flows through `rom_sim::SimRng` so \
+                 streams stay pinned byte-for-byte",
+                tok.text
+            )),
+            "seed_from_u64" => Some(
+                "`seed_from_u64` mints an ad-hoc stream: derive it from the run's root RNG \
+                 with a labeled `fork(\"...\")`"
+                    .to_string(),
+            ),
+            // Bare `seed_from(...)` is ad-hoc seeding — unless it is
+            // immediately forked with a string-literal label, which is
+            // the sanctioned root-RNG reconstruction (`fork` is a pure
+            // function of `(seed, label)`).
+            "seed_from" if next == Some("(") && prev != Some("fn") && i >= 1 => {
+                let after = scope::matching_paren(toks, i + 1);
+                let chained_fork = toks.get(after).map(|t| t.text.as_str()) == Some(".")
+                    && toks.get(after + 1).map(|t| t.text.as_str()) == Some("fork")
+                    && toks.get(after + 2).map(|t| t.text.as_str()) == Some("(")
+                    && toks.get(after + 3).is_some_and(|t| t.kind == TokenKind::Literal);
+                if chained_fork {
+                    None
+                } else {
+                    Some(
+                        "bare `seed_from(..)` mints a detached stream: fork a labeled child \
+                         off the run's root RNG (or chain `.fork(\"label\")` to reconstruct \
+                         a named root stream)"
+                            .to_string(),
+                    )
+                }
+            }
+            // `.fork(<non-literal>)` — labels must be static strings so
+            // the stream registry is auditable by grep.
+            "fork" if prev == Some(".") && next == Some("(") => {
+                let label_is_literal =
+                    toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Literal);
+                if label_is_literal {
+                    None
+                } else {
+                    Some(
+                        "`fork` label must be a string literal so every stream is statically \
+                         auditable"
+                            .to_string(),
+                    )
+                }
+            }
+            _ => None,
+        };
+        if let Some(message) = finding {
+            if skip_for_tests(lexed, i, Rule::RngForkDiscipline) {
+                continue;
+            }
+            out.push(Violation {
+                rule: Rule::RngForkDiscipline,
+                line: tok.line,
+                message,
+            });
+        }
+    }
+    for c in &analysis.rng_clones {
+        if skip_for_tests(lexed, c.token_index, Rule::RngForkDiscipline) {
+            continue;
+        }
+        out.push(Violation {
+            rule: Rule::RngForkDiscipline,
+            line: c.line,
+            message: format!(
+                "`.clone()` of RNG stream `{}` duplicates its state mid-flight: fork a \
+                 labeled child instead",
+                c.name
+            ),
+        });
+    }
+}
+
+fn check_send_hostile(lexed: &LexedFile, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let hit = match tok.text.as_str() {
+            "RefCell" | "Rc" => true,
+            "thread_local" => next == Some("!"),
+            _ => false,
+        };
+        if !hit || skip_for_tests(lexed, i, Rule::SendHostileState) {
+            continue;
+        }
+        out.push(Violation {
+            rule: Rule::SendHostileState,
+            line: tok.line,
+            message: format!(
+                "`{}` in a `Send`-required crate: the sweep engine moves whole sims across \
+                 worker threads — use owned state (or `Arc`/`Mutex`), or justify with an allow",
+                if tok.text == "thread_local" { "thread_local!" } else { tok.text.as_str() }
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +531,88 @@ mod tests {
     fn r4_ignores_compound_operators() {
         let src = "x += 1.0; y <= 2.0; z >= 0.5; w *= 3.0;";
         assert!(run(src, &[Rule::FloatCompare]).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_index_used_after_mutation() {
+        let src = "fn f(tree: &mut T) {\n let ix = tree.index_of(id);\n tree.remove(victim);\n tree.depth_ix(ix);\n}";
+        let v = run(src, &[Rule::StaleArenaIndex]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("remove"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r5_allows_use_before_mutation_and_other_receivers() {
+        let src = "fn f(a: &T, b: &mut T) {\n let ix = a.index_of(id);\n a.depth_ix(ix);\n b.remove(id);\n a.depth_ix(ix);\n}";
+        // `b` is a different tree: mutating it does not stale `a`'s index.
+        assert!(run(src, &[Rule::StaleArenaIndex]).is_empty());
+    }
+
+    #[test]
+    fn r5_reassignment_reinterns() {
+        let src = "fn f(tree: &mut T) {\n let mut ix = tree.index_of(id);\n tree.remove(victim);\n ix = tree.index_of(id);\n tree.depth_ix(ix);\n}";
+        assert!(run(src, &[Rule::StaleArenaIndex]).is_empty());
+    }
+
+    #[test]
+    fn r5_shadowing_reinterns() {
+        let src = "fn f(tree: &mut T) {\n let ix = tree.index_of(id);\n tree.attach(p, under);\n let ix = tree.index_of(id);\n tree.depth_ix(ix);\n}";
+        assert!(run(src, &[Rule::StaleArenaIndex]).is_empty());
+    }
+
+    #[test]
+    fn r5_tracks_dotted_receivers_and_let_else() {
+        let src = "fn f(&mut self) {\n let Some(ix) = self.tree.index_of(id) else { return; };\n self.tree.set_bandwidth(id, bw);\n self.tree.depth_ix(ix);\n}";
+        let v = run(src, &[Rule::StaleArenaIndex]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("self.tree"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r5_skips_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(tree: &mut T) {\n  let ix = tree.index_of(id);\n  tree.remove(id);\n  tree.depth_ix(ix);\n }\n}";
+        assert!(run(src, &[Rule::StaleArenaIndex]).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_bare_seeding_foreign_rngs_and_clones() {
+        let src = "fn f(seed: u64) {\n let a = SimRng::seed_from(seed);\n let b = a.clone();\n let c = SmallRng::seed_from_u64(seed);\n}";
+        let v = run(src, &[Rule::RngForkDiscipline]);
+        // bare seed_from, clone of `a`, SmallRng, seed_from_u64.
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn r6_accepts_labeled_forks_and_root_reconstruction() {
+        let src = "fn f(root: &SimRng, seed: u64) {\n let topo = root.fork(\"topology\");\n let link = SimRng::seed_from(seed).fork(\"link-chaos\");\n}";
+        assert!(run(src, &[Rule::RngForkDiscipline]).is_empty());
+    }
+
+    #[test]
+    fn r6_requires_literal_fork_labels() {
+        let src = "fn f(root: &SimRng, label: &str) { let s = root.fork(label); }";
+        let v = run(src, &[Rule::RngForkDiscipline]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("string literal"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r6_ignores_definitions_and_tests() {
+        let src = "impl SimRng { pub fn seed_from(seed: u64) -> Self { x } }\n#[cfg(test)]\nmod tests { fn t() { let r = SimRng::seed_from(7); } }";
+        assert!(run(src, &[Rule::RngForkDiscipline]).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_send_hostile_state() {
+        let src = "use std::cell::RefCell;\nuse std::rc::Rc;\nthread_local! { static S: u32 = 0; }";
+        let v = run(src, &[Rule::SendHostileState]);
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn r7_accepts_sync_primitives_and_tests() {
+        let src = "use std::sync::{Arc, Mutex};\n#[cfg(test)]\nmod tests { use std::cell::RefCell; }";
+        assert!(run(src, &[Rule::SendHostileState]).is_empty());
     }
 }

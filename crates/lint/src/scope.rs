@@ -1,0 +1,461 @@
+//! Scope-aware analysis on top of the token stream.
+//!
+//! R1–R4 are token-shape rules; the v2 rule families (R5–R7) need just
+//! enough structure to ask *"is this binding used after that call?"*.
+//! This module builds that structure directly over the lexer's output: a
+//! brace-tracked scope stack of `let` bindings, each classified by the
+//! provenance of its initializer (arena-index-producing call, RNG
+//! construction), plus dotted receiver paths for method calls. It is
+//! deliberately **not** a Rust parser — no expression trees, no types,
+//! no macro expansion — just bindings, scopes, statement order and
+//! method receivers, which is exactly the substrate the scope-aware
+//! rules need. The known blind spots (indices bound by `for` patterns or
+//! multi-binding `let` tuples, mutation through a re-borrowed alias) are
+//! accepted: the dynamic generation check in the arena backstops what
+//! the static side cannot see.
+//!
+//! Two analyses are produced in a single walk:
+//!
+//! - **stale arena indices** (R5): a binding whose initializer called an
+//!   index *producer* (`index_of`, `parent_ix`, `children_ix`, `intern`)
+//!   on some receiver is invalidated when a *mutator* (`attach`,
+//!   `remove`, `swap_with_parent`, …) is later called on that same
+//!   receiver; any use after that point is reported, unless the binding
+//!   was re-interned (re-assigned or shadowed) first.
+//! - **RNG clones** (R6 input): a binding whose initializer constructed
+//!   or forked a `SimRng` is a stream; calling `.clone()` on it mints an
+//!   ad-hoc duplicate stream.
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// Method names that hand out arena indices.
+pub const INDEX_PRODUCERS: &[&str] = &["index_of", "parent_ix", "children_ix", "intern"];
+
+/// `&mut`-receiver tree operations that may free or recycle arena slots
+/// (or restructure the tree under an index).
+pub const TREE_MUTATORS: &[&str] = &[
+    "attach",
+    "reattach",
+    "detach",
+    "remove",
+    "replace",
+    "usurp",
+    "swap_with_parent",
+    "set_bandwidth",
+    "switch",
+];
+
+/// A use of an arena-index binding after a mutation of its source tree.
+#[derive(Debug, Clone)]
+pub struct StaleIndexUse {
+    /// The binding's name.
+    pub name: String,
+    /// Line the binding was interned on.
+    pub bind_line: u32,
+    /// The receiver the index was produced from (e.g. `self.tree`).
+    pub receiver: String,
+    /// The producing method (e.g. `index_of`).
+    pub producer: String,
+    /// The mutating method that invalidated it (e.g. `remove`).
+    pub mutator: String,
+    /// Line of the mutation call.
+    pub mutate_line: u32,
+    /// Line of the offending use.
+    pub use_line: u32,
+    /// Token index of the offending use (for test-region checks).
+    pub token_index: usize,
+}
+
+/// A `.clone()` call on an RNG-stream binding.
+#[derive(Debug, Clone)]
+pub struct RngClone {
+    /// The cloned binding's name.
+    pub name: String,
+    /// Line of the `.clone()` call.
+    pub line: u32,
+    /// Token index of the `clone` identifier.
+    pub token_index: usize,
+}
+
+/// The findings of one scope-aware walk over a file.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// R5 candidates, in token order.
+    pub stale_uses: Vec<StaleIndexUse>,
+    /// R6 clone candidates, in token order.
+    pub rng_clones: Vec<RngClone>,
+}
+
+#[derive(Debug, Clone)]
+enum Provenance {
+    /// Produced by an index producer on `receiver`.
+    ArenaIndex { receiver: String, producer: String },
+    /// A `SimRng` stream (seeded, forked, or annotated).
+    Rng,
+}
+
+#[derive(Debug, Clone)]
+struct Binding {
+    name: String,
+    line: u32,
+    provenance: Provenance,
+    /// `Some((mutator, line))` once a mutation invalidated this binding.
+    stale: Option<(String, u32)>,
+    /// First token index *after* the invalidating call (uses inside the
+    /// mutation call's own argument list are not "after" it).
+    stale_after: usize,
+}
+
+/// Runs the scope-aware walk over a lexed file.
+#[must_use]
+pub fn analyze(lexed: &LexedFile) -> Analysis {
+    let toks = &lexed.tokens;
+    let mut out = Analysis::default();
+    // Innermost scope last; bindings shadow outer ones by name.
+    let mut scopes: Vec<Vec<Binding>> = vec![Vec::new()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let text = toks[i].text.as_str();
+        match text {
+            "{" => scopes.push(Vec::new()),
+            "}" => {
+                if scopes.len() > 1 {
+                    scopes.pop();
+                }
+            }
+            "let" => {
+                if let Some(parsed) = parse_let(toks, i) {
+                    bind(&mut scopes, parsed);
+                    // Re-scan the initializer normally (it may *use* other
+                    // bindings or call mutators) — only skip the pattern
+                    // tokens so the defined name is not read as a use.
+                    i = parsed_header_end(toks, i);
+                    continue;
+                }
+            }
+            _ => {
+                if toks[i].kind == TokenKind::Ident {
+                    handle_ident(toks, i, &mut scopes, &mut out);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A successfully parsed `let` header with a provenance the walker
+/// tracks (arena index or RNG stream).
+#[derive(Debug, Clone)]
+struct ParsedLet {
+    name: String,
+    name_idx: usize,
+    line: u32,
+    provenance: Provenance,
+}
+
+/// Parses `let [mut] name [: Ty] = init` and `let Some(name)/Ok(name) =
+/// init else/{`. Returns `None` for patterns this walker does not model
+/// (tuples, structs, plain declarations without initializer) and for
+/// initializers with no tracked provenance.
+fn parse_let(toks: &[Token], let_idx: usize) -> Option<ParsedLet> {
+    let mut j = let_idx + 1;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+        j += 1;
+    }
+    // Optional single-binding wrapper pattern: Some(x) / Ok(x).
+    let name_idx = if matches!(toks.get(j).map(|t| t.text.as_str()), Some("Some" | "Ok"))
+        && toks.get(j + 1).map(|t| t.text.as_str()) == Some("(")
+        && toks.get(j + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        && toks.get(j + 3).map(|t| t.text.as_str()) == Some(")")
+    {
+        let inner = if toks.get(j + 2).map(|t| t.text.as_str()) == Some("mut") {
+            return None; // `Some(mut x)` — rare; skip rather than mis-bind
+        } else {
+            j + 2
+        };
+        j += 4;
+        inner
+    } else if toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident) {
+        let n = j;
+        j += 1;
+        n
+    } else {
+        return None;
+    };
+    // Optional type annotation. Only an *exact* `: NodeIndex`/`: SimRng`
+    // annotation classifies the binding on its own — `Vec<NodeIndex>` and
+    // friends are containers whose elements this walker does not model.
+    let mut annotated_index = false;
+    let mut annotated_rng = false;
+    if toks.get(j).map(|t| t.text.as_str()) == Some(":") {
+        let ann_start = j + 1;
+        // Consume annotation tokens up to `=` / `;` at depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "=" if depth <= 0 => break,
+                ";" if depth <= 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        let ann = &toks[ann_start..j];
+        annotated_index = ann.len() == 1 && ann[0].text == "NodeIndex";
+        annotated_rng = ann.len() == 1 && ann[0].text == "SimRng";
+    }
+    if toks.get(j).map(|t| t.text.as_str()) != Some("=") {
+        return None;
+    }
+    let init_start = j + 1;
+    let init_end = init_extent(toks, init_start);
+    let init = &toks[init_start..init_end];
+    let provenance = if let Some((dot, producer)) = find_producer_call(init) {
+        // The receiver must be a plain dotted ident path; anything else
+        // (call results, indexing) is left untracked.
+        let receiver = receiver_path(toks, init_start + dot)?;
+        Provenance::ArenaIndex {
+            receiver,
+            producer: producer.to_string(),
+        }
+    } else if annotated_index {
+        // Annotated `: NodeIndex` with no visible producer call:
+        // conservatively tie to any mutated receiver.
+        Provenance::ArenaIndex {
+            receiver: "*".to_string(),
+            producer: "type annotation".to_string(),
+        }
+    } else if annotated_rng || init_is_rng(init) {
+        Provenance::Rng
+    } else {
+        return None;
+    };
+    Some(ParsedLet {
+        name: toks[name_idx].text.clone(),
+        name_idx,
+        line: toks[name_idx].line,
+        provenance,
+    })
+}
+
+/// First token index past the `let` pattern (so the walk resumes inside
+/// the initializer without re-reading the bound name as a use).
+fn parsed_header_end(toks: &[Token], let_idx: usize) -> usize {
+    let mut j = let_idx + 1;
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "=" if depth <= 0 => return j + 1,
+            ";" | "{" if depth <= 0 => return j, // malformed / no init
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// The initializer's token extent: up to `;`, `else`, or a block-opening
+/// `{` at depth 0 (covers plain `let`, `let … else`, and `if let`).
+fn init_extent(toks: &[Token], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" | "else" if depth <= 0 => return j,
+            "{" if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Finds the first `.producer(` call in the initializer; returns the
+/// offset of the `.` and the producer name.
+fn find_producer_call<'a>(init: &'a [Token]) -> Option<(usize, &'a str)> {
+    for (k, t) in init.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && INDEX_PRODUCERS.contains(&t.text.as_str())
+            && k >= 1
+            && init[k - 1].text == "."
+            && init.get(k + 1).map(|n| n.text.as_str()) == Some("(")
+        {
+            return Some((k - 1, t.text.as_str()));
+        }
+    }
+    None
+}
+
+/// Whether the initializer mints an RNG stream (`SimRng::seed_from`,
+/// `.fork(…)`, or a `seed_from`/`seed_from_u64` constructor call).
+fn init_is_rng(init: &[Token]) -> bool {
+    init.iter().enumerate().any(|(k, t)| {
+        t.kind == TokenKind::Ident
+            && match t.text.as_str() {
+                "seed_from" | "seed_from_u64" => {
+                    init.get(k + 1).map(|n| n.text.as_str()) == Some("(")
+                }
+                "fork" => {
+                    k >= 1
+                        && init[k - 1].text == "."
+                        && init.get(k + 1).map(|n| n.text.as_str()) == Some("(")
+                }
+                _ => false,
+            }
+    })
+}
+
+fn bind(scopes: &mut [Vec<Binding>], parsed: ParsedLet) {
+    let scope = scopes.last_mut().expect("scope stack never empty");
+    // Shadowing within the same scope replaces the old binding (and any
+    // staleness it carried) — shadowed re-interning is a fix, not a bug.
+    scope.retain(|b| b.name != parsed.name);
+    scope.push(Binding {
+        name: parsed.name,
+        line: parsed.line,
+        provenance: parsed.provenance,
+        stale: None,
+        stale_after: parsed.name_idx,
+    });
+}
+
+/// The dotted receiver path ending at the `.` at `dot` — e.g. for
+/// `self.tree.attach(…)` with `dot` on the second `.`, returns
+/// `"self.tree"`. `None` when the receiver is not a plain ident path
+/// (calls, indexing, parenthesized expressions).
+#[must_use]
+pub fn receiver_path(toks: &[Token], dot: usize) -> Option<String> {
+    if dot == 0 || toks[dot].text != "." {
+        return None;
+    }
+    let mut j = dot - 1;
+    if toks[j].kind != TokenKind::Ident {
+        return None;
+    }
+    let mut segments = vec![toks[j].text.as_str()];
+    while j >= 2 && toks[j - 1].text == "." && toks[j - 2].kind == TokenKind::Ident {
+        j -= 2;
+        segments.push(toks[j].text.as_str());
+    }
+    segments.reverse();
+    Some(segments.join("."))
+}
+
+/// Index one past the `)` matching the `(` at `open`.
+#[must_use]
+pub fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+fn lookup_mut<'a>(scopes: &'a mut [Vec<Binding>], name: &str) -> Option<&'a mut Binding> {
+    scopes
+        .iter_mut()
+        .rev()
+        .find_map(|scope| scope.iter_mut().rev().find(|b| b.name == name))
+}
+
+fn handle_ident(
+    toks: &[Token],
+    i: usize,
+    scopes: &mut Vec<Vec<Binding>>,
+    out: &mut Analysis,
+) {
+    let name = toks[i].text.as_str();
+    let is_method_call = i >= 1
+        && toks[i - 1].text == "."
+        && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(");
+
+    if is_method_call {
+        if TREE_MUTATORS.contains(&name) {
+            if let Some(receiver) = receiver_path(toks, i - 1) {
+                let after = matching_paren(toks, i + 1);
+                for scope in scopes.iter_mut() {
+                    for b in scope.iter_mut() {
+                        let matches = match &b.provenance {
+                            Provenance::ArenaIndex { receiver: r, .. } => {
+                                r == &receiver || r == "*"
+                            }
+                            Provenance::Rng => false,
+                        };
+                        if matches && b.stale.is_none() {
+                            b.stale = Some((name.to_string(), toks[i].line));
+                            b.stale_after = after;
+                        }
+                    }
+                }
+            }
+        } else if name == "clone" {
+            if let Some(receiver) = receiver_path(toks, i - 1) {
+                if !receiver.contains('.') {
+                    if let Some(b) = lookup_mut(scopes, &receiver) {
+                        if matches!(b.provenance, Provenance::Rng) {
+                            out.rng_clones.push(RngClone {
+                                name: receiver,
+                                line: toks[i].line,
+                                token_index: i,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+
+    // A plain occurrence of a tracked name: field access (`x.ix`) is not
+    // a use of the binding; a re-assignment re-interns it.
+    if i >= 1 && toks[i - 1].text == "." {
+        return;
+    }
+    let reassigned = toks.get(i + 1).map(|t| t.text.as_str()) == Some("=")
+        && toks.get(i + 2).map(|t| t.text.as_str()) != Some("=")
+        && !matches!(
+            toks.get(i.wrapping_sub(1)),
+            Some(p) if p.kind == TokenKind::Punct
+                && matches!(p.text.as_str(), "=" | "!" | "<" | ">")
+        );
+    let Some(b) = lookup_mut(scopes, name) else {
+        return;
+    };
+    if reassigned {
+        b.stale = None;
+        return;
+    }
+    if let Some((mutator, mutate_line)) = &b.stale {
+        if i > b.stale_after {
+            if let Provenance::ArenaIndex { receiver, producer } = &b.provenance {
+                out.stale_uses.push(StaleIndexUse {
+                    name: name.to_string(),
+                    bind_line: b.line,
+                    receiver: receiver.clone(),
+                    producer: producer.clone(),
+                    mutator: mutator.clone(),
+                    mutate_line: *mutate_line,
+                    use_line: toks[i].line,
+                    token_index: i,
+                });
+            }
+        }
+    }
+}

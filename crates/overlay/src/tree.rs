@@ -38,6 +38,7 @@
 //! produces byte-identical output to the id-keyed representation it
 //! replaced.
 
+// rom-lint: allow(send-hostile-state) -- RefCell is Send (only !Sync); the sweep engine moves each sim whole onto one worker, pinned by the Send assertion in rom-bench's sweep tests
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -54,17 +55,68 @@ use crate::member::MemberProfile;
 /// after which the slot may be reused for a different member. Index-based
 /// accessors (`*_ix`) skip the id→index map entirely, which is what makes
 /// the per-event hot paths allocation- and lookup-free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeIndex(u32);
+///
+/// Debug builds additionally stamp each index with the generation of the
+/// slot it was minted from; every `*_ix` accessor verifies the stamp, so
+/// an index held across a `remove`/`replace` panics at the first use
+/// instead of silently aliasing whichever member recycled the slot. The
+/// stamp (and every check) compiles out of release builds: there a
+/// `NodeIndex` is exactly a `u32`.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeIndex {
+    ix: u32,
+    /// The arena generation this index was minted under (debug only).
+    #[cfg(debug_assertions)]
+    generation: u32,
+}
+
+// Identity, ordering and hashing are over the slot number alone: the
+// debug-only generation stamp must never change what release builds
+// compare (NIL sentinels, stored parent/child links).
+impl PartialEq for NodeIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.ix == other.ix
+    }
+}
+
+impl Eq for NodeIndex {}
+
+impl PartialOrd for NodeIndex {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NodeIndex {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ix.cmp(&other.ix)
+    }
+}
+
+impl std::hash::Hash for NodeIndex {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.ix.hash(state);
+    }
+}
 
 impl NodeIndex {
     /// Sentinel for "no slot" (absent parent links, free-list markers).
-    const NIL: NodeIndex = NodeIndex(u32::MAX);
+    const NIL: NodeIndex = NodeIndex::mint(u32::MAX, 0);
+
+    /// An index for slot `ix` minted under `_generation` (the parameter
+    /// vanishes with the field in release builds).
+    const fn mint(ix: u32, _generation: u32) -> NodeIndex {
+        NodeIndex {
+            ix,
+            #[cfg(debug_assertions)]
+            generation: _generation,
+        }
+    }
 
     /// The raw slot number as a `usize` (for array indexing).
     #[must_use]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.ix as usize
     }
 }
 
@@ -79,6 +131,10 @@ struct TreeSlot {
     children: Vec<NodeIndex>,
     depth: usize,
     attached: bool,
+    /// Bumped each time the slot is freed, so indices minted before the
+    /// free are detectably stale (debug only; absent in release).
+    #[cfg(debug_assertions)]
+    generation: u32,
 }
 
 /// What [`MulticastTree::remove`] hands back.
@@ -164,6 +220,7 @@ pub struct MulticastTree {
     deepest: usize,
     /// Reusable frontier stack for `&self` walks (descendants,
     /// subtree_size); never held across a public call boundary.
+    // rom-lint: allow(send-hostile-state) -- interior mutability is confined to &self walks within one call; the tree stays Send because RefCell<Vec<_>> is Send
     scratch: RefCell<Vec<NodeIndex>>,
     /// Reusable frontier stack for `&mut self` depth restamps.
     restamp_buf: Vec<(NodeIndex, usize)>,
@@ -180,7 +237,7 @@ impl MulticastTree {
         assert!(stream_rate > 0.0, "stream rate must be positive");
         let root = source.id;
         let capacity = source.out_capacity(stream_rate);
-        let root_ix = NodeIndex(0);
+        let root_ix = NodeIndex::mint(0, 0);
         let slots = vec![TreeSlot {
             id: root,
             profile: source,
@@ -189,6 +246,8 @@ impl MulticastTree {
             children: Vec::new(),
             depth: 0,
             attached: true,
+            #[cfg(debug_assertions)]
+            generation: 0,
         }];
         let mut ids = BTreeMap::new();
         ids.insert(root, root_ix);
@@ -203,19 +262,46 @@ impl MulticastTree {
             orphan_roots: BTreeSet::new(),
             attached_total: 1,
             deepest: 0,
-            scratch: RefCell::new(Vec::new()),
+            scratch: RefCell::new(Vec::new()), // rom-lint: allow(send-hostile-state) -- constructor for the allowed scratch field above
             restamp_buf: Vec::new(),
         }
     }
 
     #[inline]
+    #[track_caller]
     fn s(&self, ix: NodeIndex) -> &TreeSlot {
+        self.check_generation(ix);
         &self.slots[ix.index()]
     }
 
     #[inline]
+    #[track_caller]
     fn sm(&mut self, ix: NodeIndex) -> &mut TreeSlot {
+        self.check_generation(ix);
         &mut self.slots[ix.index()]
+    }
+
+    /// Debug-only use-after-free check: every slot access through an
+    /// index verifies the index's generation stamp against the slot's
+    /// current generation. A mismatch means the slot was freed (and
+    /// possibly recycled for a different member) after the index was
+    /// minted. Compiles to nothing in release builds.
+    #[inline]
+    #[track_caller]
+    #[allow(unused_variables)] // `ix` is only consulted in debug builds
+    fn check_generation(&self, ix: NodeIndex) {
+        #[cfg(debug_assertions)]
+        {
+            let current = self.slots[ix.index()].generation;
+            assert!(
+                current == ix.generation,
+                "stale NodeIndex: slot {} is at generation {current} but this index was \
+                 minted at generation {} — the slot was freed (and possibly reused) since; \
+                 re-intern via index_of",
+                ix.index(),
+                ix.generation,
+            );
+        }
     }
 
     /// Takes a slot for a new member, recycling a freed one (and its child
@@ -229,8 +315,11 @@ impl MulticastTree {
         depth: usize,
         attached: bool,
     ) -> NodeIndex {
-        if let Some(ix) = self.free.pop() {
-            let slot = &mut self.slots[ix.index()];
+        if let Some(freed) = self.free.pop() {
+            // `freed` still carries its pre-free generation stamp, so it
+            // must not escape: access the slot by raw index and mint a
+            // fresh index at the slot's current generation.
+            let slot = &mut self.slots[freed.index()];
             slot.id = id;
             slot.profile = profile;
             slot.capacity = capacity;
@@ -238,13 +327,17 @@ impl MulticastTree {
             slot.children.clear();
             slot.depth = depth;
             slot.attached = attached;
+            #[cfg(debug_assertions)]
+            let ix = NodeIndex::mint(freed.ix, slot.generation);
+            #[cfg(not(debug_assertions))]
+            let ix = freed;
             ix
         } else {
             assert!(
                 self.slots.len() < NodeIndex::NIL.index(),
                 "tree arena exhausted the u32 index space"
             );
-            let ix = NodeIndex(self.slots.len() as u32);
+            let ix = NodeIndex::mint(self.slots.len() as u32, 0);
             self.slots.push(TreeSlot {
                 id,
                 profile,
@@ -253,6 +346,8 @@ impl MulticastTree {
                 children: Vec::new(),
                 depth,
                 attached,
+                #[cfg(debug_assertions)]
+                generation: 0,
             });
             ix
         }
@@ -267,6 +362,12 @@ impl MulticastTree {
         slot.parent = NodeIndex::NIL;
         slot.children.clear();
         slot.attached = false;
+        // Invalidate every outstanding index to this slot: uses before
+        // the slot is even recycled are just as stale as uses after.
+        #[cfg(debug_assertions)]
+        {
+            slot.generation = slot.generation.wrapping_add(1);
+        }
         self.free.push(ix);
     }
 
@@ -318,8 +419,10 @@ impl MulticastTree {
     ///
     /// # Panics
     ///
-    /// Panics if `ix` is out of bounds; returns a stale id if the slot was
-    /// freed — only pass indices obtained from this tree's current state.
+    /// Panics if `ix` is out of bounds. Debug builds also panic if the
+    /// slot was freed since `ix` was minted (generation check); release
+    /// builds return whatever id currently occupies the slot — only pass
+    /// indices obtained from this tree's current state.
     #[must_use]
     pub fn id_of(&self, ix: NodeIndex) -> NodeId {
         self.s(ix).id
@@ -1368,9 +1471,11 @@ impl MulticastTree {
             }
         }
 
-        // Freed slots carry no live state.
+        // Freed slots carry no live state. (Direct slot access: free-list
+        // entries intentionally carry stale generation stamps, so they
+        // must not go through the checked `s()` accessor.)
         for &f in &self.free {
-            let s = self.s(f);
+            let s = &self.slots[f.index()];
             if s.attached || !s.children.is_empty() || self.index_of(s.id) == Some(f) {
                 return fail(format!("freed slot {} still holds live state", f.index()));
             }
@@ -1831,10 +1936,13 @@ mod tests {
         let freed = t.index_of(NodeId(1)).unwrap();
         t.remove(NodeId(1)).unwrap();
         assert_eq!(t.index_of(NodeId(1)), None);
-        // The next insert recycles the freed slot.
+        // The next insert recycles the freed slot; the re-interned index
+        // points at the same raw slot (the old stamp is dead — using
+        // `freed` itself would trip the debug generation check).
         t.attach(profile(3, 2.0), NodeId(0)).unwrap();
-        assert_eq!(t.index_of(NodeId(3)), Some(freed));
-        assert_eq!(t.id_of(freed), NodeId(3));
+        let reused = t.index_of(NodeId(3)).unwrap();
+        assert_eq!(reused.index(), freed.index());
+        assert_eq!(t.id_of(reused), NodeId(3));
         assert_eq!(t.len(), 3);
         t.check_invariants().unwrap();
     }

@@ -103,9 +103,13 @@ pub fn attempt_audited(
 
     // The claim is consistent with the witnesses. Evaluate the §3.3
     // condition on the *witnessed* BTPs — never on self-reports.
-    let Some(parent) = tree.parent(child) else {
+    let Some(child_ix) = tree.index_of(child) else {
         return AuditedOutcome::Refused(AuditRefusal::ConditionNotMet);
     };
+    let Some(parent_ix) = tree.parent_ix(child_ix) else {
+        return AuditedOutcome::Refused(AuditRefusal::ConditionNotMet);
+    };
+    let parent = tree.id_of(parent_ix);
     if parent == tree.root() {
         return AuditedOutcome::Refused(AuditRefusal::ConditionNotMet);
     }
@@ -115,8 +119,7 @@ pub fn attempt_audited(
     // The parent's own standing: witnessed where possible, profile
     // otherwise (the parent is not the one requesting promotion, so the
     // incentive to inflate is absent — §3.4's collusion argument).
-    // rom-lint: allow(panic-sites) -- `parent` was just returned by tree.parent(child), so its profile exists
-    let parent_profile = tree.profile(parent).expect("parent exists");
+    let parent_profile = tree.profile_ix(parent_ix);
     let parent_btp = registry
         .witnessed_btp(parent, now, is_live)
         .unwrap_or_else(|| Btp::of(parent_profile, now));

@@ -62,7 +62,7 @@ fn main() {
 
     // ...and runs Algorithm 1 to pick a minimum-loss-correlation recovery
     // group, excluding itself and its own ancestors.
-    let mut rng = SimRng::seed_from(7);
+    let mut rng = SimRng::seed_from(7).fork("mlc-demo");
     let mut exclude = tree.ancestors(me);
     exclude.push(me);
     let group_members = find_mlc_group(&partial, 3, &MlcOptions { exclude }, &mut rng);
