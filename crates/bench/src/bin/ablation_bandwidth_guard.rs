@@ -7,7 +7,7 @@
 //! switching overhead rises and the tree loses bandwidth ordering (taller,
 //! slower), for no reliability gain.
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
 use rom_engine::AlgorithmKind;
 
 fn main() {
@@ -32,7 +32,9 @@ fn main() {
         ])
     );
     for (name, guard) in [("guarded (paper)", true), ("unguarded", false)] {
-        let reports = replicate_churn(
+        // --trace/--profile capture the paper (guarded) variant.
+        let reports = replicate_churn_traced(
+            "ablation_a2_guarded",
             |seed| {
                 let mut cfg = churn_config(AlgorithmKind::Rost, size, seed);
                 if !guard {
@@ -41,6 +43,7 @@ fn main() {
                 cfg
             },
             scale,
+            scale.sidecars().when(guard),
         );
         println!(
             "{}",

@@ -5,7 +5,7 @@
 //! fraction to show how cooperative departures shrink the problem ROST
 //! solves — and that ROST still wins on whatever abrupt remainder exists.
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
 use rom_engine::AlgorithmKind;
 
 fn main() {
@@ -21,15 +21,21 @@ fn main() {
         "{}",
         row(["graceful_%".into(), "min-depth".into(), "rost".into()])
     );
-    for graceful in [0.0, 0.25, 0.5, 0.75, 1.0] {
+    for graceful in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        // --trace/--profile capture the all-abrupt ROST point (the
+        // paper's extreme case).
         let run = |alg: AlgorithmKind| {
-            replicate_churn(
+            replicate_churn_traced(
+                "ablation_a3_abrupt_rost",
                 |seed| {
                     let mut cfg = churn_config(alg, size, seed);
                     cfg.graceful_fraction = graceful;
                     cfg
                 },
                 scale,
+                scale
+                    .sidecars()
+                    .when(graceful.to_bits() == (0.0f64).to_bits() && alg == AlgorithmKind::Rost),
             )
         };
         println!(

@@ -7,7 +7,7 @@
 //! for uniform random selection at equal group sizes, keeping everything
 //! else fixed.
 
-use rom_bench::{banner, fmt, mean_over, replicate_streaming, row, Scale};
+use rom_bench::{banner, fmt, mean_over, replicate_streaming_traced, row, Scale};
 use rom_engine::{AlgorithmKind, ChurnConfig, GroupSelection, StreamingConfig};
 
 fn main() {
@@ -29,8 +29,10 @@ fn main() {
         ])
     );
     for k in 1..=4usize {
+        // --trace/--profile capture the MLC K=1 cell.
         let run = |selection: GroupSelection| {
-            replicate_streaming(
+            replicate_streaming_traced(
+                "ablation_a1_mlc_k1",
                 |seed| {
                     let mut cfg = StreamingConfig::paper(
                         ChurnConfig::paper(AlgorithmKind::MinimumDepth, size).with_seed(seed),
@@ -40,6 +42,9 @@ fn main() {
                     cfg
                 },
                 scale,
+                scale
+                    .sidecars()
+                    .when(k == 1 && selection == GroupSelection::MinimumLossCorrelation),
             )
         };
         let mlc = mean_over(&run(GroupSelection::MinimumLossCorrelation), |r| {

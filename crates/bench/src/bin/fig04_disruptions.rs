@@ -24,14 +24,15 @@ fn main() {
         let mut population = 0.0;
         let mut values = Vec::new();
         for alg in AlgorithmKind::ALL {
-            // --trace captures the smallest ROST point (smallest trace).
+            // --trace/--profile capture the smallest ROST point
+            // (smallest artifacts).
             let reports = replicate_churn_traced(
                 "fig04_rost_smallest",
                 |seed| churn_config(alg, size, seed),
                 scale,
                 scale
-                    .trace
-                    .filter(|_| alg == AlgorithmKind::Rost && size == smallest),
+                    .sidecars()
+                    .when(alg == AlgorithmKind::Rost && size == smallest),
             );
             population = mean_over(&reports, |r| r.population.mean());
             values.push(fmt(mean_over(&reports, |r| {

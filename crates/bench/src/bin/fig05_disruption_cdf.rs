@@ -4,7 +4,7 @@
 //! Expected shape: ROST's CDF dominates (shifted left — most members see
 //! few disruptions); min-depth/longest-first have long right tails.
 
-use rom_bench::{banner, churn_config, fmt, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, replicate_churn_traced, row, Scale};
 use rom_engine::AlgorithmKind;
 use rom_stats::Ecdf;
 
@@ -18,11 +18,17 @@ fn main() {
     let size = scale.focus_size();
     println!("# focus size: {size} members");
 
-    // One pooled ECDF per algorithm across all seeds.
+    // One pooled ECDF per algorithm across all seeds; --trace/--profile
+    // capture the ROST run at the focus size.
     let cdfs: Vec<(AlgorithmKind, Ecdf)> = AlgorithmKind::ALL
         .into_iter()
         .map(|alg| {
-            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale);
+            let reports = replicate_churn_traced(
+                "fig05_rost_focus",
+                |seed| churn_config(alg, size, seed),
+                scale,
+                scale.sidecars().when(alg == AlgorithmKind::Rost),
+            );
             let samples = reports
                 .iter()
                 .flat_map(|r| r.disruption_counts.iter().copied());

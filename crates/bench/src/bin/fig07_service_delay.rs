@@ -4,7 +4,7 @@
 //! of the three distributed algorithms; centralized relaxed-BO the global
 //! best with ROST within tens of percent.
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
 use rom_engine::AlgorithmKind;
 
 fn main() {
@@ -17,10 +17,19 @@ fn main() {
     let mut header = vec!["size".to_string()];
     header.extend(AlgorithmKind::ALL.iter().map(|a| a.name().to_string()));
     println!("{}", row(header));
+    let smallest = scale.sizes()[0];
     for size in scale.sizes() {
         let mut cells = vec![size.to_string()];
         for alg in AlgorithmKind::ALL {
-            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale);
+            // --trace/--profile capture the smallest ROST point.
+            let reports = replicate_churn_traced(
+                "fig07_rost_smallest",
+                |seed| churn_config(alg, size, seed),
+                scale,
+                scale
+                    .sidecars()
+                    .when(alg == AlgorithmKind::Rost && size == smallest),
+            );
             cells.push(fmt(mean_over(&reports, |r| r.service_delay_ms.mean())));
         }
         println!("{}", row(cells));

@@ -1,7 +1,7 @@
 //! Figure 8: average network stretch (overlay delay / unicast delay) vs
 //! network size. Same expected ordering as Figure 7.
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
 use rom_engine::AlgorithmKind;
 
 fn main() {
@@ -14,10 +14,19 @@ fn main() {
     let mut header = vec!["size".to_string()];
     header.extend(AlgorithmKind::ALL.iter().map(|a| a.name().to_string()));
     println!("{}", row(header));
+    let smallest = scale.sizes()[0];
     for size in scale.sizes() {
         let mut cells = vec![size.to_string()];
         for alg in AlgorithmKind::ALL {
-            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale);
+            // --trace/--profile capture the smallest ROST point.
+            let reports = replicate_churn_traced(
+                "fig08_rost_smallest",
+                |seed| churn_config(alg, size, seed),
+                scale,
+                scale
+                    .sidecars()
+                    .when(alg == AlgorithmKind::Rost && size == smallest),
+            );
             cells.push(fmt(mean_over(&reports, |r| r.stretch.mean())));
         }
         println!("{}", row(cells));

@@ -5,7 +5,7 @@
 //! BO/TO substantial (evictions); ROST far below one reconnection per
 //! lifetime.
 
-use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn, row, Scale};
+use rom_bench::{banner, churn_config, fmt, mean_over, replicate_churn_traced, row, Scale};
 use rom_engine::AlgorithmKind;
 
 fn main() {
@@ -18,10 +18,19 @@ fn main() {
     let mut header = vec!["size".to_string()];
     header.extend(AlgorithmKind::ALL.iter().map(|a| a.name().to_string()));
     println!("{}", row(header));
+    let smallest = scale.sizes()[0];
     for size in scale.sizes() {
         let mut cells = vec![size.to_string()];
         for alg in AlgorithmKind::ALL {
-            let reports = replicate_churn(|seed| churn_config(alg, size, seed), scale);
+            // --trace/--profile capture the smallest ROST point.
+            let reports = replicate_churn_traced(
+                "fig10_rost_smallest",
+                |seed| churn_config(alg, size, seed),
+                scale,
+                scale
+                    .sidecars()
+                    .when(alg == AlgorithmKind::Rost && size == smallest),
+            );
             cells.push(fmt(mean_over(&reports, |r| {
                 r.reconnections_per_lifetime.mean()
             })));

@@ -28,7 +28,8 @@ fn main() {
     for size in scale.sizes() {
         let mut cells = vec![size.to_string()];
         for k in 1..=4usize {
-            // --trace captures the smallest K=1 point (smallest trace).
+            // --trace/--profile capture the smallest K=1 point (smallest
+            // artifacts).
             let reports = replicate_streaming_traced(
                 "fig12_k1_smallest",
                 |seed| {
@@ -38,7 +39,7 @@ fn main() {
                     )
                 },
                 scale,
-                scale.trace.filter(|_| k == 1 && size == smallest),
+                scale.sidecars().when(k == 1 && size == smallest),
             );
             cells.push(fmt(mean_over(&reports, |r| {
                 r.starving_ratio_percent.mean()

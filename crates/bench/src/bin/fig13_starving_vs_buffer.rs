@@ -4,7 +4,7 @@
 //! Expected shape: larger buffers help, but adding one recovery node is
 //! worth tens of seconds of buffer (K=2 at 5 s ≈ K=1 at ~27 s).
 
-use rom_bench::{banner, fmt, mean_over, replicate_streaming, row, Scale};
+use rom_bench::{banner, fmt, mean_over, replicate_streaming_traced, row, Scale};
 use rom_engine::{AlgorithmKind, ChurnConfig, StreamingConfig};
 
 fn main() {
@@ -20,10 +20,13 @@ fn main() {
         "{}",
         row(["buffer_s".into(), "K=1".into(), "K=2".into(), "K=3".into()])
     );
-    for buffer in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+    for buffer in [5.0f64, 10.0, 15.0, 20.0, 25.0, 30.0] {
         let mut cells = vec![fmt(buffer)];
         for k in 1..=3usize {
-            let reports = replicate_streaming(
+            // --trace/--profile capture the hardest cell: the smallest
+            // buffer with a single recovery source.
+            let reports = replicate_streaming_traced(
+                "fig13_buffer5_k1",
                 |seed| {
                     let mut cfg = StreamingConfig::paper(
                         ChurnConfig::paper(AlgorithmKind::MinimumDepth, size).with_seed(seed),
@@ -33,6 +36,7 @@ fn main() {
                     cfg
                 },
                 scale,
+                scale.sidecars().when(buffer.to_bits() == (5.0f64).to_bits() && k == 1),
             );
             cells.push(fmt(mean_over(&reports, |r| {
                 r.starving_ratio_percent.mean()

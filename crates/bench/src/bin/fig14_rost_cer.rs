@@ -40,7 +40,8 @@ fn main() {
             },
             scale,
         ));
-        // --trace captures the flagship configuration: ROST+CER at K=1.
+        // --trace/--profile capture the flagship configuration:
+        // ROST+CER at K=1.
         let rost_cer = pooled(replicate_streaming_traced(
             "fig14_rost_cer_k1",
             |seed| {
@@ -50,7 +51,7 @@ fn main() {
                 )
             },
             scale,
-            scale.trace.filter(|_| k == 1),
+            scale.sidecars().when(k == 1),
         ));
         println!(
             "{}",

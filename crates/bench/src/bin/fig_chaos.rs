@@ -7,20 +7,24 @@
 //! scheduled mid-measurement so warmup equilibrium is undisturbed.
 //!
 //! ```text
-//! fig_chaos --scenario <name> --seed <n> [--paper] [--jobs N] [--trace PATH]
+//! fig_chaos --scenario <name> --seed <n> [--paper] [--jobs N] [--trace PATH] [--profile PATH]
 //! fig_chaos --list
 //! ```
 //!
 //! With `--trace`, the run's JSONL trace lands at `PATH` with the
-//! aggregate manifest at `PATH.manifest.json` and the metrics snapshot
-//! at `PATH.metrics.json` (the same merged-sweep format every figure
+//! aggregate manifest at `PATH.manifest.json`, the metrics snapshot at
+//! `PATH.metrics.json` and the per-member health timeline at
+//! `PATH.health.jsonl` (the same merged-sweep format every figure
 //! binary writes); invariant violations appear in the trace as
-//! `chaos`-subsystem error events.
+//! `chaos`-subsystem error events. With `--profile`, the run's span
+//! profile (the only artifact carrying wall-clock time) lands at the
+//! given path.
 
 use rom_bench::{default_jobs, run_manifest, CellOut, CellTrace, Sweep};
 use rom_chaos::{InvariantRegistry, Scenario};
 use rom_engine::{AlgorithmKind, ChurnConfig, StreamingConfig, StreamingSim};
-use rom_obs::{fnv1a, JsonlSink, Obs, SharedBuffer, Tracer};
+use rom_obs::{fnv1a, HealthSink, JsonlSink, Obs, Prof, SharedBuffer, Tracer};
+use std::time::Instant;
 
 struct Args {
     scenario: String,
@@ -28,11 +32,12 @@ struct Args {
     paper: bool,
     jobs: usize,
     trace: Option<String>,
+    profile: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig_chaos [--scenario NAME] [--seed N] [--paper] [--jobs N] [--trace PATH] [--list]"
+        "usage: fig_chaos [--scenario NAME] [--seed N] [--paper] [--jobs N] [--trace PATH] [--profile PATH] [--list]"
     );
     std::process::exit(2)
 }
@@ -44,6 +49,7 @@ fn parse_args() -> Args {
         paper: false,
         jobs: default_jobs(),
         trace: None,
+        profile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +70,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--trace" => parsed.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => parsed.profile = Some(args.next().unwrap_or_else(|| usage())),
             "--list" => {
                 for name in Scenario::NAMES {
                     println!("{name}");
@@ -112,31 +119,45 @@ fn main() {
     // artifacts merge and land exactly like every other binary's.
     let mut out = Sweep::with_jobs(args.jobs).run(1, 1, |_cell| {
         let registry = InvariantRegistry::with_all();
-        if args.trace.is_some() {
+        let (obs, pipe) = if args.trace.is_some() {
             let buffer = SharedBuffer::new();
-            let obs = Obs::new(Tracer::to_sink(Box::new(JsonlSink::new(buffer.clone()))));
-            let (report, registry, obs) = StreamingSim::new(cfg.clone()).run_checked(registry, obs);
-            let trace = CellTrace {
-                jsonl: buffer.contents(),
-                metrics_json: obs.snapshot().to_json(),
-                manifest: run_manifest(
-                    &name,
-                    args.seed,
-                    config_digest,
-                    &obs,
-                    report.events_processed(),
-                    report.outcome(),
-                ),
-            };
-            CellOut {
-                report: (report, registry),
-                warnings: Vec::new(),
-                trace: Some(trace),
-            }
+            let (sink, health) = HealthSink::new(JsonlSink::new(buffer.clone()));
+            let obs = Obs::new(Tracer::to_sink(Box::new(sink)));
+            (obs, Some((buffer, health)))
         } else {
-            let (report, registry, _obs) =
-                StreamingSim::new(cfg.clone()).run_checked(registry, Obs::metrics_only());
-            CellOut::plain((report, registry))
+            (Obs::metrics_only(), None)
+        };
+        let prof = if args.profile.is_some() {
+            Prof::enabled()
+        } else {
+            Prof::disabled()
+        };
+        let started = Instant::now();
+        let (report, registry, obs) =
+            StreamingSim::new(cfg.clone()).run_checked(registry, obs.with_prof(prof));
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let trace = pipe.map(|(buffer, health)| CellTrace {
+            jsonl: buffer.contents(),
+            metrics_json: obs.snapshot().to_json(),
+            manifest: run_manifest(
+                &name,
+                args.seed,
+                config_digest,
+                &obs,
+                report.events_processed(),
+                report.outcome(),
+            ),
+            health: Some(health.to_jsonl()),
+        });
+        let profile = obs
+            .prof()
+            .report()
+            .map(|r| r.to_json(&name, args.seed, report.events_processed(), wall_ns));
+        CellOut {
+            report: (report, registry),
+            warnings: Vec::new(),
+            trace,
+            profile,
         }
     });
     // The grid is 1×1, so its cell coordinates carry no information;
@@ -146,6 +167,9 @@ fn main() {
     }
     if let Some(path) = args.trace.as_deref() {
         out.write_trace(path, &name);
+    }
+    if let Some(path) = args.profile.as_deref() {
+        out.write_profile(path);
     }
     let (report, registry) = out
         .into_single_point()

@@ -11,17 +11,16 @@
 //!
 //! Each algorithm's replicate sweep is one timed *phase*; the machine-
 //! readable perf baseline — wall time per phase, events/second, and the
-//! exact peak event-queue depth (`sim.queue_high_water`) — is written to
-//! `BENCH_headline.json` in the working directory. Timing never touches
-//! stdout, so the printed table stays byte-identical across runs and
-//! `--jobs` values.
+//! exact peak event-queue depth (`ChurnReport::queue_high_water`) — is
+//! written to `BENCH_headline.json` in the working directory. Timing
+//! never touches stdout, so the printed table stays byte-identical
+//! across runs and `--jobs` values.
 
 use rom_bench::{
-    banner, churn_config, fmt, mean_over, row, traced_churn_cell, truncation_warning, CellOut,
-    Scale, QUEUE_HIGH_WATER_GAUGE,
+    banner, churn_config, fmt, instrumented_churn_cell, mean_over, row, truncation_warning,
+    write_sidecars, CellOut, Scale,
 };
-use rom_engine::{AlgorithmKind, ChurnReport, ChurnSim};
-use rom_obs::{MetricsSnapshot, Obs};
+use rom_engine::{AlgorithmKind, ChurnReport};
 use std::time::Instant;
 
 /// The perf-baseline record of one algorithm's replicate sweep.
@@ -30,13 +29,6 @@ struct Phase {
     wall_secs: f64,
     events: u64,
     peak_queue: f64,
-}
-
-/// The `sim.queue_high_water` peak of one run (0 when never recorded).
-fn queue_peak(metrics: &MetricsSnapshot) -> f64 {
-    metrics
-        .gauge(QUEUE_HIGH_WATER_GAUGE)
-        .map_or(0.0, |g| g.high_water)
 }
 
 /// Times a fixed single-core integer spin, in ns per iteration.
@@ -68,39 +60,37 @@ fn main() {
     let size = scale.focus_size();
     println!("# focus size: {size} members\n");
 
-    // One timed phase per algorithm. Cells run under metrics-only
-    // observation so the queue high-water gauge is captured; --trace
-    // captures the seed-1 ROST run (the algorithm the claims are about).
+    // One timed phase per algorithm. The exact queue peak rides on every
+    // report; --trace/--profile capture the seed-1 ROST run (the
+    // algorithm the claims are about).
     let run = |alg: AlgorithmKind| -> (Vec<ChurnReport>, Phase) {
-        let traced = scale.trace.filter(|_| alg == AlgorithmKind::Rost);
+        let sidecars = scale.sidecars().when(alg == AlgorithmKind::Rost);
         let started = Instant::now();
         let out = scale.sweep().run(1, scale.seeds, |cell| {
             let cfg = churn_config(alg, size, cell.seed);
-            let (report, peak, trace) = if traced.is_some() && cell.seed == 1 {
-                let (report, metrics, artifacts) =
-                    traced_churn_cell("headline_claims_rost", cfg, cell.seed);
-                (report, queue_peak(&metrics), Some(artifacts))
-            } else {
-                let (report, obs) = ChurnSim::new(cfg).run_with_obs(Obs::metrics_only());
-                let peak = queue_peak(&obs.snapshot());
-                (report, peak, None)
-            };
+            let (report, trace, profile) = instrumented_churn_cell(
+                "headline_claims_rost",
+                cfg,
+                cell.seed,
+                sidecars.when(cell.seed == 1),
+            );
             CellOut {
                 warnings: truncation_warning("headline_claims", cell.seed, report.outcome)
                     .into_iter()
                     .collect(),
-                report: (report, peak),
+                report,
                 trace,
+                profile,
             }
         });
         let wall_secs = started.elapsed().as_secs_f64();
-        if let Some(path) = traced {
-            out.write_trace(path, "headline_claims_rost");
-        }
-        let cells = out.into_single_point();
-        let events = cells.iter().map(|(r, _)| r.events_processed).sum();
-        let peak_queue = cells.iter().map(|&(_, p)| p).fold(0.0, f64::max);
-        let reports = cells.into_iter().map(|(r, _)| r).collect();
+        write_sidecars(&out, "headline_claims_rost", sidecars);
+        let reports: Vec<ChurnReport> = out.into_single_point();
+        let events = reports.iter().map(|r| r.events_processed).sum();
+        let peak_queue = reports
+            .iter()
+            .map(|r| r.queue_high_water as f64)
+            .fold(0.0, f64::max);
         let phase = Phase {
             name: alg.name(),
             wall_secs,

@@ -17,23 +17,30 @@
 //! - `--trace PATH` — write a structured JSONL trace of one designated
 //!   run (binary-specific; typically the flagship configuration at seed
 //!   1) to `PATH`, with the aggregate [`rom_obs::SweepManifest`] at
-//!   `PATH.manifest.json` and the metrics snapshots at
-//!   `PATH.metrics.json`. Traces are deterministic: same seed, same
-//!   bytes — regardless of `--jobs`.
+//!   `PATH.manifest.json`, the metrics snapshots at `PATH.metrics.json`
+//!   and the per-member health timelines at `PATH.health.jsonl`. Traces
+//!   are deterministic: same seed, same bytes — regardless of `--jobs`.
+//! - `--profile PATH` — record a hierarchical span profile of the same
+//!   designated run and write it to `PATH` (conventionally
+//!   `*.profile.json`). The profile carries wall-clock numbers and is the
+//!   **only** artifact allowed to: stdout, traces, manifests and metrics
+//!   stay byte-identical whether or not profiling is on.
 
+mod jsonv;
 mod sweep;
 
+pub use jsonv::Json;
 pub use sweep::{CellId, CellOut, CellTrace, Sweep, SweepOutput};
 
 use rom_engine::{AlgorithmKind, ChurnConfig, ChurnSim, StreamingConfig, StreamingSim};
 use rom_engine::{ChurnReport, StreamingReport};
-use rom_obs::{fnv1a, JsonlSink, MetricsSnapshot, Obs, RunManifest, SharedBuffer, Tracer};
+use rom_obs::{
+    fnv1a, HealthHandle, HealthSink, JsonlSink, MetricsSnapshot, Obs, Prof, RunManifest,
+    SharedBuffer, Tracer,
+};
 use rom_sim::RunOutcome;
 use rom_stats::Summary;
-
-/// The gauge under which the engine records the exact peak event-queue
-/// depth of a run (see `run_inner` in `rom-engine`).
-pub const QUEUE_HIGH_WATER_GAUGE: &str = "sim.queue_high_water";
+use std::time::Instant;
 
 /// Scale and replication options shared by every figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +55,9 @@ pub struct Scale {
     /// JSONL trace output path (`--trace PATH`); tracing is off when
     /// `None`. Leaked to `'static` so `Scale` stays `Copy`.
     pub trace: Option<&'static str>,
+    /// Span-profile output path (`--profile PATH`); profiling is off when
+    /// `None`. Leaked to `'static` so `Scale` stays `Copy`.
+    pub profile: Option<&'static str>,
 }
 
 impl Scale {
@@ -61,6 +71,7 @@ impl Scale {
             seeds: 3,
             jobs: default_jobs(),
             trace: None,
+            profile: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -85,6 +96,10 @@ impl Scale {
                     let path = args.next().unwrap_or_else(|| usage());
                     scale.trace = Some(Box::leak(path.into_boxed_str()));
                 }
+                "--profile" => {
+                    let path = args.next().unwrap_or_else(|| usage());
+                    scale.profile = Some(Box::leak(path.into_boxed_str()));
+                }
                 "--help" | "-h" => usage(),
                 _ => usage(),
             }
@@ -96,6 +111,17 @@ impl Scale {
     #[must_use]
     pub fn sweep(self) -> Sweep {
         Sweep::with_jobs(self.jobs)
+    }
+
+    /// The sidecar requests (`--trace`/`--profile`) of this invocation,
+    /// for handing to [`replicate_churn_traced`] /
+    /// [`replicate_streaming_traced`] or an [`instrumented_churn_cell`].
+    #[must_use]
+    pub fn sidecars(self) -> Sidecars {
+        Sidecars {
+            trace: self.trace,
+            profile: self.profile,
+        }
     }
 
     /// The steady-state sizes swept by the size-axis figures
@@ -139,8 +165,48 @@ pub fn default_jobs() -> usize {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: <figure-binary> [--paper] [--seeds N] [--jobs N] [--trace PATH]");
+    eprintln!(
+        "usage: <figure-binary> [--paper] [--seeds N] [--jobs N] [--trace PATH] [--profile PATH]"
+    );
     std::process::exit(2)
+}
+
+/// Sidecar outputs requested for a binary's designated instrumented run
+/// — the shared `--trace`/`--profile` handling every figure binary goes
+/// through instead of plumbing two `Option`s per call site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sidecars {
+    /// JSONL trace destination (plus `.manifest.json`, `.metrics.json`
+    /// and `.health.jsonl` siblings).
+    pub trace: Option<&'static str>,
+    /// Span-profile destination (wall-clock numbers live only here).
+    pub profile: Option<&'static str>,
+}
+
+impl Sidecars {
+    /// No sidecars requested.
+    #[must_use]
+    pub fn none() -> Self {
+        Sidecars::default()
+    }
+
+    /// True when at least one sidecar was requested.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.trace.is_some() || self.profile.is_some()
+    }
+
+    /// These sidecars when `designated` is true, none otherwise — for
+    /// binaries that replicate several configurations and must attach the
+    /// sidecars to exactly one of them.
+    #[must_use]
+    pub fn when(self, designated: bool) -> Self {
+        if designated {
+            self
+        } else {
+            Sidecars::none()
+        }
+    }
 }
 
 /// The §5 churn configuration for one data point.
@@ -156,7 +222,7 @@ pub fn replicate_churn(
     make: impl Fn(u64) -> ChurnConfig + Sync,
     scale: Scale,
 ) -> Vec<ChurnReport> {
-    replicate_churn_traced("churn", make, scale, None)
+    replicate_churn_traced("churn", make, scale, Sidecars::none())
 }
 
 /// Runs one streaming configuration per seed (in parallel over
@@ -166,74 +232,163 @@ pub fn replicate_streaming(
     make: impl Fn(u64) -> StreamingConfig + Sync,
     scale: Scale,
 ) -> Vec<StreamingReport> {
-    replicate_streaming_traced("streaming", make, scale, None)
+    replicate_streaming_traced("streaming", make, scale, Sidecars::none())
 }
 
-/// Like [`replicate_churn`], but traces the seed-1 run to `trace` when
-/// set: the merged JSONL lands at the path with its aggregate manifest
-/// and metrics sidecars (see [`SweepOutput::write_trace`]). `name`
-/// labels the run in its manifest.
+/// Like [`replicate_churn`], but instruments the seed-1 run with the
+/// requested sidecars: the merged trace JSONL lands at `sidecars.trace`
+/// with its aggregate manifest, metrics and health siblings (see
+/// [`SweepOutput::write_trace`]), and the span profile at
+/// `sidecars.profile` (see [`SweepOutput::write_profile`]). `name`
+/// labels the run in its manifest and profile.
 #[must_use]
 pub fn replicate_churn_traced(
     name: &str,
     make: impl Fn(u64) -> ChurnConfig + Sync,
     scale: Scale,
-    trace: Option<&str>,
+    sidecars: Sidecars,
 ) -> Vec<ChurnReport> {
     let out = scale.sweep().run(1, scale.seeds, |cell| {
         let cfg = make(cell.seed);
-        let (report, trace) = match trace.filter(|_| cell.seed == 1) {
-            Some(_) => {
-                let (report, _metrics, artifacts) = traced_churn_cell(name, cfg, cell.seed);
-                (report, Some(artifacts))
-            }
-            None => (ChurnSim::new(cfg).run(), None),
-        };
+        let (report, trace, profile) =
+            instrumented_churn_cell(name, cfg, cell.seed, sidecars.when(cell.seed == 1));
         CellOut {
             warnings: truncation_warning(name, cell.seed, report.outcome)
                 .into_iter()
                 .collect(),
             report,
             trace,
+            profile,
         }
     });
-    if let Some(path) = trace {
-        out.write_trace(path, name);
-    }
+    write_sidecars(&out, name, sidecars);
     out.into_single_point()
 }
 
-/// Like [`replicate_streaming`], but traces the seed-1 run to `trace`
-/// when set (see [`replicate_churn_traced`]). `name` labels the run in
-/// its manifest.
+/// Like [`replicate_streaming`], but instruments the seed-1 run with the
+/// requested sidecars (see [`replicate_churn_traced`]). `name` labels
+/// the run in its manifest and profile.
 #[must_use]
 pub fn replicate_streaming_traced(
     name: &str,
     make: impl Fn(u64) -> StreamingConfig + Sync,
     scale: Scale,
-    trace: Option<&str>,
+    sidecars: Sidecars,
 ) -> Vec<StreamingReport> {
     let out = scale.sweep().run(1, scale.seeds, |cell| {
         let cfg = make(cell.seed);
-        let (report, trace) = match trace.filter(|_| cell.seed == 1) {
-            Some(_) => {
-                let (report, _metrics, artifacts) = traced_streaming_cell(name, cfg, cell.seed);
-                (report, Some(artifacts))
-            }
-            None => (StreamingSim::new(cfg).run(), None),
-        };
+        let (report, trace, profile) =
+            instrumented_streaming_cell(name, cfg, cell.seed, sidecars.when(cell.seed == 1));
         CellOut {
             warnings: truncation_warning(name, cell.seed, report.outcome())
                 .into_iter()
                 .collect(),
             report,
             trace,
+            profile,
         }
     });
-    if let Some(path) = trace {
+    write_sidecars(&out, name, sidecars);
+    out.into_single_point()
+}
+
+/// Writes whatever sidecars a finished sweep carries to the requested
+/// paths.
+pub fn write_sidecars<R>(out: &SweepOutput<R>, name: &str, sidecars: Sidecars) {
+    if let Some(path) = sidecars.trace {
         out.write_trace(path, name);
     }
-    out.into_single_point()
+    if let Some(path) = sidecars.profile {
+        out.write_profile(path);
+    }
+}
+
+/// Runs one churn configuration with the requested instrumentation and
+/// returns the report plus the optional trace artifacts and profile
+/// JSON. With `Sidecars::none()` this is exactly the plain run — the
+/// disabled observability and profiling paths are allocation-free.
+#[must_use]
+pub fn instrumented_churn_cell(
+    name: &str,
+    cfg: ChurnConfig,
+    seed: u64,
+    sidecars: Sidecars,
+) -> (ChurnReport, Option<CellTrace>, Option<String>) {
+    let digest = fnv1a(format!("{cfg:?}").as_bytes());
+    let (obs, pipe) = instrumented_obs(sidecars);
+    let started = Instant::now();
+    let (report, obs) = ChurnSim::new(cfg).run_with_obs(obs);
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let trace = pipe.as_ref().map(|(buffer, health)| {
+        cell_artifacts(
+            name,
+            seed,
+            digest,
+            &obs,
+            buffer,
+            health.to_jsonl(),
+            report.events_processed,
+            report.outcome,
+        )
+    });
+    let profile = obs
+        .prof()
+        .report()
+        .map(|r| r.to_json(name, seed, report.events_processed, wall_ns));
+    (report, trace, profile)
+}
+
+/// Streaming variant of [`instrumented_churn_cell`].
+#[must_use]
+pub fn instrumented_streaming_cell(
+    name: &str,
+    cfg: StreamingConfig,
+    seed: u64,
+    sidecars: Sidecars,
+) -> (StreamingReport, Option<CellTrace>, Option<String>) {
+    let digest = fnv1a(format!("{cfg:?}").as_bytes());
+    let (obs, pipe) = instrumented_obs(sidecars);
+    let started = Instant::now();
+    let (report, obs) = StreamingSim::new(cfg).run_with_obs(obs);
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let trace = pipe.as_ref().map(|(buffer, health)| {
+        cell_artifacts(
+            name,
+            seed,
+            digest,
+            &obs,
+            buffer,
+            health.to_jsonl(),
+            report.events_processed(),
+            report.outcome(),
+        )
+    });
+    let profile = obs
+        .prof()
+        .report()
+        .map(|r| r.to_json(name, seed, report.events_processed(), wall_ns));
+    (report, trace, profile)
+}
+
+/// Builds the [`Obs`] for one instrumented cell: a tracing pipeline
+/// (shared buffer behind a health tee) when a trace sidecar was
+/// requested, and an enabled profiler when a profile was. The returned
+/// buffer/health pair is `None` when tracing is off.
+fn instrumented_obs(sidecars: Sidecars) -> (Obs, Option<(SharedBuffer, HealthHandle)>) {
+    let (obs, pipe) = if sidecars.trace.is_some() {
+        let buffer = SharedBuffer::new();
+        let (sink, health) = HealthSink::new(JsonlSink::new(buffer.clone()));
+        let obs = Obs::new(Tracer::to_sink(Box::new(sink)));
+        (obs, Some((buffer, health)))
+    } else {
+        (Obs::disabled(), None)
+    };
+    let prof = if sidecars.profile.is_some() {
+        Prof::enabled()
+    } else {
+        Prof::disabled()
+    };
+    (obs.with_prof(prof), pipe)
 }
 
 /// Runs one churn configuration with a private in-memory trace pipeline
@@ -247,14 +402,17 @@ pub fn traced_churn_cell(
 ) -> (ChurnReport, MetricsSnapshot, CellTrace) {
     let digest = fnv1a(format!("{cfg:?}").as_bytes());
     let buffer = SharedBuffer::new();
-    let obs = Obs::new(Tracer::to_sink(Box::new(JsonlSink::new(buffer.clone()))));
+    let (sink, health) = HealthSink::new(JsonlSink::new(buffer.clone()));
+    let obs = Obs::new(Tracer::to_sink(Box::new(sink)));
     let (report, obs) = ChurnSim::new(cfg).run_with_obs(obs);
-    let (metrics, trace) = cell_artifacts(
+    let metrics = obs.snapshot();
+    let trace = cell_artifacts(
         name,
         seed,
         digest,
         &obs,
         &buffer,
+        health.to_jsonl(),
         report.events_processed,
         report.outcome,
     );
@@ -270,14 +428,17 @@ pub fn traced_streaming_cell(
 ) -> (StreamingReport, MetricsSnapshot, CellTrace) {
     let digest = fnv1a(format!("{cfg:?}").as_bytes());
     let buffer = SharedBuffer::new();
-    let obs = Obs::new(Tracer::to_sink(Box::new(JsonlSink::new(buffer.clone()))));
+    let (sink, health) = HealthSink::new(JsonlSink::new(buffer.clone()));
+    let obs = Obs::new(Tracer::to_sink(Box::new(sink)));
     let (report, obs) = StreamingSim::new(cfg).run_with_obs(obs);
-    let (metrics, trace) = cell_artifacts(
+    let metrics = obs.snapshot();
+    let trace = cell_artifacts(
         name,
         seed,
         digest,
         &obs,
         &buffer,
+        health.to_jsonl(),
         report.events_processed(),
         report.outcome(),
     );
@@ -285,23 +446,25 @@ pub fn traced_streaming_cell(
 }
 
 /// Packages one observed run's telemetry into its [`CellTrace`].
+#[allow(clippy::too_many_arguments)]
 fn cell_artifacts(
     name: &str,
     seed: u64,
     config_digest: u64,
     obs: &Obs,
     buffer: &SharedBuffer,
+    health: String,
     events_processed: u64,
     outcome: RunOutcome,
-) -> (MetricsSnapshot, CellTrace) {
+) -> CellTrace {
     let metrics = obs.snapshot();
     let manifest = run_manifest(name, seed, config_digest, obs, events_processed, outcome);
-    let trace = CellTrace {
+    CellTrace {
         jsonl: buffer.contents(),
         metrics_json: metrics.to_json(),
         manifest,
-    };
-    (metrics, trace)
+        health: Some(health),
+    }
 }
 
 /// Builds the [`RunManifest`] of a traced run: name, seed, provenance
@@ -390,14 +553,18 @@ mod tests {
             seeds: 3,
             jobs: 1,
             trace: None,
+            profile: None,
         };
         assert_eq!(s.sizes(), vec![500, 1_000, 2_000, 4_000]);
         assert_eq!(s.focus_size(), 2_000);
+        assert_eq!(s.sidecars(), Sidecars::none());
+        assert!(!s.sidecars().any());
         let p = Scale {
             paper: true,
             seeds: 3,
             jobs: 1,
             trace: None,
+            profile: None,
         };
         assert_eq!(p.sizes().last(), Some(&14_000));
         assert_eq!(p.focus_size(), 8_000);

@@ -49,6 +49,9 @@ pub struct CellTrace {
     pub manifest: RunManifest,
     /// The run's metrics snapshot, serialized.
     pub metrics_json: String,
+    /// Per-member health timeline records (one JSON object per member,
+    /// id-ascending), when the cell's trace pipeline was health-teed.
+    pub health: Option<String>,
 }
 
 /// Everything a worker hands back for one cell.
@@ -60,16 +63,20 @@ pub struct CellOut<R> {
     pub warnings: Vec<String>,
     /// Trace artifacts, when this cell was traced.
     pub trace: Option<CellTrace>,
+    /// The serialized span-profile sidecar body, when this cell was
+    /// profiled. Wall-clock numbers live only here — never in `trace`.
+    pub profile: Option<String>,
 }
 
 impl<R> CellOut<R> {
-    /// A cell with no warnings and no trace.
+    /// A cell with no warnings, no trace and no profile.
     #[must_use]
     pub fn plain(report: R) -> Self {
         CellOut {
             report,
             warnings: Vec::new(),
             trace: None,
+            profile: None,
         }
     }
 }
@@ -153,6 +160,7 @@ impl Sweep {
         // Drain in grid order: completion order is now unobservable.
         let mut reports: Vec<Vec<R>> = (0..points).map(|_| Vec::new()).collect();
         let mut traces = Vec::new();
+        let mut profiles = Vec::new();
         for (index, slot) in slots.into_iter().enumerate() {
             if let Some(out) = slot {
                 for warning in &out.warnings {
@@ -162,10 +170,17 @@ impl Sweep {
                 if let Some(trace) = out.trace {
                     traces.push((id, trace));
                 }
+                if let Some(profile) = out.profile {
+                    profiles.push((id, profile));
+                }
                 reports[id.point].push(out.report);
             }
         }
-        SweepOutput { reports, traces }
+        SweepOutput {
+            reports,
+            traces,
+            profiles,
+        }
     }
 }
 
@@ -176,6 +191,9 @@ pub struct SweepOutput<R> {
     pub reports: Vec<Vec<R>>,
     /// Trace artifacts of every traced cell, sorted by `(point, seed)`.
     pub traces: Vec<(CellId, CellTrace)>,
+    /// Profile sidecar bodies of every profiled cell, sorted by
+    /// `(point, seed)`.
+    pub profiles: Vec<(CellId, String)>,
 }
 
 impl<R> SweepOutput<R> {
@@ -220,9 +238,38 @@ impl<R> SweepOutput<R> {
         merged
     }
 
+    /// The traced cells' per-member health timelines concatenated in
+    /// `(point, seed)` order, or `None` when no traced cell was
+    /// health-teed.
+    #[must_use]
+    pub fn merged_health(&self) -> Option<String> {
+        let mut merged = String::new();
+        let mut any = false;
+        for (_, trace) in &self.traces {
+            if let Some(health) = &trace.health {
+                merged.push_str(health);
+                any = true;
+            }
+        }
+        any.then_some(merged)
+    }
+
+    /// The profiled cells' sidecar bodies, one JSON object per line in
+    /// `(point, seed)` order.
+    #[must_use]
+    pub fn merged_profiles(&self) -> String {
+        let mut merged = String::new();
+        for (_, profile) in &self.profiles {
+            merged.push_str(profile);
+            merged.push('\n');
+        }
+        merged
+    }
+
     /// Writes the merged trace artifacts: the concatenated JSONL at
-    /// `path`, the aggregate manifest at `path.manifest.json` and the
-    /// merged metrics at `path.metrics.json`.
+    /// `path`, the aggregate manifest at `path.manifest.json`, the merged
+    /// metrics at `path.metrics.json` and — when any cell carried health
+    /// records — the per-member timelines at `path.health.jsonl`.
     ///
     /// Aborts the process when the trace itself cannot be written (the
     /// bench-appropriate policy — a requested trace that silently goes
@@ -232,17 +279,30 @@ impl<R> SweepOutput<R> {
             eprintln!("error: cannot write trace file {path}: {err}");
             std::process::exit(2)
         }
-        let sidecars = [
+        let mut sidecars = vec![
             (
                 format!("{path}.manifest.json"),
                 self.merged_manifest(name).to_json(),
             ),
             (format!("{path}.metrics.json"), self.merged_metrics()),
         ];
+        if let Some(health) = self.merged_health() {
+            sidecars.push((format!("{path}.health.jsonl"), health));
+        }
         for (file, contents) in sidecars {
             if let Err(err) = std::fs::write(&file, contents) {
                 eprintln!("warning: cannot write {file}: {err}");
             }
+        }
+    }
+
+    /// Writes the merged profile sidecar (one JSON object per profiled
+    /// cell) to `path`. Same abort policy as [`write_trace`](Self::write_trace):
+    /// a requested profile that cannot be written kills the run.
+    pub fn write_profile(&self, path: &str) {
+        if let Err(err) = std::fs::write(path, self.merged_profiles()) {
+            eprintln!("error: cannot write profile file {path}: {err}");
+            std::process::exit(2)
         }
     }
 }
@@ -301,7 +361,9 @@ mod tests {
                 jsonl: format!("{{\"p\":{},\"s\":{}}}\n", cell.point, cell.seed).into_bytes(),
                 manifest: RunManifest::new("cell", cell.seed),
                 metrics_json: format!("{{\"point\":{}}}", cell.point),
+                health: Some(format!("{{\"h\":{}}}\n", cell.seed)),
             }),
+            profile: Some(format!("{{\"prof\":{}}}", cell.point)),
         };
         let serial = Sweep::with_jobs(1).run(2, 3, traced);
         for jobs in [2, 8] {
@@ -312,11 +374,27 @@ mod tests {
                 serial.merged_manifest("m").to_json()
             );
             assert_eq!(parallel.merged_metrics(), serial.merged_metrics());
+            assert_eq!(parallel.merged_health(), serial.merged_health());
+            assert_eq!(parallel.merged_profiles(), serial.merged_profiles());
         }
         let text = String::from_utf8(serial.merged_jsonl()).expect("utf8");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "{\"p\":0,\"s\":1}");
         assert_eq!(lines[5], "{\"p\":1,\"s\":3}");
+        let health = serial.merged_health().expect("health teed");
+        assert!(health.starts_with("{\"h\":1}\n"));
+        let merged_profiles = serial.merged_profiles();
+        let profiles: Vec<&str> = merged_profiles.lines().map(str::trim).collect();
+        assert_eq!(profiles.len(), 6);
+        assert_eq!(profiles[0], "{\"prof\":0}");
+    }
+
+    #[test]
+    fn plain_cells_yield_no_sidecars() {
+        let out = Sweep::with_jobs(2).run(2, 2, echo);
+        assert!(out.profiles.is_empty());
+        assert!(out.merged_health().is_none());
+        assert!(out.merged_profiles().is_empty());
     }
 
     #[test]

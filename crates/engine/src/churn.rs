@@ -124,6 +124,10 @@ pub struct ChurnReport {
     pub outcome: RunOutcome,
     /// Total events the simulation loop processed.
     pub events_processed: u64,
+    /// Exact peak number of pending events the scheduler queue held at any
+    /// point in the run (the sampled `sim.queue_depth` histogram is a
+    /// per-dispatch floor of this).
+    pub queue_high_water: u64,
 }
 
 /// The churn simulator. Construct with [`ChurnSim::new`], execute with
@@ -304,6 +308,7 @@ impl ChurnSim {
             observer: None,
             outcome: RunOutcome::HorizonReached,
             events_processed: 0,
+            queue_high_water: 0,
         };
 
         ChurnSim {
@@ -387,6 +392,7 @@ impl ChurnSim {
         if let Some(budget) = self.cfg.max_events {
             sim = sim.with_max_events(budget);
         }
+        self.arm_instrumentation();
         self.seed(&mut sim);
         let horizon = self.window_end;
         let outcome = sim.run_until(horizon, |now, event, sched| {
@@ -394,6 +400,7 @@ impl ChurnSim {
         });
         self.report.outcome = outcome;
         self.report.events_processed = sim.processed();
+        self.report.queue_high_water = sim.queue_high_water_mark() as u64;
         inspect(&self.tree, horizon);
         self.finish()
     }
@@ -447,6 +454,7 @@ impl ChurnSim {
         if let Some(budget) = self.cfg.max_events {
             sim = sim.with_max_events(budget);
         }
+        self.arm_instrumentation();
         self.seed(&mut sim);
         let horizon = self.window_end;
         let outcome = sim.run_until(horizon, |now, event, sched| {
@@ -454,10 +462,8 @@ impl ChurnSim {
         });
         self.report.outcome = outcome;
         self.report.events_processed = sim.processed();
+        self.report.queue_high_water = sim.queue_high_water_mark() as u64;
         if self.obs.is_active() {
-            // Exact peak queue depth (the sampled gauge below is a floor).
-            self.obs
-                .gauge("sim.queue_high_water", sim.queue_high_water_mark() as f64);
             self.fold_protocol_metrics();
         }
         self.obs.finish();
@@ -465,6 +471,16 @@ impl ChurnSim {
         let obs = std::mem::take(&mut self.obs);
         let invariants = self.invariants.take();
         (self.finish(), streaming, obs, invariants)
+    }
+
+    /// Pre-run instrumentation hookup: shares the run's span profiler with
+    /// the tree (so overlay/rost/cer spans land in one profile tree) and
+    /// pins the queue-depth histogram to power-of-two buckets before the
+    /// first dispatch observes into it.
+    fn arm_instrumentation(&mut self) {
+        self.tree.set_prof(self.obs.prof().clone());
+        self.obs
+            .register_histogram("sim.queue_depth", &QUEUE_DEPTH_BUCKETS);
     }
 
     /// Folds the protocol-layer counters (ROST switching outcomes, lock
@@ -804,10 +820,13 @@ impl ChurnSim {
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Schedule<'_, Event>) {
         if self.obs.is_active() {
             self.obs.count(event_metric_name(&event), 1);
-            self.obs.gauge("sim.queue_depth", sched.pending() as f64);
+            self.obs.observe("sim.queue_depth", sched.pending() as f64);
         }
-        self.dispatch(now, event, sched);
-        self.drain_rejoin_backlog(sched);
+        {
+            let _span = self.obs.prof().span(event_span_name(&event));
+            self.dispatch(now, event, sched);
+            self.drain_rejoin_backlog(sched);
+        }
         if let Some(registry) = self.invariants.as_mut() {
             registry.after_event(&self.tree, now, &mut self.obs);
         }
@@ -1091,6 +1110,7 @@ impl ChurnSim {
         // children initiate recovery; the deeper descendants are
         // notified of the failure and suppress their own redundant
         // rejoin attempts.
+        let _eln_span = self.obs.prof().span("cer.eln_scope");
         let suppressed = removed
             .affected_descendants
             .len()
@@ -1367,6 +1387,33 @@ impl ChurnReport {
     }
 }
 
+/// Power-of-two bucket bounds for the `sim.queue_depth` histogram: queue
+/// pressure spans orders of magnitude across run sizes, so log buckets
+/// keep both a 150-member quick run and a 10k-member sweep readable.
+const QUEUE_DEPTH_BUCKETS: [f64; 20] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0, 32768.0, 65536.0, 131072.0, 262144.0, 524288.0,
+];
+
+/// Per-event-type dispatch span names (static so the profiling hot path
+/// never allocates).
+fn event_span_name(event: &Event) -> &'static str {
+    match event {
+        Event::Arrival => "engine.arrival",
+        Event::Departure(_) => "engine.departure",
+        Event::Rejoin(_) => "engine.rejoin",
+        Event::JoinRetry(_) => "engine.join_retry",
+        Event::SwitchCheck(_) => "engine.switch_check",
+        Event::ReleaseLocks(_) => "engine.release_locks",
+        Event::Sample => "engine.sample",
+        Event::ObserverJoin => "engine.observer_join",
+        Event::ChaosInject(_) => "engine.chaos_inject",
+        Event::ChaosFail(_) => "engine.chaos_fail",
+        Event::ChaosJoin => "engine.chaos_join",
+        Event::ChaosFlap { .. } => "engine.chaos_flap",
+    }
+}
+
 /// Per-event-type counter names (static so the metrics hot path never
 /// allocates).
 fn event_metric_name(event: &Event) -> &'static str {
@@ -1515,7 +1562,13 @@ mod tests {
         let snap = obs.snapshot();
         assert!(snap.counter("churn.departures") > 0);
         assert_eq!(snap.counter("rost.switch_promotions"), observed.switches);
-        assert!(snap.gauge("sim.queue_high_water").is_some());
+        assert_eq!(plain.queue_high_water, observed.queue_high_water);
+        assert!(observed.queue_high_water > 0);
+        let queue = snap
+            .histogram("sim.queue_depth")
+            .expect("queue-depth histogram registered");
+        assert_eq!(queue.bounds.first().copied(), Some(1.0));
+        assert_eq!(queue.total, observed.events_processed);
         assert!(snap.gauge("churn.population").is_some());
     }
 

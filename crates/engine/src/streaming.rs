@@ -69,6 +69,13 @@ impl StreamingReport {
     pub fn events_processed(&self) -> u64 {
         self.churn.events_processed
     }
+
+    /// Exact peak pending-event count of the underlying scheduler queue
+    /// (see [`ChurnReport::queue_high_water`]).
+    #[must_use]
+    pub fn queue_high_water(&self) -> u64 {
+        self.churn.queue_high_water
+    }
 }
 
 /// Per-member streaming bookkeeping.
@@ -260,6 +267,7 @@ impl StreamingState {
         live: &[NodeId],
         member: NodeId,
     ) -> RecoveryGroup {
+        let _span = tree.prof().span("cer.group_select");
         let view = self.rng.sample(live, self.view_size);
         let records: Vec<AncestorRecord> = view
             .iter()
@@ -326,6 +334,7 @@ impl StreamingState {
         obs: &mut Obs,
         invariants: Option<&mut InvariantRegistry>,
     ) {
+        let _span = tree.prof().span("cer.repair");
         let s0 = self.clock.seq_at(t0);
         let s1 = self.clock.seq_at(now);
         if s1 <= s0 {
@@ -475,6 +484,7 @@ impl StreamingState {
                         .u64("helpers", available.len() as u64)
                         .u64("repaired", repaired_now)
                         .u64("starved", starved_now)
+                        .f64("starved_secs", starved_now as f64 / self.clock.rate_pps())
                         .f64("latency_secs", now - t0)
                         .str(
                             "strategy",

@@ -1,0 +1,12 @@
+//! R8 clean fixture: durations and virtual-clock arithmetic are fine —
+//! only wall-clock *readings* (`Instant`/`SystemTime`) are banned.
+//!
+//! Not compiled into any crate — `crates/lint/tests/fixture.rs` scans it
+//! to prove `wall-clock-discipline` stays silent here.
+
+use std::time::Duration;
+
+fn horizon_secs(sim_now_secs: f64) -> f64 {
+    let step = Duration::from_millis(250);
+    sim_now_secs + step.as_secs_f64()
+}

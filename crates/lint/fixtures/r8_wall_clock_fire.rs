@@ -1,0 +1,10 @@
+//! R8 firing fixture: wall-clock reads in deterministic code.
+//!
+//! Not compiled into any crate — `crates/lint/tests/fixture.rs` scans it
+//! to prove `wall-clock-discipline` fires on both clock types.
+
+fn wall_elapsed_secs() -> u64 {
+    let started = std::time::Instant::now(); // R8: monotonic wall clock
+    let _stamp = std::time::SystemTime::now(); // R8: calendar wall clock
+    started.elapsed().as_secs()
+}

@@ -6,8 +6,14 @@
 
 use std::collections::HashMap; // R1 unordered-collections
 
-fn r2_wall_clock() -> u64 {
-    // Instant below is R2 ambient-entropy.
+fn r2_ambient_rng() -> u64 {
+    // thread_rng below is R2 ambient-entropy.
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+fn r8_wall_clock() -> u64 {
+    // Instant below is R8 wall-clock-discipline.
     let t = Instant::now();
     t.elapsed().as_secs()
 }

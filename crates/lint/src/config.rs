@@ -54,6 +54,7 @@ impl Default for Config {
             Rule::RngForkDiscipline,
             vec!["sim".to_string(), "bench".to_string()],
         );
+        rule_exempt.insert(Rule::WallClockDiscipline, vec!["bench".to_string()]);
         Config {
             roots: ["crates", "src", "examples", "tests"]
                 .map(String::from)
@@ -184,7 +185,7 @@ impl Config {
         }
     }
 
-    /// The rules that apply to `crate_name`, in R1..R7 order.
+    /// The rules that apply to `crate_name`, in R1..R8 order.
     #[must_use]
     pub fn rules_for(&self, crate_name: &str) -> Vec<Rule> {
         Rule::ALL
@@ -292,5 +293,9 @@ crates = ["rost"]
         assert!(!cfg.rule_applies(Rule::RngForkDiscipline, "sim"));
         assert!(!cfg.rule_applies(Rule::RngForkDiscipline, "bench"));
         assert!(cfg.rule_applies(Rule::RngForkDiscipline, "engine"));
+        assert!(!cfg.rule_applies(Rule::WallClockDiscipline, "bench"));
+        for c in ["sim", "obs", "engine", "rost", "cer", "overlay", "chaos"] {
+            assert!(cfg.rule_applies(Rule::WallClockDiscipline, c));
+        }
     }
 }

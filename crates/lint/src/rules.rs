@@ -3,12 +3,13 @@
 //! | id | rule | scope |
 //! |----|------|-------|
 //! | R1 `unordered-collections` | no `HashMap`/`HashSet` — use `BTreeMap`/`BTreeSet` or a sorted view | deterministic crates |
-//! | R2 `ambient-entropy` | no `Instant::now`/`SystemTime`/`thread_rng`/`rand::rng` — time and randomness flow through `rom_sim` | everywhere except `bench` |
+//! | R2 `ambient-entropy` | no `thread_rng`/`rand::rng` — randomness flows through `rom_sim`'s seeded streams | everywhere except `bench` |
 //! | R3 `panic-sites` | no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code | protocol crates |
 //! | R4 `float-compare` | no `==`/`!=` against float expressions, no `partial_cmp(..).unwrap()` — use `total_cmp`/`to_bits` | everywhere |
 //! | R5 `stale-arena-index` | no use of an arena `NodeIndex` binding after a `&mut` tree mutation on the same tree — re-intern it | arena-consuming crates |
 //! | R6 `rng-fork-discipline` | every RNG stream derives from a labeled `fork("...")` off the root RNG; no ad-hoc seeding, foreign RNG types, or `.clone()`d streams | everywhere except `sim`/`bench` |
 //! | R7 `send-hostile-state` | no new `RefCell`/`Rc`/`thread_local!` in crates the sweep engine must move across threads | `Send`-required crates |
+//! | R8 `wall-clock-discipline` | no `Instant`/`SystemTime` — sim time comes from the virtual clock; wall time belongs to the bench sidecars and justified allows (e.g. the profiler) | everywhere except `bench` |
 //!
 //! R1–R4 are token-shape rules. R5–R6 run on the scope-aware walk in
 //! [`crate::scope`], which tracks `let` bindings, their provenance, and
@@ -27,7 +28,7 @@ use crate::scope::{self, Analysis};
 pub enum Rule {
     /// R1: `HashMap`/`HashSet` in deterministic crates.
     UnorderedCollections,
-    /// R2: wall-clock time or ambient entropy.
+    /// R2: ambient entropy (`thread_rng`, `rand::rng`).
     AmbientEntropy,
     /// R3: `unwrap`/`expect`/`panic!`-family in protocol non-test code.
     PanicSites,
@@ -42,6 +43,9 @@ pub enum Rule {
     /// R7: `RefCell`/`Rc`/`thread_local!` in a crate that must stay
     /// `Send` for the parallel sweep engine.
     SendHostileState,
+    /// R8: `Instant`/`SystemTime` in a deterministic-artifact crate —
+    /// wall-clock readings may only reach sidecar files.
+    WallClockDiscipline,
     /// Meta-rule: a `rom-lint: allow` comment that is malformed (unknown
     /// rule name or missing `-- justification`).
     AllowSyntax,
@@ -49,7 +53,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every real (suppressible) rule.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::UnorderedCollections,
         Rule::AmbientEntropy,
         Rule::PanicSites,
@@ -57,6 +61,7 @@ impl Rule {
         Rule::StaleArenaIndex,
         Rule::RngForkDiscipline,
         Rule::SendHostileState,
+        Rule::WallClockDiscipline,
     ];
 
     /// The rule's stable identifier, as used in `lint.toml` and in
@@ -71,11 +76,12 @@ impl Rule {
             Rule::StaleArenaIndex => "stale-arena-index",
             Rule::RngForkDiscipline => "rng-fork-discipline",
             Rule::SendHostileState => "send-hostile-state",
+            Rule::WallClockDiscipline => "wall-clock-discipline",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
 
-    /// The paper-issue shorthand (R1–R7).
+    /// The paper-issue shorthand (R1–R8).
     #[must_use]
     pub fn shorthand(self) -> &'static str {
         match self {
@@ -86,6 +92,7 @@ impl Rule {
             Rule::StaleArenaIndex => "R5",
             Rule::RngForkDiscipline => "R6",
             Rule::SendHostileState => "R7",
+            Rule::WallClockDiscipline => "R8",
             Rule::AllowSyntax => "R0",
         }
     }
@@ -101,6 +108,7 @@ impl Rule {
             "stale-arena-index" | "r5" | "R5" => Some(Rule::StaleArenaIndex),
             "rng-fork-discipline" | "r6" | "R6" => Some(Rule::RngForkDiscipline),
             "send-hostile-state" | "r7" | "R7" => Some(Rule::SendHostileState),
+            "wall-clock-discipline" | "r8" | "R8" => Some(Rule::WallClockDiscipline),
             _ => None,
         }
     }
@@ -146,6 +154,7 @@ pub fn check(lexed: &LexedFile, rules: &[Rule]) -> Vec<Violation> {
                 check_rng_fork(lexed, analysis.as_ref().expect("walk ran"), &mut out);
             }
             Rule::SendHostileState => check_send_hostile(lexed, &mut out),
+            Rule::WallClockDiscipline => check_wall_clock(lexed, &mut out),
             Rule::AllowSyntax => {}
         }
     }
@@ -187,7 +196,6 @@ fn check_ambient_entropy(lexed: &LexedFile, out: &mut Vec<Violation>) {
             continue;
         }
         let flagged = match tok.text.as_str() {
-            "Instant" | "SystemTime" => true,
             "thread_rng" => true,
             // `rand::rng()` — the ambient-entropy constructor in rand 0.9.
             "rng" => {
@@ -205,7 +213,30 @@ fn check_ambient_entropy(lexed: &LexedFile, out: &mut Vec<Violation>) {
             rule: Rule::AmbientEntropy,
             line: tok.line,
             message: format!(
-                "`{}` is wall-clock/ambient entropy: simulations must draw time from the virtual clock and randomness from a seeded `SimRng`",
+                "`{}` is ambient entropy: simulations must draw randomness from a seeded `SimRng`",
+                tok.text
+            ),
+        });
+    }
+}
+
+fn check_wall_clock(lexed: &LexedFile, out: &mut Vec<Violation>) {
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if tok.text != "Instant" && tok.text != "SystemTime" {
+            continue;
+        }
+        if skip_for_tests(lexed, i, Rule::WallClockDiscipline) {
+            continue;
+        }
+        out.push(Violation {
+            rule: Rule::WallClockDiscipline,
+            line: tok.line,
+            message: format!(
+                "`{}` reads the wall clock: deterministic artifacts carry sim time only — confine \
+                 wall-clock numbers to bench sidecars, or justify the reader with an allow",
                 tok.text
             ),
         });
@@ -480,10 +511,27 @@ mod tests {
     }
 
     #[test]
-    fn r2_flags_wall_clock_and_ambient_rng() {
+    fn r2_flags_ambient_rng_only() {
         let src = "let t = Instant::now();\nlet s = SystemTime::now();\nlet r = rand::rng();\nlet q = thread_rng();";
         let v = run(src, &[Rule::AmbientEntropy]);
-        assert_eq!(v.len(), 4, "{v:?}");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::AmbientEntropy));
+    }
+
+    #[test]
+    fn r8_flags_wall_clock_types() {
+        let src = "use std::time::Instant;\nlet t = Instant::now();\nlet s = SystemTime::now();\nlet d = Duration::from_secs(1);";
+        let v = run(src, &[Rule::WallClockDiscipline]);
+        // `Instant` twice (use + call site), `SystemTime` once; Duration
+        // is a span, not a clock reading.
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::WallClockDiscipline));
+    }
+
+    #[test]
+    fn r8_skips_tests() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let x = Instant::now(); } }";
+        assert!(run(src, &[Rule::WallClockDiscipline]).is_empty());
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn fixture_trips_each_rule_exactly_once() {
     assert_eq!(count(Rule::AmbientEntropy), 1, "{}", report.render());
     assert_eq!(count(Rule::PanicSites), 1, "{}", report.render());
     assert_eq!(count(Rule::FloatCompare), 1, "{}", report.render());
+    assert_eq!(count(Rule::WallClockDiscipline), 1, "{}", report.render());
 }
 
 #[test]
@@ -66,7 +67,13 @@ fn binary_exits_nonzero_on_fixture() {
         String::from_utf8_lossy(&out.stdout)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["unordered-collections", "ambient-entropy", "panic-sites", "float-compare"] {
+    for needle in [
+        "unordered-collections",
+        "ambient-entropy",
+        "panic-sites",
+        "float-compare",
+        "wall-clock-discipline",
+    ] {
         assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
     }
 }
@@ -104,6 +111,14 @@ fn r7_fixture_fires_and_clean_is_silent() {
     // RefCell, Rc (use + field), thread_local!.
     assert_fires_only("r7_send_hostile_fire.rs", Rule::SendHostileState, 4);
     let clean = scan_fixture("r7_send_hostile_clean.rs");
+    assert!(clean.is_clean(), "{}", clean.render());
+}
+
+#[test]
+fn r8_fixture_fires_and_clean_is_silent() {
+    // Instant + SystemTime, one read each.
+    assert_fires_only("r8_wall_clock_fire.rs", Rule::WallClockDiscipline, 2);
+    let clean = scan_fixture("r8_wall_clock_clean.rs");
     assert!(clean.is_clean(), "{}", clean.render());
 }
 

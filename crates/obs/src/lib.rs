@@ -21,7 +21,9 @@
 //! ## Determinism rules
 //!
 //! - Timestamps are sim-time seconds (`f64`), never wall clock
-//!   (`Instant`/`SystemTime` are banned here by rom-lint R2).
+//!   (`Instant`/`SystemTime` are banned here by rom-lint R8; the span
+//!   profiler ([`Prof`]) is the one justified-allow exception, and its
+//!   readings reach only the `.profile.json` sidecar).
 //! - Event fields live in a `BTreeMap`, so serialization order is the key
 //!   order, not hash order (rom-lint R1).
 //! - `f64` values serialize through Rust's shortest-round-trip `Display`,
@@ -46,15 +48,19 @@
 //! assert_eq!(obs.snapshot().counter("churn.joins"), 1);
 //! ```
 
+mod health;
 mod json;
 mod manifest;
 mod metrics;
+mod prof;
 mod trace;
 
+pub use health::{HealthAccumulator, HealthHandle, HealthSink, MemberHealth};
 pub use manifest::{fnv1a, RunManifest, SweepManifest};
 pub use metrics::{
     GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS,
 };
+pub use prof::{Prof, ProfCore, ProfReport, SpanGuard, SpanStat, PROF_HIST_BUCKETS};
 pub use trace::{
     FieldValue, JsonlSink, Level, NullSink, RingHandle, RingSink, SharedBuffer, Sink, Subsystem,
     TraceEvent, Tracer,
@@ -72,6 +78,7 @@ pub struct Obs {
     active: bool,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    prof: Prof,
 }
 
 impl Obs {
@@ -88,7 +95,25 @@ impl Obs {
             active: true,
             tracer,
             metrics: MetricsRegistry::new(),
+            prof: Prof::disabled(),
         }
+    }
+
+    /// Attaches a span profiler (builder style). Profiling is orthogonal
+    /// to the `active` flag: spans are driven by the clones of this
+    /// handle that instrumented structures carry, and their wall-clock
+    /// numbers never enter the trace/metrics pipeline.
+    #[must_use]
+    pub fn with_prof(mut self, prof: Prof) -> Self {
+        self.prof = prof;
+        self
+    }
+
+    /// The span-profiler handle (disabled unless installed via
+    /// [`with_prof`](Self::with_prof)).
+    #[must_use]
+    pub fn prof(&self) -> &Prof {
+        &self.prof
     }
 
     /// An active handle that collects metrics but emits no trace events.
@@ -150,6 +175,15 @@ impl Obs {
     pub fn observe(&mut self, name: &'static str, value: f64) {
         if self.active {
             self.metrics.observe(name, value);
+        }
+    }
+
+    /// Registers the histogram `name` with explicit bucket `bounds`
+    /// before its first observation (no-op when inactive or already
+    /// registered).
+    pub fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
+        if self.active {
+            self.metrics.register_histogram(name, bounds);
         }
     }
 

@@ -31,6 +31,7 @@ trait OrderKey {
 /// the weakest keeps displacement cascades short, since the evictee
 /// out-ranks almost nobody and simply reattaches.
 fn find_eviction<K: OrderKey>(ctx: &JoinContext<'_>) -> Option<NodeId> {
+    let _span = ctx.tree.prof().span("overlay.find_eviction");
     let joiner_key = K::key(ctx.joiner, ctx.now);
     let tree = ctx.tree;
     for depth in 1..=tree.max_depth() {

@@ -42,6 +42,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
+use rom_obs::Prof;
 use rom_sim::SimTime;
 
 use crate::error::{InvariantViolation, TreeError};
@@ -224,6 +225,10 @@ pub struct MulticastTree {
     scratch: RefCell<Vec<NodeIndex>>,
     /// Reusable frontier stack for `&mut self` depth restamps.
     restamp_buf: Vec<(NodeIndex, usize)>,
+    /// Span profiler handle (disabled by default; see
+    /// [`set_prof`](Self::set_prof)). Wall-clock readings taken through it
+    /// reach only the `.profile.json` sidecar, never the tree's outputs.
+    prof: Prof,
 }
 
 impl MulticastTree {
@@ -264,7 +269,25 @@ impl MulticastTree {
             deepest: 0,
             scratch: RefCell::new(Vec::new()), // rom-lint: allow(send-hostile-state) -- constructor for the allowed scratch field above
             restamp_buf: Vec::new(),
+            prof: Prof::disabled(),
         }
+    }
+
+    /// Installs a span-profiler handle. Structural operations
+    /// (`attach`/`reattach`/`remove`/`replace`/`usurp`/`swap_with_parent`
+    /// and the eviction scan) record scope timings through it; with the
+    /// default disabled handle each span is a single branch.
+    pub fn set_prof(&mut self, prof: Prof) {
+        self.prof = prof;
+    }
+
+    /// The tree's span-profiler handle (disabled unless installed via
+    /// [`set_prof`](Self::set_prof)). Exposed so collaborating layers
+    /// (algorithms, rost, cer) can open spans on the same profile tree
+    /// without carrying their own handle.
+    #[must_use]
+    pub fn prof(&self) -> &Prof {
+        &self.prof
     }
 
     #[inline]
@@ -793,6 +816,7 @@ impl MulticastTree {
     /// [`TreeError::UnknownMember`] / [`TreeError::ParentDetached`] /
     /// [`TreeError::ParentFull`] if the parent cannot serve it.
     pub fn attach(&mut self, profile: MemberProfile, parent: NodeId) -> Result<(), TreeError> {
+        let _span = self.prof.span("overlay.attach");
         let id = profile.id;
         if self.contains(id) {
             return Err(TreeError::DuplicateMember(id));
@@ -825,6 +849,7 @@ impl MulticastTree {
     /// orphan's own subtree, plus the same parent errors as
     /// [`attach`](Self::attach).
     pub fn reattach(&mut self, orphan: NodeId, parent: NodeId) -> Result<(), TreeError> {
+        let _span = self.prof.span("overlay.reattach");
         if !self.orphan_roots.contains(&orphan) {
             return Err(TreeError::NotAnOrphan(orphan));
         }
@@ -861,6 +886,7 @@ impl MulticastTree {
     /// [`TreeError::RootImmovable`] for the source,
     /// [`TreeError::UnknownMember`] otherwise.
     pub fn remove(&mut self, id: NodeId) -> Result<RemovedMember, TreeError> {
+        let _span = self.prof.span("overlay.remove");
         if id == self.root {
             return Err(TreeError::RootImmovable);
         }
@@ -918,6 +944,7 @@ impl MulticastTree {
         newcomer: MemberProfile,
         keep_priority: impl Fn(&MemberProfile) -> f64,
     ) -> Result<ReplaceOutcome, TreeError> {
+        let _span = self.prof.span("overlay.replace");
         if evict == self.root {
             return Err(TreeError::RootImmovable);
         }
@@ -1007,6 +1034,7 @@ impl MulticastTree {
         usurper: NodeId,
         keep_priority: impl Fn(&MemberProfile) -> f64,
     ) -> Result<ReplaceOutcome, TreeError> {
+        let _span = self.prof.span("overlay.usurp");
         if evict == self.root {
             return Err(TreeError::RootImmovable);
         }
@@ -1103,6 +1131,7 @@ impl MulticastTree {
         child: NodeId,
         priority: impl Fn(&MemberProfile) -> f64,
     ) -> Result<SwitchRecord, TreeError> {
+        let _span = self.prof.span("overlay.switch");
         if child == self.root {
             return Err(TreeError::RootImmovable);
         }
@@ -1236,7 +1265,10 @@ impl MulticastTree {
         }
 
         // Depths: everything under the promoted child may have shifted.
-        self.restamp_subtree(cix, parent_depth, true);
+        {
+            let _restamp = self.prof.span("overlay.switch_restamp");
+            self.restamp_subtree(cix, parent_depth, true);
+        }
 
         Ok(SwitchRecord {
             promoted: child,

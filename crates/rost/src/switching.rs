@@ -219,20 +219,25 @@ impl SwitchingProtocol {
         node: NodeId,
         now: SimTime,
     ) -> SwitchOutcome {
+        let _span = tree.prof().span("rost.attempt");
         self.stats.attempts += 1;
         if !Self::eligible_with(tree, node, now, self.config.bandwidth_guard) {
             self.stats.not_eligible += 1;
             return SwitchOutcome::NotEligible;
         }
-        let mut set = std::mem::take(&mut self.lock_buf);
-        Self::lock_set_into(tree, node, &mut set);
-        let op = self.allocate_op();
-        let locked = self.locks.try_lock_all(op, &set);
-        self.lock_buf = set;
-        if !locked {
+        let locked = {
+            let _locking = tree.prof().span("rost.lock_assembly");
+            let mut set = std::mem::take(&mut self.lock_buf);
+            Self::lock_set_into(tree, node, &mut set);
+            let op = self.allocate_op();
+            let locked = self.locks.try_lock_all(op, &set);
+            self.lock_buf = set;
+            locked.then_some(op)
+        };
+        let Some(op) = locked else {
             self.stats.busy += 1;
             return SwitchOutcome::Busy;
-        }
+        };
         match tree.swap_with_parent(node, |p| p.btp(now)) {
             Ok(record) => {
                 self.stats.switched += 1;

@@ -20,6 +20,7 @@ struct Observed {
     jsonl: Vec<u8>,
     manifest: String,
     metrics: String,
+    health: Option<String>,
 }
 
 /// A small-but-real churn configuration (mirrors `tests/determinism.rs`).
@@ -40,6 +41,7 @@ fn churn_sweep(jobs: usize) -> Observed {
             report,
             warnings: Vec::new(),
             trace: Some(trace),
+            profile: None,
         }
     });
     Observed {
@@ -47,6 +49,7 @@ fn churn_sweep(jobs: usize) -> Observed {
         jsonl: out.merged_jsonl(),
         manifest: out.merged_manifest("churn_det").to_json(),
         metrics: out.merged_metrics(),
+        health: out.merged_health(),
     }
 }
 
@@ -59,6 +62,7 @@ fn streaming_sweep(jobs: usize) -> Observed {
             report,
             warnings: Vec::new(),
             trace: Some(trace),
+            profile: None,
         }
     });
     Observed {
@@ -66,6 +70,7 @@ fn streaming_sweep(jobs: usize) -> Observed {
         jsonl: out.merged_jsonl(),
         manifest: out.merged_manifest("streaming_det").to_json(),
         metrics: out.merged_metrics(),
+        health: out.merged_health(),
     }
 }
 
@@ -81,6 +86,7 @@ fn chaos_sweep(jobs: usize) -> Observed {
             report,
             warnings: Vec::new(),
             trace: Some(trace),
+            profile: None,
         }
     });
     Observed {
@@ -88,6 +94,7 @@ fn chaos_sweep(jobs: usize) -> Observed {
         jsonl: out.merged_jsonl(),
         manifest: out.merged_manifest("chaos_det").to_json(),
         metrics: out.merged_metrics(),
+        health: out.merged_health(),
     }
 }
 
@@ -98,6 +105,13 @@ fn assert_jobs_invariant(name: &str, sweep: impl Fn(usize) -> Observed) {
     assert!(
         !baseline.jsonl.is_empty(),
         "{name}: serial baseline produced no trace bytes"
+    );
+    assert!(
+        baseline
+            .health
+            .as_deref()
+            .is_some_and(|h| !h.is_empty()),
+        "{name}: serial baseline produced no health records"
     );
     assert!(
         baseline.reports.len() > 2,
