@@ -598,14 +598,16 @@ impl ChurnSim {
         }
     }
 
-    /// Candidate parents for a join/rejoin decision: the full attached
-    /// membership for centralized algorithms, a bounded random view for
-    /// distributed ones. Detached members are filtered out either way
-    /// (they cannot serve data), which also keeps a rejoining subtree from
-    /// selecting its own descendants.
+    /// Candidate parents for a join/rejoin decision: a bounded random
+    /// view for distributed algorithms, with detached members filtered
+    /// out (they cannot serve data), which also keeps a rejoining subtree
+    /// from selecting its own descendants. Centralized algorithms consult
+    /// the whole attached membership directly through the tree's indices,
+    /// so no candidate list is materialized for them — the former O(M)
+    /// collect per join was the dominant cost of the ordered baselines.
     fn candidates_for(&mut self, joiner: NodeId) -> Vec<NodeId> {
         if self.algorithm.as_dyn().is_centralized() {
-            self.tree.attached_by_depth().collect()
+            Vec::new()
         } else {
             let view = self
                 .sampler
@@ -672,8 +674,11 @@ impl ChurnSim {
         let prox = OracleProximity::new(&self.oracle);
         let decision = if has_children && self.algorithm.as_dyn().is_centralized() {
             // Subtree roots orphaned by a failure reattach without
-            // evicting; the ordering repairs itself on later joins.
-            match rom_overlay::algorithms::min_depth_parent(&ctx, &prox) {
+            // evicting; the ordering repairs itself on later joins. The
+            // indexed fallback reads the attached membership from the
+            // tree directly (the orphan's own subtree is detached and
+            // therefore never indexed).
+            match rom_overlay::algorithms::min_depth_parent_indexed(&self.tree, &profile, &prox) {
                 Some(parent) => JoinDecision::Attach { parent },
                 None => JoinDecision::Reject,
             }

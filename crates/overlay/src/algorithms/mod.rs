@@ -36,9 +36,11 @@ pub struct JoinContext<'a> {
     /// profile — its age is preserved.
     pub joiner: &'a MemberProfile,
     /// Candidate parents. For distributed algorithms this is the joiner's
-    /// partial view; for centralized ones the engine passes every attached
-    /// member. The engine guarantees candidates are attached and outside
-    /// the joiner's own subtree.
+    /// partial view; the engine guarantees candidates are attached and
+    /// outside the joiner's own subtree. Centralized algorithms ignore
+    /// this field entirely — they read the whole attached membership
+    /// through the tree's indices — so the engine passes an empty slice
+    /// for them.
     pub candidates: &'a [NodeId],
     /// Current simulation time (for age/BTP computations).
     pub now: SimTime,
@@ -120,6 +122,36 @@ pub fn min_depth_parent(ctx: &JoinContext<'_>, proximity: &dyn Proximity) -> Opt
         }
     }
     best.map(|(_, _, id)| id)
+}
+
+/// Centralized [`min_depth_parent`]: the same minimum-depth rule over the
+/// *entire* attached membership, answered from the tree's per-depth
+/// free-slot index instead of a materialized candidate list. The first
+/// layer with spare capacity decides the depth (deeper members can never
+/// win the depth-first ordering), and within it the id-ordered free-slot
+/// entries reproduce the candidate scan's (delay, id) tie-break exactly.
+/// Detached members — including the joiner's own orphaned subtree — are
+/// never in the index, matching the engine's candidate filtering.
+#[must_use]
+pub fn min_depth_parent_indexed(
+    tree: &MulticastTree,
+    joiner: &MemberProfile,
+    proximity: &dyn Proximity,
+) -> Option<NodeId> {
+    let depth = tree.shallowest_free_depth()?;
+    let mut best: Option<(f64, NodeId)> = None;
+    for (cand, ix) in tree.free_slot_entries(depth) {
+        let loc = tree.profile_ix(ix).location;
+        let delay = proximity.delay_ms(joiner.location, loc);
+        let better = match best {
+            None => true,
+            Some((bdelay, bid)) => delay < bdelay || (delay == bdelay && cand < bid),
+        };
+        if better {
+            best = Some((delay, cand));
+        }
+    }
+    best.map(|(_, id)| id)
 }
 
 #[cfg(test)]

@@ -11,16 +11,22 @@
 //! children... Note that both algorithms assume a central administrator
 //! providing global topological information."
 
-use crate::algorithms::{min_depth_parent, JoinContext, JoinDecision, TreeAlgorithm};
+use crate::algorithms::{min_depth_parent_indexed, JoinContext, JoinDecision, TreeAlgorithm};
 use crate::id::NodeId;
 use crate::member::MemberProfile;
 use crate::proximity::Proximity;
+use crate::tree::MulticastTree;
 use rom_sim::SimTime;
 
 /// The ordering criterion a relaxed ordered tree maintains.
 trait OrderKey {
     /// The sort key; *larger* keys deserve *higher* (shallower) positions.
     fn key(profile: &MemberProfile, now: SimTime) -> f64;
+
+    /// The layer's weakest occupant under this ordering — the minimum
+    /// (key, id) among attached members at `depth` — answered from the
+    /// tree's per-depth eviction index instead of a layer scan.
+    fn weakest(tree: &MulticastTree, depth: usize, now: SimTime) -> Option<(f64, NodeId)>;
 }
 
 /// Shared eviction search: the shallowest attached non-root member whose
@@ -30,28 +36,21 @@ trait OrderKey {
 /// the *weakest* occupant is evicted (ties to the smallest id): evicting
 /// the weakest keeps displacement cascades short, since the evictee
 /// out-ranks almost nobody and simply reattaches.
+///
+/// Each layer is answered by one probe of the tree's ordered eviction
+/// index: the layer's globally weakest occupant qualifies iff *any*
+/// occupant does (every qualifying key is ≥ the minimum), and on key
+/// ties the index already yields the smallest id — exactly the member
+/// the former full layer scan selected.
 fn find_eviction<K: OrderKey>(ctx: &JoinContext<'_>) -> Option<NodeId> {
     let _span = ctx.tree.prof().span("overlay.find_eviction");
     let joiner_key = K::key(ctx.joiner, ctx.now);
     let tree = ctx.tree;
     for depth in 1..=tree.max_depth() {
-        let mut weakest: Option<(f64, NodeId)> = None;
-        // Contiguous layer scan: entries carry the arena index, so the
-        // profile read is a direct slot access with no map lookup.
-        for (cand, ix) in tree.layer_entries(depth) {
-            let key = K::key(tree.profile_ix(ix), ctx.now);
+        if let Some((key, evict)) = K::weakest(tree, depth, ctx.now) {
             if key < joiner_key {
-                let better = match weakest {
-                    None => true,
-                    Some((wk, wid)) => key < wk || (key == wk && cand < wid),
-                };
-                if better {
-                    weakest = Some((key, cand));
-                }
+                return Some(evict);
             }
-        }
-        if let Some((_, evict)) = weakest {
-            return Some(evict);
         }
     }
     None
@@ -61,7 +60,9 @@ fn ordered_select<K: OrderKey>(ctx: &JoinContext<'_>, proximity: &dyn Proximity)
     if let Some(evict) = find_eviction::<K>(ctx) {
         return JoinDecision::Replace { evict };
     }
-    match min_depth_parent(ctx, proximity) {
+    // Centralized fallback over the whole attached membership, straight
+    // from the tree's free-slot index — no candidate list needed.
+    match min_depth_parent_indexed(ctx.tree, ctx.joiner, proximity) {
         Some(parent) => JoinDecision::Attach { parent },
         None => JoinDecision::Reject,
     }
@@ -73,6 +74,10 @@ impl OrderKey for BandwidthKey {
     fn key(profile: &MemberProfile, _now: SimTime) -> f64 {
         profile.bandwidth
     }
+
+    fn weakest(tree: &MulticastTree, depth: usize, _now: SimTime) -> Option<(f64, NodeId)> {
+        tree.weakest_by_bandwidth(depth)
+    }
 }
 
 struct AgeKey;
@@ -80,6 +85,10 @@ struct AgeKey;
 impl OrderKey for AgeKey {
     fn key(profile: &MemberProfile, now: SimTime) -> f64 {
         profile.age(now)
+    }
+
+    fn weakest(tree: &MulticastTree, depth: usize, now: SimTime) -> Option<(f64, NodeId)> {
+        tree.weakest_by_age(depth, now)
     }
 }
 
@@ -232,6 +241,53 @@ mod tests {
         assert!(RelaxedTimeOrdered.is_centralized());
         assert_eq!(RelaxedBandwidthOrdered.name(), "relaxed-bw-ordered");
         assert_eq!(RelaxedTimeOrdered.name(), "relaxed-time-ordered");
+    }
+
+    #[test]
+    fn bandwidth_decay_rekeys_the_eviction_index() {
+        // Regression for the indexed eviction path: `set_bandwidth` must
+        // re-key the member's index entry, or a later ordered join probes
+        // stale bandwidths and picks the wrong victim.
+        let mut tree = MulticastTree::new(profile(0, 10.0, 0.0), 1.0);
+        tree.attach(profile(1, 5.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 4.0, 0.0), NodeId(0)).unwrap();
+        // Node 1 decays below node 2: the index must now rank it weakest.
+        tree.set_bandwidth(NodeId(1), 2.0).unwrap();
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.weakest_by_bandwidth(1), Some((2.0, NodeId(1))));
+        let joiner = profile(9, 3.0, 10.0);
+        let c = ctx(&tree, &joiner, &[], 10.0);
+        assert_eq!(
+            RelaxedBandwidthOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Replace { evict: NodeId(1) }
+        );
+    }
+
+    #[test]
+    fn bandwidth_decay_sheds_children_and_keeps_indices_coherent() {
+        // Tail-first shedding drops subtrees out of the attached set; the
+        // eviction and free-slot indices must follow, so the next ordered
+        // join neither evicts a detached member nor misses the weakened
+        // survivor.
+        let mut tree = MulticastTree::new(profile(0, 10.0, 0.0), 1.0);
+        tree.attach(profile(1, 3.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(2, 4.0, 0.0), NodeId(0)).unwrap();
+        tree.attach(profile(3, 1.0, 0.0), NodeId(1)).unwrap();
+        tree.attach(profile(4, 1.5, 0.0), NodeId(1)).unwrap();
+        // Capacity 3 → 1 sheds the most recently adopted child (node 4).
+        let shed = tree.set_bandwidth(NodeId(1), 1.2).unwrap();
+        assert_eq!(shed, vec![NodeId(4)]);
+        tree.check_invariants().unwrap();
+        // Depth 2 now holds only node 3; the shed node is unprobeable.
+        assert_eq!(tree.weakest_by_bandwidth(2), Some((1.0, NodeId(3))));
+        // A joiner stronger than the decayed node 1 (bw 1.2) but weaker
+        // than node 2 evicts node 1 — the post-decay weakest at depth 1.
+        let joiner = profile(9, 2.0, 10.0);
+        let c = ctx(&tree, &joiner, &[], 10.0);
+        assert_eq!(
+            RelaxedBandwidthOrdered.select(&c, &ZeroProximity),
+            JoinDecision::Replace { evict: NodeId(1) }
+        );
     }
 
     #[test]

@@ -138,6 +138,57 @@ struct TreeSlot {
     generation: u32,
 }
 
+/// Encodes a non-negative bandwidth as an order-preserving `u64` key:
+/// for non-negative finite doubles the raw bit pattern already sorts
+/// numerically, and adding `0.0` first collapses `-0.0` onto `0.0` so
+/// bitwise key equality coincides with `==` (the comparison the layer
+/// scan this index replaces used).
+fn bw_order_key(bw: f64) -> u64 {
+    (bw + 0.0).to_bits()
+}
+
+/// Encodes a join time as a `u64` that sorts *descending* in time (and
+/// therefore ascending in age at any fixed `now`): the standard
+/// sign-aware total-order bit trick, complemented. `SimTime` may be
+/// negative, so both halves of the mapping are exercised.
+fn join_order_key(t: SimTime) -> u64 {
+    let bits = t.as_secs().to_bits();
+    let ascending = if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    };
+    !ascending
+}
+
+/// Recovers the exact join time a [`join_order_key`] was computed from,
+/// so age probes can reproduce `MemberProfile::age` bit for bit without
+/// a slot lookup.
+fn join_order_key_decode(key: u64) -> f64 {
+    let ascending = !key;
+    if ascending >> 63 == 1 {
+        f64::from_bits(ascending & !(1 << 63))
+    } else {
+        f64::from_bits(!ascending)
+    }
+}
+
+/// One depth layer's ordered eviction indices: the attached occupants
+/// keyed by the two order criteria the relaxed ordered algorithms evict
+/// under (§5 algorithms 3–4). Both sets iterate weakest-first with ties
+/// to the smallest id, so the eviction search probes the first entry
+/// instead of scanning the layer.
+#[derive(Debug, Clone, Default)]
+struct EvictLayer {
+    /// `(bw_order_key(bandwidth), id)` — ascending bandwidth, then id.
+    by_bandwidth: BTreeSet<(u64, NodeId)>,
+    /// `(join_order_key(join_time), id)` — descending join time (i.e.
+    /// ascending age at any `now`), then id. Time-invariant: age order
+    /// at every `now` is exactly reverse join-time order, so the index
+    /// never needs restamping as the clock advances.
+    by_join: BTreeSet<(u64, NodeId)>,
+}
+
 /// What [`MulticastTree::remove`] hands back.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemovedMember {
@@ -214,6 +265,15 @@ pub struct MulticastTree {
     /// Attached members bucketed by depth, each layer sorted by id so
     /// iteration order is exactly (depth, id).
     depth_index: Vec<Vec<(NodeId, NodeIndex)>>,
+    /// Per-depth ordered eviction indices (same length as `depth_index`),
+    /// maintained alongside it so `find_eviction` probes the weakest
+    /// entry per layer instead of scanning every member.
+    evict_index: Vec<EvictLayer>,
+    /// Per-depth attached members with at least one free forwarding slot
+    /// (same length as `depth_index`), keyed by id so iteration within a
+    /// layer is id-ordered. Lets the centralized minimum-depth fallback
+    /// jump straight to the shallowest layer with spare capacity.
+    free_index: Vec<BTreeMap<NodeId, NodeIndex>>,
     orphan_roots: BTreeSet<NodeId>,
     /// O(1) cache: total entries across `depth_index`.
     attached_total: usize,
@@ -243,6 +303,14 @@ impl MulticastTree {
         let root = source.id;
         let capacity = source.out_capacity(stream_rate);
         let root_ix = NodeIndex::mint(0, 0);
+        let root_evict = EvictLayer {
+            by_bandwidth: BTreeSet::from([(bw_order_key(source.bandwidth), root)]),
+            by_join: BTreeSet::from([(join_order_key(source.join_time), root)]),
+        };
+        let mut root_free = BTreeMap::new();
+        if capacity > 0 {
+            root_free.insert(root, root_ix);
+        }
         let slots = vec![TreeSlot {
             id: root,
             profile: source,
@@ -264,6 +332,8 @@ impl MulticastTree {
             free: Vec::new(),
             ids,
             depth_index: vec![vec![(root, root_ix)]],
+            evict_index: vec![root_evict],
+            free_index: vec![root_free],
             orphan_roots: BTreeSet::new(),
             attached_total: 1,
             deepest: 0,
@@ -613,6 +683,66 @@ impl MulticastTree {
         self.deepest
     }
 
+    /// The attached member at `depth` with the minimum (bandwidth, id) —
+    /// the node the relaxed bandwidth-ordered eviction rule targets in
+    /// that layer. Answered from the per-depth ordered index in
+    /// O(log layer) instead of a layer scan. The returned bandwidth is
+    /// numerically equal to the member's (`-0.0` reads back as `0.0`).
+    #[must_use]
+    pub fn weakest_by_bandwidth(&self, depth: usize) -> Option<(f64, NodeId)> {
+        let layer = self.evict_index.get(depth)?;
+        layer
+            .by_bandwidth
+            .iter()
+            .next()
+            .map(|&(key, id)| (f64::from_bits(key), id))
+    }
+
+    /// The attached member at `depth` with the minimum (age at `now`, id)
+    /// — the relaxed time-ordered eviction target in that layer. The
+    /// index is ordered by descending join time, which equals ascending
+    /// age at any `now`; distinct join times can still collapse onto one
+    /// age (the clamp at zero for not-yet-joined members, f64 subtraction
+    /// rounding), so the id tie-break walks the equal-age prefix. Ages
+    /// are recomputed exactly as [`MemberProfile::age`] computes them,
+    /// from join times recovered bit-for-bit out of the index keys.
+    #[must_use]
+    pub fn weakest_by_age(&self, depth: usize, now: SimTime) -> Option<(f64, NodeId)> {
+        let layer = self.evict_index.get(depth)?;
+        let age_of = |key: u64| (now.as_secs() - join_order_key_decode(key)).max(0.0);
+        let mut entries = layer.by_join.iter();
+        let &(first_key, first_id) = entries.next()?;
+        let age = age_of(first_key);
+        let mut best = first_id;
+        for &(key, id) in entries {
+            if age_of(key) != age {
+                break;
+            }
+            if id < best {
+                best = id;
+            }
+        }
+        Some((age, best))
+    }
+
+    /// The shallowest depth holding an attached member with at least one
+    /// free forwarding slot — where the minimum-depth join rule will
+    /// place the next leaf. O(max_depth) probes of per-depth free-slot
+    /// maps instead of a scan over the whole membership.
+    #[must_use]
+    pub fn shallowest_free_depth(&self) -> Option<usize> {
+        (0..=self.deepest).find(|&d| self.free_index.get(d).is_some_and(|m| !m.is_empty()))
+    }
+
+    /// The attached members at `depth` with at least one free forwarding
+    /// slot, with their arena indices, in id order.
+    pub fn free_slot_entries(&self, depth: usize) -> impl Iterator<Item = (NodeId, NodeIndex)> + '_ {
+        self.free_index
+            .get(depth)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&id, &ix)| (id, ix)))
+    }
+
     /// Ancestors of `id` from its parent up to the subtree root (the source
     /// for attached members). Empty for roots and unknown ids.
     #[must_use]
@@ -750,8 +880,16 @@ impl MulticastTree {
     }
 
     fn index_insert(&mut self, id: NodeId, ix: NodeIndex, depth: usize) {
+        // Key material is read from the slot at insert time, so callers
+        // must finalize the slot's profile/capacity/children first.
+        let slot = &self.slots[ix.index()];
+        let bw_key = bw_order_key(slot.profile.bandwidth);
+        let join_key = join_order_key(slot.profile.join_time);
+        let has_free = slot.capacity > slot.children.len();
         if self.depth_index.len() <= depth {
             self.depth_index.resize_with(depth + 1, Vec::new);
+            self.evict_index.resize_with(depth + 1, EvictLayer::default);
+            self.free_index.resize_with(depth + 1, BTreeMap::new);
         }
         let layer = &mut self.depth_index[depth];
         match layer.binary_search_by_key(&id, |e| e.0) {
@@ -762,20 +900,72 @@ impl MulticastTree {
                 if depth > self.deepest {
                     self.deepest = depth;
                 }
+                let evict = &mut self.evict_index[depth];
+                evict.by_bandwidth.insert((bw_key, id));
+                evict.by_join.insert((join_key, id));
+                if has_free {
+                    self.free_index[depth].insert(id, ix);
+                }
             }
         }
     }
 
-    fn index_remove(&mut self, id: NodeId, depth: usize) {
+    fn index_remove(&mut self, id: NodeId, ix: NodeIndex, depth: usize) {
+        let slot = &self.slots[ix.index()];
+        let bw_key = bw_order_key(slot.profile.bandwidth);
+        let join_key = join_order_key(slot.profile.join_time);
         if let Some(layer) = self.depth_index.get_mut(depth) {
             if let Ok(pos) = layer.binary_search_by_key(&id, |e| e.0) {
                 layer.remove(pos);
                 self.attached_total -= 1;
+                let evict = &mut self.evict_index[depth];
+                evict.by_bandwidth.remove(&(bw_key, id));
+                evict.by_join.remove(&(join_key, id));
+                self.free_index[depth].remove(&id);
                 while self.deepest > 0 && self.depth_index[self.deepest].is_empty() {
                     self.deepest -= 1;
                 }
             }
         }
+    }
+
+    /// Re-evaluates `ix`'s membership in the free-slot index after a
+    /// child-count or capacity change. Detached slots are never indexed,
+    /// so the call is a no-op for them.
+    fn refresh_free_slot(&mut self, ix: NodeIndex) {
+        let slot = &self.slots[ix.index()];
+        if !slot.attached {
+            return;
+        }
+        let id = slot.id;
+        let depth = slot.depth;
+        if slot.capacity > slot.children.len() {
+            self.free_index[depth].insert(id, ix);
+        } else {
+            self.free_index[depth].remove(&id);
+        }
+    }
+
+    /// Moves the attached subtree rooted at `ix` one level shallower,
+    /// re-homing each node's index entries. Used by the switch path for
+    /// the grandchild subtrees that spill into the promoted node: their
+    /// shape, attachment, and keys are unchanged — only depths shift.
+    fn shift_subtree_up(&mut self, ix: NodeIndex) {
+        let mut frontier = std::mem::take(&mut self.restamp_buf);
+        frontier.clear();
+        frontier.push((ix, 0));
+        while let Some((n, _)) = frontier.pop() {
+            let slot = &self.slots[n.index()];
+            let id = slot.id;
+            let old_depth = slot.depth;
+            self.index_remove(id, n, old_depth);
+            self.slots[n.index()].depth = old_depth - 1;
+            self.index_insert(id, n, old_depth - 1);
+            for &c in &self.slots[n.index()].children {
+                frontier.push((c, 0));
+            }
+        }
+        self.restamp_buf = frontier;
     }
 
     /// Marks the subtree rooted at `ix` attached/detached and rebuilds its
@@ -795,7 +985,7 @@ impl MulticastTree {
             slot.attached = attached;
             slot.depth = d;
             if was_attached {
-                self.index_remove(id, old_depth);
+                self.index_remove(id, n, old_depth);
             }
             if attached {
                 self.index_insert(id, n, d);
@@ -835,6 +1025,7 @@ impl MulticastTree {
         let capacity = profile.out_capacity(self.stream_rate);
         let ix = self.alloc(id, profile, capacity, pix, depth, true);
         self.sm(pix).children.push(ix);
+        self.refresh_free_slot(pix);
         self.ids.insert(id, ix);
         self.index_insert(id, ix, depth);
         Ok(())
@@ -871,6 +1062,7 @@ impl MulticastTree {
         let base_depth = pslot.depth + 1;
         let oix = self.index_of(orphan).expect("orphan exists");
         self.sm(pix).children.push(oix);
+        self.refresh_free_slot(pix);
         self.sm(oix).parent = pix;
         self.orphan_roots.remove(&orphan);
         self.restamp_subtree(oix, base_depth, true);
@@ -904,9 +1096,10 @@ impl MulticastTree {
         // Detach from the parent (if any).
         if parent != NodeIndex::NIL {
             self.sm(parent).children.retain(|&c| c != ix);
+            self.refresh_free_slot(parent);
         }
         if attached {
-            self.index_remove(id, depth);
+            self.index_remove(id, ix, depth);
         }
         self.orphan_roots.remove(&id);
 
@@ -1001,7 +1194,7 @@ impl MulticastTree {
         eslot.parent = NodeIndex::NIL;
         eslot.children.clear();
         eslot.attached = false;
-        self.index_remove(evict, depth);
+        self.index_remove(evict, eix, depth);
         self.orphan_roots.insert(evict);
 
         // Overflow children become orphan subtree roots.
@@ -1094,7 +1287,7 @@ impl MulticastTree {
             e.children.clear();
             e.attached = false;
         }
-        self.index_remove(evict, depth);
+        self.index_remove(evict, eix, depth);
         self.orphan_roots.insert(evict);
 
         for &(cid, c) in overflow_pairs {
@@ -1264,10 +1457,27 @@ impl MulticastTree {
             self.restamp_subtree(d, 0, false);
         }
 
-        // Depths: everything under the promoted child may have shifted.
+        // Depths: a switch only perturbs depths by ±1 inside known
+        // partitions, so the former full-subtree restamp reduces to
+        // incremental index maintenance. The promoted child rises one
+        // level and the demoted parent sinks one; followed siblings and
+        // kept grandchildren keep their depths (only their parent pointer
+        // changed, which no index keys on); each subtree spilled to the
+        // promoted node rises one level wholesale, shape intact. Nothing
+        // here changes attachment, and index entries move only after the
+        // children lists above are final so free-slot membership is
+        // computed on the post-switch shape.
         {
             let _restamp = self.prof.span("overlay.switch_restamp");
-            self.restamp_subtree(cix, parent_depth, true);
+            self.index_remove(child, cix, parent_depth + 1);
+            self.index_remove(parent, pix, parent_depth);
+            self.slots[cix.index()].depth = parent_depth;
+            self.slots[pix.index()].depth = parent_depth + 1;
+            self.index_insert(child, cix, parent_depth);
+            self.index_insert(parent, pix, parent_depth + 1);
+            for &(_, t) in to_promoted {
+                self.shift_subtree_up(t);
+            }
         }
 
         Ok(SwitchRecord {
@@ -1302,6 +1512,9 @@ impl MulticastTree {
         let ix = self.index_of(id).ok_or(TreeError::UnknownMember(id))?;
         let rate = self.stream_rate;
         let slot = &mut self.slots[ix.index()];
+        let attached = slot.attached;
+        let depth = slot.depth;
+        let old_bw_key = bw_order_key(slot.profile.bandwidth);
         slot.profile.bandwidth = bandwidth;
         slot.capacity = slot.profile.out_capacity(rate);
         let mut shed_ix = Vec::new();
@@ -1312,11 +1525,23 @@ impl MulticastTree {
                 break;
             }
         }
+        // Re-key the member's eviction-index entry under its new
+        // bandwidth (join time is untouched, so `by_join` stands), and
+        // re-evaluate its free-slot membership once shedding settles the
+        // child count. Detached members carry no index entries.
+        if attached {
+            let evict = &mut self.evict_index[depth];
+            evict.by_bandwidth.remove(&(old_bw_key, id));
+            evict.by_bandwidth.insert((bw_order_key(bandwidth), id));
+        }
         let shed: Vec<NodeId> = shed_ix.iter().map(|&c| self.s(c).id).collect();
         for (i, &c) in shed_ix.iter().enumerate() {
             self.sm(c).parent = NodeIndex::NIL;
             self.orphan_roots.insert(shed[i]);
             self.restamp_subtree(c, 0, false);
+        }
+        if attached {
+            self.refresh_free_slot(ix);
         }
         Ok(shed)
     }
@@ -1350,6 +1575,7 @@ impl MulticastTree {
         let pix = self.s(ix).parent;
         assert!(pix != NodeIndex::NIL, "test node has a parent");
         self.sm(pix).children.retain(|&c| c != ix);
+        self.refresh_free_slot(pix);
         self.sm(ix).parent = NodeIndex::NIL;
         self.orphan_roots.insert(id);
         self.restamp_subtree(ix, 0, false);
@@ -1470,6 +1696,57 @@ impl MulticastTree {
             if !layer.windows(2).all(|w| w[0].0 < w[1].0) {
                 return fail("depth-index layer is not id-sorted".into());
             }
+        }
+
+        // Eviction/free-slot index agreement: every layer member appears
+        // in both ordered eviction sets under its documented keys, the
+        // free-slot map holds exactly the members with spare capacity,
+        // and the totals rule out stale extras.
+        let mut free_expected = 0usize;
+        for (depth, layer) in self.depth_index.iter().enumerate() {
+            let Some(evict) = self.evict_index.get(depth) else {
+                return fail(format!("no eviction index layer at depth {depth}"));
+            };
+            let Some(free) = self.free_index.get(depth) else {
+                return fail(format!("no free-slot index layer at depth {depth}"));
+            };
+            for &(id, ix) in layer {
+                let slot = self.s(ix);
+                if !evict
+                    .by_bandwidth
+                    .contains(&(bw_order_key(slot.profile.bandwidth), id))
+                {
+                    return fail(format!("{id} missing from bandwidth index at {depth}"));
+                }
+                if !evict
+                    .by_join
+                    .contains(&(join_order_key(slot.profile.join_time), id))
+                {
+                    return fail(format!("{id} missing from join-time index at {depth}"));
+                }
+                let has_free = slot.capacity > slot.children.len();
+                if has_free {
+                    free_expected += 1;
+                }
+                if free.get(&id).copied() != has_free.then_some(ix) {
+                    return fail(format!("{id} free-slot index entry wrong at {depth}"));
+                }
+            }
+        }
+        let evict_bw_total: usize = self.evict_index.iter().map(|l| l.by_bandwidth.len()).sum();
+        let evict_join_total: usize = self.evict_index.iter().map(|l| l.by_join.len()).sum();
+        if evict_bw_total != reachable || evict_join_total != reachable {
+            return fail(format!(
+                "eviction index holds {evict_bw_total}/{evict_join_total} entries but \
+                 {reachable} attached members exist"
+            ));
+        }
+        let free_total: usize = self.free_index.iter().map(BTreeMap::len).sum();
+        if free_total != free_expected {
+            return fail(format!(
+                "free-slot index holds {free_total} entries but {free_expected} attached \
+                 members have spare capacity"
+            ));
         }
 
         // Attached members are exactly those reachable from the root

@@ -23,6 +23,9 @@ enum Op {
     Replace { bw_tenths: u8, pick: u16 },
     /// The k-th orphan root usurps the j-th attached non-root member.
     Usurp { pick: u16, evict_pick: u16 },
+    /// Re-key the k-th member (root included) to a new bandwidth,
+    /// shedding children past the recomputed capacity.
+    SetBandwidth { bw_tenths: u8, pick: u16 },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -33,7 +36,16 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         2 => any::<u16>().prop_map(|pick| Op::Swap { pick }),
         1 => (any::<u8>(), any::<u16>()).prop_map(|(bw_tenths, pick)| Op::Replace { bw_tenths, pick }),
         1 => (any::<u16>(), any::<u16>()).prop_map(|(pick, evict_pick)| Op::Usurp { pick, evict_pick }),
+        2 => (any::<u8>(), any::<u16>()).prop_map(|(bw_tenths, pick)| Op::SetBandwidth { bw_tenths, pick }),
     ]
+}
+
+fn apply_set_bandwidth(tree: &mut MulticastTree, bw_tenths: u8, pick: u16) {
+    let mut members: Vec<NodeId> = tree.member_ids().collect();
+    members.sort();
+    if let Some(m) = pick_from(&members, pick) {
+        tree.set_bandwidth(m, f64::from(bw_tenths) / 10.0).unwrap();
+    }
 }
 
 fn pick_from(items: &[NodeId], pick: u16) -> Option<NodeId> {
@@ -119,6 +131,9 @@ proptest! {
                     if let (Some(o), Some(t)) = (pick_from(&orphans, pick), pick_from(&targets, evict_pick)) {
                         tree.usurp(t, o, |p| p.bandwidth).unwrap();
                     }
+                }
+                Op::SetBandwidth { bw_tenths, pick } => {
+                    apply_set_bandwidth(&mut tree, bw_tenths, pick);
                 }
             }
             if let Err(v) = tree.check_invariants() {
@@ -221,6 +236,9 @@ proptest! {
                         tree.usurp(t, o, |p| p.bandwidth).unwrap();
                     }
                 }
+                Op::SetBandwidth { bw_tenths, pick } => {
+                    apply_set_bandwidth(&mut tree, bw_tenths, pick);
+                }
             }
             let recomputed_attached = tree
                 .member_ids()
@@ -261,4 +279,121 @@ proptest! {
             }
         }
     }
+
+    /// The ordered eviction index and the free-slot index answer exactly
+    /// what an exhaustive layer scan answers, no matter how mutations
+    /// interleave — including `set_bandwidth` re-keying and slot reuse
+    /// after removals (`check_invariants`, run every step, additionally
+    /// proves index membership equals the attached set per depth).
+    /// Join times span negative, zero, and positive seconds so the age
+    /// probe's sign handling, clamp-at-zero ties, and id tie-breaks are
+    /// all exercised at both probe times.
+    #[test]
+    fn eviction_probes_match_exhaustive_scans(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = MulticastTree::new(profile(0, 4.0), 1.0);
+        let mut next_id = 1u64;
+        for op in ops {
+            match op {
+                Op::Attach { bw_tenths, pick } => {
+                    let parents = attached_with_free_slot(&tree);
+                    if let Some(parent) = pick_from(&parents, pick) {
+                        let join_secs = (next_id % 13) as f64 - 6.0;
+                        let m = MemberProfile::new(
+                            NodeId(next_id),
+                            f64::from(bw_tenths) / 10.0,
+                            SimTime::from_secs(join_secs),
+                            1e6,
+                            Location(next_id as u32),
+                        );
+                        tree.attach(m, parent).unwrap();
+                        next_id += 1;
+                    }
+                }
+                Op::Remove { pick } => {
+                    let mut victims: Vec<NodeId> =
+                        tree.member_ids().filter(|&n| n != tree.root()).collect();
+                    victims.sort();
+                    if let Some(v) = pick_from(&victims, pick) {
+                        tree.remove(v).unwrap();
+                    }
+                }
+                Op::Reattach { pick, parent_pick } => {
+                    let orphans: Vec<NodeId> = tree.orphan_roots().collect();
+                    let parents = attached_with_free_slot(&tree);
+                    if let (Some(o), Some(p)) = (pick_from(&orphans, pick), pick_from(&parents, parent_pick)) {
+                        tree.reattach(o, p).unwrap();
+                    }
+                }
+                Op::Swap { pick } => {
+                    let nodes = attached_non_root(&tree);
+                    if let Some(n) = pick_from(&nodes, pick) {
+                        let _ = tree.swap_with_parent(n, |p| p.bandwidth);
+                    }
+                }
+                Op::Replace { bw_tenths, pick } => {
+                    let targets = attached_non_root(&tree);
+                    if let Some(t) = pick_from(&targets, pick) {
+                        tree.replace(t, profile(next_id, f64::from(bw_tenths) / 10.0), |p| p.bandwidth).unwrap();
+                        next_id += 1;
+                    }
+                }
+                Op::Usurp { pick, evict_pick } => {
+                    let orphans: Vec<NodeId> = tree.orphan_roots().collect();
+                    let targets = attached_non_root(&tree);
+                    if let (Some(o), Some(t)) = (pick_from(&orphans, pick), pick_from(&targets, evict_pick)) {
+                        tree.usurp(t, o, |p| p.bandwidth).unwrap();
+                    }
+                }
+                Op::SetBandwidth { bw_tenths, pick } => {
+                    apply_set_bandwidth(&mut tree, bw_tenths, pick);
+                }
+            }
+            tree.check_invariants().unwrap();
+            for now in [SimTime::from_secs(0.5), SimTime::from_secs(8.0)] {
+                for depth in 0..=tree.max_depth() {
+                    prop_assert_eq!(
+                        tree.weakest_by_bandwidth(depth),
+                        scan_weakest(&tree, depth, |p| p.bandwidth),
+                        "bandwidth probe at depth {}", depth
+                    );
+                    prop_assert_eq!(
+                        tree.weakest_by_age(depth, now),
+                        scan_weakest(&tree, depth, |p| p.age(now)),
+                        "age probe at depth {} now {:?}", depth, now
+                    );
+                }
+            }
+            let scan_free_depth = (0..=tree.max_depth())
+                .find(|&d| tree.layer(d).any(|id| tree.has_free_slot(id)));
+            prop_assert_eq!(tree.shallowest_free_depth(), scan_free_depth);
+            for depth in 0..=tree.max_depth() {
+                let indexed: Vec<NodeId> = tree.free_slot_entries(depth).map(|(id, _)| id).collect();
+                let scanned: Vec<NodeId> =
+                    tree.layer(depth).filter(|&id| tree.has_free_slot(id)).collect();
+                prop_assert_eq!(indexed, scanned, "free-slot entries at depth {}", depth);
+            }
+        }
+    }
+}
+
+/// The pre-index eviction search body: an exhaustive scan of one layer
+/// for the minimum (key, id), using the same `==`/`<` comparisons the old
+/// `find_eviction` used.
+fn scan_weakest(
+    tree: &MulticastTree,
+    depth: usize,
+    key: impl Fn(&MemberProfile) -> f64,
+) -> Option<(f64, NodeId)> {
+    let mut weakest: Option<(f64, NodeId)> = None;
+    for (cand, ix) in tree.layer_entries(depth) {
+        let k = key(tree.profile_ix(ix));
+        let better = match weakest {
+            None => true,
+            Some((wk, wid)) => k < wk || (k == wk && cand < wid),
+        };
+        if better {
+            weakest = Some((k, cand));
+        }
+    }
+    weakest
 }
