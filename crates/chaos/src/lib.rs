@@ -10,6 +10,12 @@
 //!   failures, flash-crowd join bursts, flapping membership, bandwidth
 //!   degradation over time, and wire-level message loss/delay/reordering
 //!   ([`LinkChaos`]);
+//! - a **link-pathology layer** ([`GilbertElliott`], [`CapacityTrace`],
+//!   [`DelaySpikes`], [`MobileProfile`]): bursty loss with a
+//!   matched-average-rate parameterization, time-varying capacity
+//!   traces, bufferbloat spikes, and the composite mobile-member
+//!   handover profile — deterministic state machines advanced on sim
+//!   time, drawing only caller-supplied uniforms;
 //! - an **invariant layer** ([`Invariant`], [`InvariantRegistry`]):
 //!   cross-cutting checkers evaluated during event dispatch — tree
 //!   acyclicity and single-parent, out-degree within the bandwidth
@@ -51,6 +57,7 @@
 
 mod invariant;
 mod link;
+mod pathology;
 mod scenario;
 
 pub use invariant::{
@@ -58,6 +65,9 @@ pub use invariant::{
     InvariantRegistry, RecoveryGroupConsistent, RejoinCause, Signal, TreeStructure, Violation,
 };
 pub use link::{LinkChaos, LinkChaosConfig, LinkFate};
+pub use pathology::{
+    CapacitySegment, CapacityTrace, DelaySpikes, GilbertElliott, MobileProfile,
+};
 pub use scenario::{pick_attached, pick_cluster, ChaosAction, Injection, Scenario};
 
 /// Base for ids of members created by chaos injections (flash crowds,

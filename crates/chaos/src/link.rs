@@ -8,6 +8,8 @@
 
 use rom_sim::SimRng;
 
+use crate::pathology::{DelaySpikes, GilbertElliott};
+
 /// Probabilities for the per-frame perturbation draw.
 ///
 /// The three probabilities partition the unit interval; whatever is left
@@ -92,6 +94,14 @@ pub enum LinkFate {
 #[derive(Debug)]
 pub struct LinkChaos {
     cfg: LinkChaosConfig,
+    /// When set, the drop decision follows this Gilbert–Elliott chain
+    /// (stationary rate = `cfg.drop_prob`) instead of an independent
+    /// Bernoulli draw; the delay/reorder bands shift with the chain's
+    /// per-state threshold but consume the very same single uniform.
+    burst: Option<GilbertElliott>,
+    /// When set, frames crossing an active spike window are delayed by
+    /// a fixed extra hold-back (bufferbloat) without consuming a draw.
+    spikes: Option<DelaySpikes>,
     rng: SimRng,
     dropped: u64,
     delayed: u64,
@@ -110,6 +120,8 @@ impl LinkChaos {
         cfg.validate();
         LinkChaos {
             cfg,
+            burst: None,
+            spikes: None,
             rng: SimRng::seed_from(seed).fork("link-chaos"),
             dropped: 0,
             delayed: 0,
@@ -117,23 +129,89 @@ impl LinkChaos {
         }
     }
 
+    /// An oracle whose losses are bursty: a [`GilbertElliott`] chain
+    /// with stationary loss rate `cfg.drop_prob` and the given burst
+    /// factor, on the **same** `"link-chaos"` RNG fork and draw sequence
+    /// as [`LinkChaos::new`]. At `burst_factor = 1` the chain's two
+    /// states collapse to `drop_prob` exactly, so the fate sequence is
+    /// bit-identical to the uniform oracle — the degenerate-equivalence
+    /// guarantee pinned by `tests/pathology_properties.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid, if `burst_factor < 1`, or if the
+    /// chain's bad-state loss probability plus the delay and reorder
+    /// probabilities exceed 1 (the bands must still partition `[0, 1)`).
+    #[must_use]
+    pub fn with_burst(cfg: LinkChaosConfig, burst_factor: f64, seed: u64) -> Self {
+        let mut oracle = LinkChaos::new(cfg, seed);
+        let chain = GilbertElliott::matched(cfg.drop_prob, burst_factor);
+        assert!(
+            chain.p_loss_bad() + cfg.delay_prob + cfg.reorder_prob <= 1.0,
+            "bursty loss probabilities must sum to at most 1 in every state"
+        );
+        oracle.burst = Some(chain);
+        oracle
+    }
+
+    /// Adds a periodic bufferbloat schedule, in delivery steps: while a
+    /// spike is active (per [`DelaySpikes::active_at`] over the step
+    /// count), every frame consulted through
+    /// [`classify_at`](Self::classify_at) is held back `extra` steps
+    /// without consuming an RNG draw.
+    #[must_use]
+    pub fn with_spikes(mut self, period_steps: u64, span_steps: u64, extra_steps: u64) -> Self {
+        assert!(extra_steps >= 1, "a spike must delay at least one step");
+        self.spikes = Some(DelaySpikes::new(
+            period_steps as f64,
+            span_steps as f64,
+            extra_steps as f64,
+        ));
+        self
+    }
+
     /// Draws the fate for the next frame.
     pub fn classify(&mut self) -> LinkFate {
         let u = self.rng.uniform();
-        if u < self.cfg.drop_prob {
+        let drop_prob = match self.burst.as_mut() {
+            Some(chain) => {
+                let threshold = chain.loss_threshold();
+                chain.classify(u);
+                threshold
+            }
+            None => self.cfg.drop_prob,
+        };
+        if u < drop_prob {
             self.dropped += 1;
             return LinkFate::Drop;
         }
-        if u < self.cfg.drop_prob + self.cfg.delay_prob {
+        if u < drop_prob + self.cfg.delay_prob {
             self.delayed += 1;
             let steps = 1 + self.rng.index(self.cfg.max_delay_steps as usize) as u64;
             return LinkFate::Delay(steps);
         }
-        if u < self.cfg.drop_prob + self.cfg.delay_prob + self.cfg.reorder_prob {
+        if u < drop_prob + self.cfg.delay_prob + self.cfg.reorder_prob {
             self.reordered += 1;
             return LinkFate::Reorder;
         }
         LinkFate::Deliver
+    }
+
+    /// Time-aware [`classify`](Self::classify): if a bufferbloat spike
+    /// is active at `step`, the frame is deterministically delayed by
+    /// the spike's extra hold-back (no draw); otherwise this is exactly
+    /// `classify()`. Without a spike schedule the two are
+    /// indistinguishable, draw for draw.
+    pub fn classify_at(&mut self, step: u64) -> LinkFate {
+        if let Some(spikes) = self.spikes {
+            #[allow(clippy::cast_precision_loss)]
+            if spikes.active_at(step as f64) {
+                self.delayed += 1;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                return LinkFate::Delay(spikes.extra as u64);
+            }
+        }
+        self.classify()
     }
 
     /// Frames dropped so far.
@@ -201,6 +279,45 @@ mod tests {
         );
         for _ in 0..100 {
             assert_eq!(chaos.classify(), LinkFate::Deliver);
+        }
+    }
+
+    #[test]
+    fn bursty_oracle_holds_the_average_loss_rate() {
+        let cfg = LinkChaosConfig {
+            drop_prob: 0.1,
+            delay_prob: 0.0,
+            max_delay_steps: 1,
+            reorder_prob: 0.0,
+        };
+        let mut chaos = LinkChaos::with_burst(cfg, 6.0, 9);
+        let n = 50_000;
+        for _ in 0..n {
+            chaos.classify();
+        }
+        let rate = chaos.dropped() as f64 / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.015, "bursty loss rate {rate}");
+    }
+
+    #[test]
+    fn spikes_delay_deterministically_without_draws() {
+        let cfg = LinkChaosConfig {
+            drop_prob: 0.2,
+            delay_prob: 0.0,
+            max_delay_steps: 1,
+            reorder_prob: 0.0,
+        };
+        let mut spiked = LinkChaos::new(cfg, 5).with_spikes(10, 3, 4);
+        let mut plain = LinkChaos::new(cfg, 5);
+        for step in 1..=40u64 {
+            let fate = spiked.classify_at(step);
+            if step % 10 < 3 {
+                assert_eq!(fate, LinkFate::Delay(4), "step {step} is inside a spike");
+            } else {
+                // Outside spikes the time-aware oracle consumes the same
+                // draw stream as the plain one.
+                assert_eq!(fate, plain.classify(), "step {step}");
+            }
         }
     }
 

@@ -9,6 +9,8 @@
 use rom_overlay::{MulticastTree, NodeId};
 use rom_sim::SimRng;
 
+use crate::pathology::{CapacitySegment, CapacityTrace, DelaySpikes, MobileProfile};
+
 /// One fault-injection primitive. Scenarios compose these freely.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChaosAction {
@@ -52,6 +54,51 @@ pub enum ChaosAction {
         /// Multiplier applied to each victim's bandwidth, in `(0, 1)`.
         factor: f64,
     },
+    /// Gilbert–Elliott bursty loss on the access links of a random
+    /// `fraction` of attached members for `duration_secs`: data packets
+    /// and CER repair traffic crossing those links are lost in
+    /// correlated bursts at the given *average* rate.
+    BurstyLoss {
+        /// Fraction of attached members hit, in `(0, 1]`.
+        fraction: f64,
+        /// Stationary (average) loss rate of the chain, in `[0, 1)`.
+        avg_loss: f64,
+        /// Burst factor (≥ 1; 1 degenerates to uniform loss).
+        burst_factor: f64,
+        /// Episode length in seconds (> 0).
+        duration_secs: f64,
+    },
+    /// Time-varying access-link capacity on a random `fraction` of
+    /// attached members: CER repair service rates over those links are
+    /// scaled by the trace's factor while the episode runs (the episode
+    /// length is the trace's duration).
+    ShapeCapacity {
+        /// Fraction of attached members hit, in `(0, 1]`.
+        fraction: f64,
+        /// The step/ramp capacity schedule.
+        trace: CapacityTrace,
+    },
+    /// Periodic bufferbloat on the access links of a random `fraction`
+    /// of attached members for `duration_secs`: repair traffic crossing
+    /// an active spike window arrives late by the spike's extra latency.
+    Bufferbloat {
+        /// Fraction of attached members hit, in `(0, 1]`.
+        fraction: f64,
+        /// The spike schedule, in seconds.
+        spikes: DelaySpikes,
+        /// Episode length in seconds (> 0).
+        duration_secs: f64,
+    },
+    /// `count` random attached members become "mobile": their access
+    /// links follow the composite handover profile (capacity collapse
+    /// and recovery, bursty loss, bloat spikes) for the profile's
+    /// duration.
+    MobileMember {
+        /// Number of members turned mobile.
+        count: usize,
+        /// The composite access-link profile.
+        profile: MobileProfile,
+    },
 }
 
 impl ChaosAction {
@@ -63,6 +110,10 @@ impl ChaosAction {
             ChaosAction::FlashCrowd { .. } => "flash_crowd",
             ChaosAction::Flap { .. } => "flap",
             ChaosAction::DegradeBandwidth { .. } => "degrade_bandwidth",
+            ChaosAction::BurstyLoss { .. } => "bursty_loss",
+            ChaosAction::ShapeCapacity { .. } => "shape_capacity",
+            ChaosAction::Bufferbloat { .. } => "bufferbloat",
+            ChaosAction::MobileMember { .. } => "mobile_member",
         }
     }
 }
@@ -92,12 +143,16 @@ pub struct Scenario {
 
 impl Scenario {
     /// Every named scenario, in presentation order.
-    pub const NAMES: [&'static str; 6] = [
+    pub const NAMES: [&'static str; 10] = [
         "baseline",
         "correlated-failures",
         "flash-crowd",
         "flapping",
         "bandwidth-decay",
+        "bursty-loss",
+        "capacity-ramp",
+        "bufferbloat",
+        "mobile-member",
         "combined",
     ];
 
@@ -116,6 +171,10 @@ impl Scenario {
             "flash-crowd" => Some(Scenario::flash_crowd(start_secs, span_secs)),
             "flapping" => Some(Scenario::flapping(start_secs, span_secs)),
             "bandwidth-decay" => Some(Scenario::bandwidth_decay(start_secs, span_secs)),
+            "bursty-loss" => Some(Scenario::bursty_loss(start_secs, span_secs)),
+            "capacity-ramp" => Some(Scenario::capacity_ramp(start_secs, span_secs)),
+            "bufferbloat" => Some(Scenario::bufferbloat(start_secs, span_secs)),
+            "mobile-member" => Some(Scenario::mobile_member(start_secs, span_secs)),
             "combined" => Some(Scenario::combined(start_secs, span_secs)),
             _ => None,
         }
@@ -219,6 +278,107 @@ impl Scenario {
         }
     }
 
+    /// Two bursty-loss episodes: a moderate early burst regime and a
+    /// harsher late one, both at matched average loss rates so the only
+    /// variable versus uniform loss is the burstiness itself.
+    #[must_use]
+    pub fn bursty_loss(start_secs: f64, span_secs: f64) -> Scenario {
+        let at = window(start_secs, span_secs);
+        Scenario {
+            name: "bursty-loss",
+            injections: vec![
+                inject(
+                    at(0.15),
+                    ChaosAction::BurstyLoss {
+                        fraction: 0.25,
+                        avg_loss: 0.08,
+                        burst_factor: 6.0,
+                        duration_secs: span_secs * 0.25,
+                    },
+                ),
+                inject(
+                    at(0.55),
+                    ChaosAction::BurstyLoss {
+                        fraction: 0.25,
+                        avg_loss: 0.12,
+                        burst_factor: 10.0,
+                        duration_secs: span_secs * 0.25,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// One capacity dip-and-recover episode: access links ramp down to
+    /// 30% capacity, hold there, then ramp back to nominal.
+    #[must_use]
+    pub fn capacity_ramp(start_secs: f64, span_secs: f64) -> Scenario {
+        let at = window(start_secs, span_secs);
+        let leg = span_secs * 0.1;
+        let trace = CapacityTrace::new(vec![
+            CapacitySegment::Ramp {
+                secs: leg,
+                from: 1.0,
+                to: 0.3,
+            },
+            CapacitySegment::Step {
+                secs: span_secs * 0.2,
+                factor: 0.3,
+            },
+            CapacitySegment::Ramp {
+                secs: leg,
+                from: 0.3,
+                to: 1.0,
+            },
+        ]);
+        Scenario {
+            name: "capacity-ramp",
+            injections: vec![inject(
+                at(0.20),
+                ChaosAction::ShapeCapacity {
+                    fraction: 0.3,
+                    trace,
+                },
+            )],
+        }
+    }
+
+    /// Periodic bufferbloat: every 30 s the affected links queue up and
+    /// hold repair traffic an extra 2 s for a 10 s stretch.
+    #[must_use]
+    pub fn bufferbloat(start_secs: f64, span_secs: f64) -> Scenario {
+        let at = window(start_secs, span_secs);
+        Scenario {
+            name: "bufferbloat",
+            injections: vec![inject(
+                at(0.20),
+                ChaosAction::Bufferbloat {
+                    fraction: 0.3,
+                    spikes: DelaySpikes::new(30.0, 10.0, 2.0),
+                    duration_secs: span_secs * 0.5,
+                },
+            )],
+        }
+    }
+
+    /// A dozen members go mobile: three handover cycles of capacity
+    /// collapse and recovery with bursty loss and bloat spikes layered
+    /// on top (140 s profile; absolute, like real handover timings).
+    #[must_use]
+    pub fn mobile_member(start_secs: f64, span_secs: f64) -> Scenario {
+        let at = window(start_secs, span_secs);
+        Scenario {
+            name: "mobile-member",
+            injections: vec![inject(
+                at(0.15),
+                ChaosAction::MobileMember {
+                    count: 12,
+                    profile: MobileProfile::handover(20.0, 5.0, 10.0, 0.2, 3, 0.15, 8.0, 1.0),
+                },
+            )],
+        }
+    }
+
     /// Everything at once: clustered failures during a flash crowd, with
     /// flapping and decaying bandwidth — the adversarial kitchen sink.
     #[must_use]
@@ -248,6 +408,15 @@ impl Scenario {
                     ChaosAction::DegradeBandwidth {
                         fraction: 0.15,
                         factor: 0.6,
+                    },
+                ),
+                inject(
+                    at(0.55),
+                    ChaosAction::BurstyLoss {
+                        fraction: 0.2,
+                        avg_loss: 0.08,
+                        burst_factor: 6.0,
+                        duration_secs: span_secs * 0.2,
                     },
                 ),
                 inject(at(0.70), ChaosAction::CorrelatedFailure { radius: 2 }),

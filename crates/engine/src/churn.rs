@@ -15,8 +15,8 @@
 use std::collections::BTreeMap;
 
 use rom_chaos::{
-    pick_attached, pick_cluster, ChaosAction, InvariantRegistry, RejoinCause, Scenario, Signal,
-    CHAOS_ID_BASE,
+    pick_attached, pick_cluster, ChaosAction, GilbertElliott, InvariantRegistry, RejoinCause,
+    Scenario, Signal, CHAOS_ID_BASE,
 };
 use rom_net::{DelayOracle, TransitStubNetwork, UnderlayId};
 use rom_overlay::algorithms::{
@@ -31,7 +31,7 @@ use rom_stats::{Summary, TimeSeries};
 
 use crate::config::{AlgorithmKind, ChurnConfig, StreamingConfig};
 use crate::proximity::OracleProximity;
-use crate::streaming::{StreamingReport, StreamingState};
+use crate::streaming::{LinkEpisode, StreamingReport, StreamingState};
 use crate::workload::Workload;
 
 /// Events of the churn simulation.
@@ -69,6 +69,9 @@ enum Event {
         /// Cycles still to run, including this one.
         cycles_left: usize,
     },
+    /// An armed link-pathology episode on this member's access link runs
+    /// out: classify and repair the losses, then disarm.
+    ChaosLinkEnd(NodeId),
 }
 
 /// The trace of the tracked "typical member" (Figs. 6 and 9).
@@ -256,7 +259,10 @@ impl ChurnSim {
         // Identical stream to forking off the root RNG: `fork` is a pure
         // function of `(seed, label)`.
         let streaming_rng = SimRng::seed_from(cfg.churn.seed).fork("streaming");
-        let state = StreamingState::new(&cfg, streaming_rng);
+        // Pathology loss chains draw from their own fork so an armed link
+        // episode never perturbs the streaming layer's draws.
+        let link_rng = SimRng::seed_from(cfg.churn.seed).fork("chaos-link");
+        let state = StreamingState::new(&cfg, streaming_rng, link_rng);
         Self::build(cfg.churn, Some(state))
     }
 
@@ -926,6 +932,20 @@ impl ChurnSim {
                 cycles_left,
             } => self.chaos_flap(members, period_secs, cycles_left, sched),
 
+            Event::ChaosLinkEnd(member) => {
+                if let Some(st) = self.streaming.as_mut() {
+                    st.on_link_episode_end(
+                        &self.tree,
+                        &self.oracle,
+                        &self.live,
+                        member,
+                        now,
+                        &mut self.obs,
+                        self.invariants.as_mut(),
+                    );
+                }
+            }
+
             Event::Rejoin(orphan) => {
                 if !self.tree.contains(orphan) || self.tree.is_attached(orphan) {
                     return; // departed or already back
@@ -1199,6 +1219,118 @@ impl ChurnSim {
             ChaosAction::DegradeBandwidth { fraction, factor } => {
                 self.degrade_bandwidth(fraction, factor, now);
             }
+            ChaosAction::BurstyLoss {
+                fraction,
+                avg_loss,
+                burst_factor,
+                duration_secs,
+            } => {
+                let victims = self.pick_fraction(fraction);
+                self.arm_link_episodes(
+                    LinkEpisode {
+                        kind: "bursty_loss",
+                        start: now,
+                        end: now + duration_secs,
+                        loss: Some(GilbertElliott::matched(avg_loss, burst_factor)),
+                        capacity: None,
+                        spikes: None,
+                        spike_offset: 0.0,
+                    },
+                    &victims,
+                    sched,
+                );
+            }
+            ChaosAction::ShapeCapacity { fraction, trace } => {
+                let victims = self.pick_fraction(fraction);
+                self.arm_link_episodes(
+                    LinkEpisode {
+                        kind: "shape_capacity",
+                        start: now,
+                        end: now + trace.duration(),
+                        loss: None,
+                        capacity: Some(trace),
+                        spikes: None,
+                        spike_offset: 0.0,
+                    },
+                    &victims,
+                    sched,
+                );
+            }
+            ChaosAction::Bufferbloat {
+                fraction,
+                spikes,
+                duration_secs,
+            } => {
+                let victims = self.pick_fraction(fraction);
+                self.arm_link_episodes(
+                    LinkEpisode {
+                        kind: "bufferbloat",
+                        start: now,
+                        end: now + duration_secs,
+                        loss: None,
+                        capacity: None,
+                        spikes: Some(spikes),
+                        spike_offset: 0.0,
+                    },
+                    &victims,
+                    sched,
+                );
+            }
+            ChaosAction::MobileMember { count, profile } => {
+                let victims = {
+                    let Some(chaos) = self.chaos.as_mut() else {
+                        return;
+                    };
+                    pick_attached(&self.tree, count, &mut chaos.rng)
+                };
+                self.arm_link_episodes(
+                    LinkEpisode {
+                        kind: "mobile_member",
+                        start: now,
+                        end: now + profile.capacity.duration(),
+                        loss: Some(GilbertElliott::matched(
+                            profile.avg_loss,
+                            profile.burst_factor,
+                        )),
+                        spike_offset: profile.spike_offset_secs(),
+                        capacity: Some(profile.capacity),
+                        spikes: Some(profile.spikes),
+                    },
+                    &victims,
+                    sched,
+                );
+            }
+        }
+    }
+
+    /// Picks roughly `fraction` of the attached membership (never the
+    /// root) from the chaos RNG stream.
+    fn pick_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return Vec::new();
+        };
+        let eligible = self.tree.attached_count().saturating_sub(1);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let count = ((eligible as f64) * fraction).ceil() as usize;
+        pick_attached(&self.tree, count, &mut chaos.rng)
+    }
+
+    /// Arms one pathology episode per victim on the streaming layer and
+    /// schedules the matching end events. The episode carries its own
+    /// window, so a stale end event (after a newer episode replaced this
+    /// one) is ignored by the handler.
+    fn arm_link_episodes(
+        &mut self,
+        episode: LinkEpisode,
+        victims: &[NodeId],
+        sched: &mut Schedule<'_, Event>,
+    ) {
+        let duration = episode.end - episode.start;
+        for &victim in victims {
+            if let Some(st) = self.streaming.as_mut() {
+                st.on_link_episode_start(victim, episode.clone(), episode.start, &mut self.obs);
+            }
+            sched.after(duration, Event::ChaosLinkEnd(victim));
         }
     }
 
@@ -1282,15 +1414,7 @@ impl ChurnSim {
     /// membership by `factor`; children beyond the shrunken out-degree
     /// budget are shed and queued to rejoin like eviction victims.
     fn degrade_bandwidth(&mut self, fraction: f64, factor: f64, now: SimTime) {
-        let victims = {
-            let Some(chaos) = self.chaos.as_mut() else {
-                return;
-            };
-            let eligible = self.tree.attached_count().saturating_sub(1);
-            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-            let count = ((eligible as f64) * fraction).ceil() as usize;
-            pick_attached(&self.tree, count, &mut chaos.rng)
-        };
+        let victims = self.pick_fraction(fraction);
         for &victim in &victims {
             let Some(profile) = self.tree.profile(victim) else {
                 continue;
@@ -1416,6 +1540,7 @@ fn event_span_name(event: &Event) -> &'static str {
         Event::ChaosFail(_) => "engine.chaos_fail",
         Event::ChaosJoin => "engine.chaos_join",
         Event::ChaosFlap { .. } => "engine.chaos_flap",
+        Event::ChaosLinkEnd(_) => "engine.chaos_link_end",
     }
 }
 
@@ -1435,6 +1560,7 @@ fn event_metric_name(event: &Event) -> &'static str {
         Event::ChaosFail(_) => "sim.events.chaos_fail",
         Event::ChaosJoin => "sim.events.chaos_join",
         Event::ChaosFlap { .. } => "sim.events.chaos_flap",
+        Event::ChaosLinkEnd(_) => "sim.events.chaos_link_end",
     }
 }
 

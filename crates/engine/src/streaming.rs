@@ -27,7 +27,7 @@ use rom_cer::{
     find_mlc_group, random_group, AncestorRecord, MlcOptions, PartialTree, RecoveryGroup,
     SeqRangeSet, StreamClock, StripePlan,
 };
-use rom_chaos::{InvariantRegistry, Signal};
+use rom_chaos::{CapacityTrace, DelaySpikes, GilbertElliott, InvariantRegistry, Signal};
 use rom_net::{DelayOracle, UnderlayId};
 use rom_obs::{Level, Obs, Subsystem, TraceEvent};
 use rom_overlay::{MulticastTree, NodeId};
@@ -78,6 +78,44 @@ impl StreamingReport {
     }
 }
 
+/// An armed link-pathology episode on one member's access link (see
+/// `rom_chaos::pathology`): bursty loss for the member's data stream,
+/// capacity scaling and bloat spikes for the CER repair traffic that
+/// crosses the same link. Pure sim-time state machines; the only
+/// randomness is the uniforms the streaming layer feeds the loss chain
+/// from its dedicated `"chaos-link"` RNG fork.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkEpisode {
+    /// The injecting action's name, for traces.
+    pub(crate) kind: &'static str,
+    /// Episode window on the sim clock.
+    pub(crate) start: SimTime,
+    /// Exclusive episode end.
+    pub(crate) end: SimTime,
+    /// Bursty loss on the member's access link, if any.
+    pub(crate) loss: Option<GilbertElliott>,
+    /// Capacity multiplier over the link's nominal rate, if any.
+    pub(crate) capacity: Option<CapacityTrace>,
+    /// Bufferbloat schedule (seconds), if any.
+    pub(crate) spikes: Option<DelaySpikes>,
+    /// Offset into the episode at which the spike schedule opens (the
+    /// mobile profile aligns spikes with handovers, after the first
+    /// dwell).
+    pub(crate) spike_offset: f64,
+}
+
+/// When repaired packets become requestable in `serve_repairs`.
+enum RepairTiming {
+    /// The whole gap becomes repairable at once (an outage closing).
+    Batch(SimTime),
+    /// Each packet's loss is detected this long after its generation
+    /// (link-level losses under an armed pathology episode).
+    PerPacket {
+        /// Detection lag in seconds.
+        detection_secs: f64,
+    },
+}
+
 /// Per-member streaming bookkeeping.
 #[derive(Debug, Default)]
 struct MemberStream {
@@ -108,7 +146,13 @@ pub(crate) struct StreamingState {
     window_start: SimTime,
     window_end: SimTime,
     rng: SimRng,
+    /// Dedicated fork (`"chaos-link"`) feeding uniforms to the armed
+    /// pathology loss chains — never touched while no episode is armed,
+    /// so pathology-free runs stay bit-identical to the baseline.
+    link_rng: SimRng,
     members: BTreeMap<NodeId, MemberStream>,
+    /// Armed pathology episodes, keyed by the afflicted member.
+    pathology: BTreeMap<NodeId, LinkEpisode>,
     /// Ratios of members that already departed.
     finished_ratios: Vec<f64>,
     outages: u64,
@@ -117,7 +161,7 @@ pub(crate) struct StreamingState {
 }
 
 impl StreamingState {
-    pub(crate) fn new(cfg: &StreamingConfig, rng: SimRng) -> Self {
+    pub(crate) fn new(cfg: &StreamingConfig, rng: SimRng, link_rng: SimRng) -> Self {
         let window_start = SimTime::from_secs(cfg.churn.warmup_secs);
         StreamingState {
             clock: cfg.clock(),
@@ -131,7 +175,9 @@ impl StreamingState {
             window_start,
             window_end: window_start + cfg.churn.measure_secs,
             rng,
+            link_rng,
             members: BTreeMap::new(),
+            pathology: BTreeMap::new(),
             finished_ratios: Vec::new(),
             outages: 0,
             repaired_on_time: 0,
@@ -158,6 +204,7 @@ impl StreamingState {
     /// A member departed; fold its starving ratio into the results when
     /// its view overlapped the measurement window.
     pub(crate) fn on_member_departed(&mut self, id: NodeId, now: SimTime) {
+        self.pathology.remove(&id);
         if let Some(stream) = self.members.remove(&id) {
             if let Some(ratio) = self.ratio_of(&stream, now) {
                 self.finished_ratios.push(ratio);
@@ -221,6 +268,190 @@ impl StreamingState {
                 invariants.as_deref_mut(),
             );
         }
+    }
+
+    /// Arms a pathology episode on `member`'s access link. A newer
+    /// episode simply replaces an older one (the stale end event is
+    /// ignored by [`Self::on_link_episode_end`]'s guard).
+    pub(crate) fn on_link_episode_start(
+        &mut self,
+        member: NodeId,
+        episode: LinkEpisode,
+        now: SimTime,
+        obs: &mut Obs,
+    ) {
+        if !self.members.contains_key(&member) {
+            return;
+        }
+        if obs.is_active() {
+            obs.count("chaos.link_episodes", 1);
+            if obs.enabled(Subsystem::Chaos, Level::Info) {
+                obs.emit(
+                    TraceEvent::new(now.as_secs(), Subsystem::Chaos, "link_episode")
+                        .u64("member", member.0)
+                        .str("kind", episode.kind)
+                        .f64("duration_secs", episode.end - episode.start),
+                );
+            }
+        }
+        self.pathology.insert(member, episode);
+    }
+
+    /// An armed episode ran its course: classify every data packet that
+    /// crossed the member's access link through the episode's loss chain,
+    /// repair the lost ones from the member's recovery group (the repair
+    /// traffic still experiences the episode's capacity/spike pathology),
+    /// then disarm the episode.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_link_episode_end(
+        &mut self,
+        tree: &MulticastTree,
+        oracle: &DelayOracle,
+        live: &[NodeId],
+        member: NodeId,
+        now: SimTime,
+        obs: &mut Obs,
+        invariants: Option<&mut InvariantRegistry>,
+    ) {
+        let (s0, s1, lost) = {
+            let Some(ep) = self.pathology.get_mut(&member) else {
+                return; // member departed, or a newer episode already ended
+            };
+            if ep.end > now {
+                return; // stale end event: a newer episode replaced this one
+            }
+            // Only packets the member actually streamed cross its link:
+            // clamp the episode to the member's view, and stop at an open
+            // outage (the outage repair accounts for everything after it).
+            let Some(stream) = self.members.get(&member) else {
+                self.pathology.remove(&member);
+                return;
+            };
+            let mut start = ep.start;
+            if stream.view_start > start.as_secs() {
+                start = SimTime::from_secs(stream.view_start);
+            }
+            let mut end = if ep.end < now { ep.end } else { now };
+            if let Some(t0) = stream.outage_since {
+                if t0 < end {
+                    end = t0;
+                }
+            }
+            let s0 = self.clock.seq_at(start);
+            let s1 = self.clock.seq_at(end);
+            let mut lost: Vec<u64> = Vec::new();
+            if let Some(chain) = ep.loss.as_mut() {
+                for seq in s0..s1 {
+                    let u = self.link_rng.uniform();
+                    if chain.classify(u) {
+                        lost.push(seq);
+                    }
+                }
+            }
+            (s0, s1, lost)
+        };
+        if s1 > s0 && obs.is_active() {
+            obs.count("chaos.link_frames", s1 - s0);
+            obs.count("chaos.link_lost", lost.len() as u64);
+        }
+        let mut repaired_now = 0u64;
+        let mut starved_now = 0u64;
+        let mut new_holes: Vec<u64> = Vec::new();
+        if !lost.is_empty() {
+            let _span = tree.prof().span("cer.link_repair");
+            let group = self.select_group(tree, oracle, live, member);
+            if let Some(registry) = invariants {
+                registry.signal(
+                    tree,
+                    now,
+                    &Signal::RecoveryGroupChosen {
+                        member,
+                        group: group.members(),
+                    },
+                    obs,
+                );
+            }
+            let available = self.available_helpers(tree, &group);
+            let (repaired, starved, holes) = self.serve_repairs(
+                tree,
+                member,
+                &available,
+                lost.iter().copied(),
+                lost.len() as u64,
+                &RepairTiming::PerPacket {
+                    detection_secs: self.loss_detection_secs,
+                },
+                now,
+                obs,
+            );
+            repaired_now = repaired;
+            starved_now = starved;
+            new_holes = holes;
+            if obs.is_active() {
+                obs.count("cer.link_repairs", 1);
+                obs.count("cer.packets_repaired", repaired_now);
+                obs.count("cer.packets_starved", starved_now);
+                if obs.enabled(Subsystem::Chaos, Level::Info) {
+                    obs.emit(
+                        TraceEvent::new(now.as_secs(), Subsystem::Chaos, "link_episode_end")
+                            .u64("member", member.0)
+                            .u64("frames", s1 - s0)
+                            .u64("lost", lost.len() as u64)
+                            .u64("repaired", repaired_now)
+                            .u64("starved", starved_now),
+                    );
+                }
+            }
+        }
+        self.pathology.remove(&member);
+        if now >= self.window_start && now <= self.window_end {
+            self.starved += starved_now;
+            self.repaired_on_time += repaired_now;
+        }
+        if let Some(stream) = self.members.get_mut(&member) {
+            stream.starved_packets += starved_now;
+            for seq in new_holes {
+                stream.holes.insert(seq);
+            }
+        }
+    }
+
+    /// The capacity multiplier and extra spike latency on `member`'s
+    /// access link at instant `t`: exactly `(1.0, 0.0)` outside an armed
+    /// episode, so pathology-free arithmetic is bit-identical to the
+    /// baseline (`pps * 1.0 == pps`, `x + 0.0 == x`).
+    fn link_quality_at(&self, member: NodeId, t: SimTime) -> (f64, f64) {
+        let Some(ep) = self.pathology.get(&member) else {
+            return (1.0, 0.0);
+        };
+        if t < ep.start || t >= ep.end {
+            return (1.0, 0.0);
+        }
+        let offset = t - ep.start;
+        let factor = ep.capacity.as_ref().map_or(1.0, |c| c.factor_at(offset));
+        let extra = ep
+            .spikes
+            .as_ref()
+            .map_or(0.0, |s| s.extra_at(offset - ep.spike_offset));
+        (factor, extra)
+    }
+
+    /// Classifies one repair frame crossing `member`'s access link at
+    /// instant `t` through the armed episode's loss chain. Draws exactly
+    /// one `"chaos-link"` uniform when (and only when) a lossy episode is
+    /// active — never otherwise, keeping pathology-free runs untouched.
+    fn repair_frame_lost(&mut self, member: NodeId, t: SimTime) -> bool {
+        let Some(ep) = self.pathology.get_mut(&member) else {
+            return false;
+        };
+        if t < ep.start || t >= ep.end {
+            return false;
+        }
+        let Some(chain) = ep.loss.as_mut() else {
+            return false;
+        };
+        let u = self.link_rng.uniform();
+        chain.classify(u)
     }
 
     /// Finalizes ratios of members still alive at the end of the run.
@@ -303,6 +534,166 @@ impl StreamingState {
         RecoveryGroup::ordered_by_distance(with_distance)
     }
 
+    /// The group members able to serve repairs right now, with their
+    /// residual rates, in group (distance) order.
+    fn available_helpers(
+        &self,
+        tree: &MulticastTree,
+        group: &RecoveryGroup,
+    ) -> Vec<(NodeId, f64, usize)> {
+        group
+            .members()
+            .iter()
+            .enumerate()
+            .filter_map(|(hop, &g)| {
+                let stream = self.members.get(&g)?;
+                if !tree.is_attached(g) || stream.residual_pps <= 0.0 {
+                    return None;
+                }
+                Some((g, stream.residual_pps, hop))
+            })
+            .collect()
+    }
+
+    /// Serves the given missing packets from `available` under the
+    /// configured strategy, returning `(repaired, starved, new_holes)`.
+    ///
+    /// This is the shared core of outage repairs and link-episode
+    /// repairs. Every repair frame crosses `member`'s access link, so an
+    /// armed pathology episode applies to it exactly as to data: the
+    /// capacity factor scales the server's rate, active bloat spikes add
+    /// latency, and the loss chain may drop the frame outright. Outside
+    /// an episode the pathology terms are the exact identities
+    /// (`× 1.0`, `+ 0.0`, no draw), keeping baseline runs bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_repairs<I>(
+        &mut self,
+        tree: &MulticastTree,
+        member: NodeId,
+        available: &[(NodeId, f64, usize)],
+        seqs: I,
+        gap: u64,
+        timing: &RepairTiming,
+        now: SimTime,
+        obs: &mut Obs,
+    ) -> (u64, u64, Vec<u64>)
+    where
+        I: Iterator<Item = u64>,
+    {
+        let mut repaired_now = 0u64;
+        let mut starved_now = 0u64;
+        let mut new_holes: Vec<u64> = Vec::new();
+        let ready_at = |clock: &StreamClock, seq: u64| match *timing {
+            RepairTiming::Batch(t) => t,
+            RepairTiming::PerPacket { detection_secs } => {
+                clock.generation_time(seq) + detection_secs
+            }
+        };
+        match self.strategy {
+            RecoveryStrategy::Cooperative => {
+                // Stripe the gap across the available members (§4.2). The
+                // full-coverage plan assigns every slot even when the
+                // group's residuals sum to less than a stream — each
+                // member then serves its (wider) stripe at its own rate,
+                // falling behind by exactly the bandwidth shortfall, and
+                // the playback buffer decides how much of that lateness
+                // turns into starvation.
+                let fractions: Vec<f64> = available
+                    .iter()
+                    .map(|&(_, pps, _)| pps / self.clock.rate_pps())
+                    .collect();
+                let plan = StripePlan::plan_full_coverage(&fractions);
+                if obs.is_active() {
+                    // Stripe width = how many helpers the gap is striped
+                    // across (Fig. 12's group-size effect, observed).
+                    obs.count("cer.stripe_plans", 1);
+                    obs.observe("cer.stripe_width", plan.segments().len() as f64);
+                    if obs.enabled(Subsystem::Cer, Level::Info) {
+                        obs.emit(
+                            TraceEvent::new(now.as_secs(), Subsystem::Cer, "stripe_plan")
+                                .u64("member", member.0)
+                                .u64("gap", gap)
+                                .u64("width", plan.segments().len() as u64)
+                                .f64("coverage", plan.coverage()),
+                        );
+                    }
+                }
+                let mut served_count: Vec<u64> = vec![0; available.len()];
+                for seq in seqs {
+                    match plan.assigned_member(seq) {
+                        Some(idx) => {
+                            let (server, pps, hop) = available[idx];
+                            if self.has_packet(tree, server, seq, now) {
+                                served_count[idx] += 1;
+                                let serve_start =
+                                    ready_at(&self.clock, seq) + hop as f64 * CHAIN_HOP_SECS;
+                                let (factor, extra) = self.link_quality_at(member, serve_start);
+                                let arrival =
+                                    serve_start + served_count[idx] as f64 / (pps * factor) + extra;
+                                if self.repair_frame_lost(member, serve_start) {
+                                    obs.count("cer.repair_dropped", 1);
+                                    starved_now += 1;
+                                    new_holes.push(seq);
+                                } else if arrival <= self.clock.playback_deadline(seq) {
+                                    repaired_now += 1;
+                                } else {
+                                    starved_now += 1;
+                                }
+                            } else {
+                                starved_now += 1;
+                                new_holes.push(seq);
+                            }
+                        }
+                        None => {
+                            // Residuals did not cover this stripe slot.
+                            starved_now += 1;
+                            new_holes.push(seq);
+                        }
+                    }
+                }
+            }
+            RecoveryStrategy::SingleSource => {
+                // The nearest live member alone serves everything it can
+                // at its residual rate; the rest of the group are fallback
+                // candidates, not parallel servers.
+                match available.first() {
+                    Some(&(server, pps, hop)) => {
+                        let mut served = 0u64;
+                        for seq in seqs {
+                            if self.has_packet(tree, server, seq, now) {
+                                served += 1;
+                                let serve_start =
+                                    ready_at(&self.clock, seq) + hop as f64 * CHAIN_HOP_SECS;
+                                let (factor, extra) = self.link_quality_at(member, serve_start);
+                                let arrival =
+                                    serve_start + served as f64 / (pps * factor) + extra;
+                                if self.repair_frame_lost(member, serve_start) {
+                                    obs.count("cer.repair_dropped", 1);
+                                    starved_now += 1;
+                                    new_holes.push(seq);
+                                } else if arrival <= self.clock.playback_deadline(seq) {
+                                    repaired_now += 1;
+                                } else {
+                                    starved_now += 1;
+                                }
+                            } else {
+                                starved_now += 1;
+                                new_holes.push(seq);
+                            }
+                        }
+                    }
+                    None => {
+                        for seq in seqs {
+                            starved_now += 1;
+                            new_holes.push(seq);
+                        }
+                    }
+                }
+            }
+        }
+        (repaired_now, starved_now, new_holes)
+    }
+
     /// True if `server` can supply packet `seq` at time `now`.
     fn has_packet(&self, tree: &MulticastTree, server: NodeId, seq: u64, now: SimTime) -> bool {
         if !tree.is_attached(server) {
@@ -357,115 +748,19 @@ impl StreamingState {
             );
         }
 
-        // Members able to participate right now, with their residual
-        // rates, in group (distance) order.
-        let available: Vec<(NodeId, f64, usize)> = group
-            .members()
-            .iter()
-            .enumerate()
-            .filter_map(|(hop, &g)| {
-                let stream = self.members.get(&g)?;
-                if !tree.is_attached(g) || stream.residual_pps <= 0.0 {
-                    return None;
-                }
-                Some((g, stream.residual_pps, hop))
-            })
-            .collect();
+        let available = self.available_helpers(tree, &group);
 
         let in_window = now >= self.window_start && now <= self.window_end;
-        let mut starved_now = 0u64;
-        let mut repaired_now = 0u64;
-        let mut new_holes: Vec<u64> = Vec::new();
-
-        match self.strategy {
-            RecoveryStrategy::Cooperative => {
-                // Stripe the gap across the available members (§4.2). The
-                // full-coverage plan assigns every slot even when the
-                // group's residuals sum to less than a stream — each
-                // member then serves its (wider) stripe at its own rate,
-                // falling behind by exactly the bandwidth shortfall, and
-                // the playback buffer decides how much of that lateness
-                // turns into starvation.
-                let fractions: Vec<f64> = available
-                    .iter()
-                    .map(|&(_, pps, _)| pps / self.clock.rate_pps())
-                    .collect();
-                let plan = StripePlan::plan_full_coverage(&fractions);
-                if obs.is_active() {
-                    // Stripe width = how many helpers the gap is striped
-                    // across (Fig. 12's group-size effect, observed).
-                    obs.count("cer.stripe_plans", 1);
-                    obs.observe("cer.stripe_width", plan.segments().len() as f64);
-                    if obs.enabled(Subsystem::Cer, Level::Info) {
-                        obs.emit(
-                            TraceEvent::new(now.as_secs(), Subsystem::Cer, "stripe_plan")
-                                .u64("member", member.0)
-                                .u64("gap", s1 - s0)
-                                .u64("width", plan.segments().len() as u64)
-                                .f64("coverage", plan.coverage()),
-                        );
-                    }
-                }
-                let mut served_count: Vec<u64> = vec![0; available.len()];
-                for seq in s0..s1 {
-                    match plan.assigned_member(seq) {
-                        Some(idx) => {
-                            let (server, pps, hop) = available[idx];
-                            if self.has_packet(tree, server, seq, now) {
-                                served_count[idx] += 1;
-                                let arrival = t_repair
-                                    + hop as f64 * CHAIN_HOP_SECS
-                                    + served_count[idx] as f64 / pps;
-                                if arrival <= self.clock.playback_deadline(seq) {
-                                    repaired_now += 1;
-                                } else {
-                                    starved_now += 1;
-                                }
-                            } else {
-                                starved_now += 1;
-                                new_holes.push(seq);
-                            }
-                        }
-                        None => {
-                            // Residuals did not cover this stripe slot.
-                            starved_now += 1;
-                            new_holes.push(seq);
-                        }
-                    }
-                }
-            }
-            RecoveryStrategy::SingleSource => {
-                // The nearest live member alone serves everything it can
-                // at its residual rate; the rest of the group are fallback
-                // candidates, not parallel servers.
-                match available.first() {
-                    Some(&(server, pps, hop)) => {
-                        let mut served = 0u64;
-                        for seq in s0..s1 {
-                            if self.has_packet(tree, server, seq, now) {
-                                served += 1;
-                                let arrival =
-                                    t_repair + hop as f64 * CHAIN_HOP_SECS + served as f64 / pps;
-                                if arrival <= self.clock.playback_deadline(seq) {
-                                    repaired_now += 1;
-                                } else {
-                                    starved_now += 1;
-                                }
-                            } else {
-                                starved_now += 1;
-                                new_holes.push(seq);
-                            }
-                        }
-                    }
-                    None => {
-                        starved_now += s1 - s0;
-                        for seq in s0..s1 {
-                            new_holes.push(seq);
-                        }
-                    }
-                }
-            }
-        }
+        let (repaired_now, starved_now, new_holes) = self.serve_repairs(
+            tree,
+            member,
+            &available,
+            s0..s1,
+            s1 - s0,
+            &RepairTiming::Batch(t_repair),
+            now,
+            obs,
+        );
 
         if in_window {
             self.starved += starved_now;

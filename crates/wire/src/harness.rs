@@ -402,6 +402,29 @@ impl InMemoryNetwork {
         self.chaos = Some(LinkChaos::new(cfg, seed));
     }
 
+    /// Like [`enable_chaos`](Self::enable_chaos), but losses follow a
+    /// Gilbert–Elliott chain with stationary rate `cfg.drop_prob` and the
+    /// given burst factor: drops cluster into bursts while the average
+    /// rate (and the RNG fork and draw sequence) stay those of the
+    /// uniform oracle. At `burst_factor = 1` the fates are bit-identical
+    /// to [`enable_chaos`](Self::enable_chaos) — the degenerate
+    /// equivalence pinned by `tests/pathology_properties.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (see
+    /// [`LinkChaos::with_burst`]).
+    pub fn enable_bursty_chaos(&mut self, cfg: LinkChaosConfig, burst_factor: f64, seed: u64) {
+        self.chaos = Some(LinkChaos::with_burst(cfg, burst_factor, seed));
+    }
+
+    /// Installs a pre-built chaos oracle — for composed configurations
+    /// such as bursty loss plus a bufferbloat spike schedule
+    /// ([`LinkChaos::with_spikes`]).
+    pub fn install_chaos(&mut self, oracle: LinkChaos) {
+        self.chaos = Some(oracle);
+    }
+
     /// Queues `msg` from `from` to `to`, passing it through the codec.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
         let mut buf = BytesMut::new();
@@ -444,7 +467,10 @@ impl InMemoryNetwork {
         };
         if !frame.exempt {
             if let Some(chaos) = self.chaos.as_mut() {
-                match chaos.classify() {
+                // Time-aware classification on the delivery-step clock
+                // (sim time, never wall clock): draw-for-draw identical
+                // to `classify()` unless a spike schedule is installed.
+                match chaos.classify_at(self.now_step) {
                     LinkFate::Drop => {
                         self.stats.frames_dropped += 1;
                         return true;
@@ -986,6 +1012,157 @@ mod chaos_tests {
             }
         }
         panic!("repairs never converged under light chaos");
+    }
+
+    #[test]
+    fn same_step_releases_dequeue_in_park_order() {
+        // Two frames classified at consecutive steps can land on the
+        // same release step (Delay(2) then Delay(1)). The pinned policy:
+        // parked frames re-enter the queue in park (classification)
+        // order, so the earlier-classified frame delivers first. Make
+        // the tie-break observable by racing two joins for the single
+        // slot on a capacity-1 source.
+        let cfg = LinkChaosConfig {
+            drop_prob: 0.0,
+            delay_prob: 1.0,
+            max_delay_steps: 2,
+            reorder_prob: 0.0,
+        };
+        let seed = (0..1_000u64)
+            .find(|&s| {
+                let mut probe = LinkChaos::new(cfg, s);
+                probe.classify() == LinkFate::Delay(2) && probe.classify() == LinkFate::Delay(1)
+            })
+            .expect("some small seed collides the first two delays");
+        let mut net = InMemoryNetwork::new();
+        net.enable_chaos(cfg, seed);
+        net.add_source(NodeId(0), Location(0), 1);
+        for id in [1u64, 2] {
+            net.add_peer(NodeId(id), Location(id as u32), 1);
+            net.send(
+                NodeId(id),
+                NodeId(0),
+                Message::Join {
+                    joiner: NodeId(id),
+                    location: Location(id as u32),
+                    claimed_bandwidth: 1.0,
+                },
+            );
+        }
+        net.run_to_quiescence();
+        // Join 1 parked at step 1 for 2 steps, join 2 at step 2 for 1:
+        // both due at step 3, dequeued in park order — peer 1 wins.
+        assert!(net.peer(NodeId(1)).unwrap().is_attached());
+        assert!(!net.peer(NodeId(2)).unwrap().is_attached());
+        // Every non-exempt frame (2 joins + 2 replies) parked exactly once.
+        assert_eq!(net.stats().frames_delayed, 4);
+        assert_eq!(net.stats().frames_dropped, 0);
+    }
+
+    #[test]
+    fn bursty_chaos_at_factor_one_replays_the_uniform_run() {
+        // Harness-level degenerate equivalence: burst factor 1 must
+        // reproduce the uniform oracle's whole run — same joins, same
+        // drops, same buffers — not just the same loss average.
+        let run = |bursty: bool| {
+            let cfg = LinkChaosConfig::heavy();
+            let mut net = InMemoryNetwork::new();
+            if bursty {
+                net.enable_bursty_chaos(cfg, 1.0, 13);
+            } else {
+                net.enable_chaos(cfg, 13);
+            }
+            net.add_source(NodeId(0), Location(0), 3);
+            for id in 1..=5u64 {
+                net.add_peer(NodeId(id), Location(id as u32), 3);
+                let mut target = 0u64;
+                let mut attempts = 0u32;
+                while !net.peer(NodeId(id)).unwrap().is_attached() {
+                    net.send(
+                        NodeId(id),
+                        NodeId(target),
+                        Message::Join {
+                            joiner: NodeId(id),
+                            location: Location(id as u32),
+                            claimed_bandwidth: 3.0,
+                        },
+                    );
+                    net.run_to_quiescence();
+                    attempts += 1;
+                    if attempts % 4 == 0 {
+                        target = (target + 1) % id;
+                    }
+                    assert!(attempts < 200, "peer {id} never attached");
+                }
+            }
+            for seq in 0..60u64 {
+                net.send(
+                    NodeId(0),
+                    NodeId(0),
+                    Message::Data {
+                        seq,
+                        payload: vec![0xAB],
+                    },
+                );
+            }
+            net.run_to_quiescence();
+            let buffers: Vec<(u64, Vec<u64>)> = (0..=5u64)
+                .map(|id| {
+                    let p = net.peer(NodeId(id)).unwrap();
+                    (id, (0..60).filter(|&s| p.has_packet(s)).collect())
+                })
+                .collect();
+            (net.stats(), buffers)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn composed_spike_oracle_delays_whole_windows() {
+        // `install_chaos` with a spike schedule: every frame crossing an
+        // active window is parked (bufferbloat), none dropped, and the
+        // stream still completes once the spikes pass.
+        let cfg = LinkChaosConfig {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_steps: 1,
+            reorder_prob: 0.0,
+        };
+        let mut net = InMemoryNetwork::new();
+        net.install_chaos(LinkChaos::new(cfg, 3).with_spikes(8, 3, 5));
+        net.add_source(NodeId(0), Location(0), 2);
+        net.add_peer(NodeId(1), Location(1), 2);
+        net.send(
+            NodeId(1),
+            NodeId(0),
+            Message::Join {
+                joiner: NodeId(1),
+                location: Location(1),
+                claimed_bandwidth: 2.0,
+            },
+        );
+        net.run_to_quiescence();
+        assert!(net.peer(NodeId(1)).unwrap().is_attached());
+        for seq in 0..32u64 {
+            net.send(
+                NodeId(0),
+                NodeId(0),
+                Message::Data {
+                    seq,
+                    payload: vec![],
+                },
+            );
+        }
+        net.run_to_quiescence();
+        let stats = net.stats();
+        assert_eq!(stats.frames_dropped, 0);
+        assert!(stats.frames_delayed > 0, "spike windows must park frames");
+        for seq in 0..32u64 {
+            assert!(
+                net.peer(NodeId(1)).unwrap().has_packet(seq),
+                "bufferbloat must delay, never lose, packet {seq}"
+            );
+        }
     }
 }
 

@@ -90,7 +90,16 @@ fn armed_baseline_matches_unarmed_run() {
 #[test]
 fn injected_scenarios_actually_perturb_the_run() {
     let (baseline, _) = checked_run("baseline", 11);
-    for scenario in ["correlated-failures", "flash-crowd", "flapping", "bandwidth-decay"] {
+    for scenario in [
+        "correlated-failures",
+        "flash-crowd",
+        "flapping",
+        "bandwidth-decay",
+        "bursty-loss",
+        "capacity-ramp",
+        "bufferbloat",
+        "mobile-member",
+    ] {
         let (perturbed, _) = checked_run(scenario, 11);
         assert_ne!(
             baseline, perturbed,

@@ -98,6 +98,33 @@ fn chaos_sweep(jobs: usize) -> Observed {
     }
 }
 
+/// Runs a 2-pathology-scenario × 2-seed sweep with every cell traced —
+/// the link-pathology layer (Gilbert–Elliott bursts, capacity traces,
+/// bufferbloat, mobile handover) must be as jobs-invariant as the
+/// structural chaos actions.
+fn burst_sweep(jobs: usize) -> Observed {
+    const SCENARIOS: [&str; 2] = ["bursty-loss", "mobile-member"];
+    let out = Sweep::with_jobs(jobs).run(SCENARIOS.len(), 2, |cell| {
+        let mut churn = quick_churn(AlgorithmKind::Rost, cell.seed);
+        churn.chaos = Scenario::by_name(SCENARIOS[cell.point], 180.0, 300.0);
+        let cfg = StreamingConfig::paper(churn, 2);
+        let (report, _metrics, trace) = traced_streaming_cell("burst_det", cfg, cell.seed);
+        CellOut {
+            report,
+            warnings: Vec::new(),
+            trace: Some(trace),
+            profile: None,
+        }
+    });
+    Observed {
+        reports: format!("{:?}", out.reports),
+        jsonl: out.merged_jsonl(),
+        manifest: out.merged_manifest("burst_det").to_json(),
+        metrics: out.merged_metrics(),
+        health: out.merged_health(),
+    }
+}
+
 /// Asserts one sweep family is byte-identical across worker counts, and
 /// sanity-checks that the baseline actually produced traced content.
 fn assert_jobs_invariant(name: &str, sweep: impl Fn(usize) -> Observed) {
@@ -139,4 +166,9 @@ fn streaming_sweep_is_byte_identical_across_jobs() {
 #[test]
 fn chaos_sweep_is_byte_identical_across_jobs() {
     assert_jobs_invariant("chaos", chaos_sweep);
+}
+
+#[test]
+fn burst_sweep_is_byte_identical_across_jobs() {
+    assert_jobs_invariant("burst", burst_sweep);
 }
