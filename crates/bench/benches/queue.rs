@@ -1,0 +1,176 @@
+//! Criterion suite for the ladder event queue (PR 10): bulk fill, full
+//! drain and the hold-model steady state (pop one, schedule its
+//! successor — the canonical DES access pattern) at 1k / 100k / 1M
+//! pending events, plus a tie-flood (every key identical, the FIFO
+//! tie-break path) at 100k.
+//!
+//! Besides the usual criterion text report, the custom `main` writes
+//! `BENCH_queue.json` (best-of-samples ns/op per workload and depth) to
+//! the workspace root, mirroring `BENCH_tree.json`; CI archives both.
+
+use criterion::{criterion_group, Criterion};
+use rom_sim::{EventQueue, SimTime};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEPTHS: [u64; 3] = [1_000, 100_000, 1_000_000];
+
+/// Deterministic xorshift stream of exponential-ish hold offsets in
+/// [0, 10) seconds — the mostly-monotone shape a churn schedule has.
+struct Holds(u64);
+
+impl Holds {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+    }
+}
+
+/// A queue pre-filled to `n` pending events with the standard stream.
+fn filled(n: u64) -> EventQueue<u64> {
+    let mut q = EventQueue::with_capacity(n as usize);
+    let mut holds = Holds(0x2545_f491_4f6c_dd1d);
+    let mut now = SimTime::ZERO;
+    for i in 0..n {
+        now += holds.next();
+        q.push(now, i);
+    }
+    q
+}
+
+fn bench_queue(c: &mut Criterion) {
+    for &n in &DEPTHS {
+        let mut q = filled(n);
+        let mut holds = Holds(0x9e37_79b9_7f4a_7c15);
+        let mut group = c.benchmark_group(format!("queue_{n}").as_str());
+        group.bench_function("hold_cycle", |b| {
+            b.iter(|| {
+                let (t, id) = q.pop().expect("pre-filled");
+                q.push(t + holds.next(), black_box(id));
+            });
+        });
+        group.finish();
+    }
+
+    let mut group = c.benchmark_group("queue_tie_flood");
+    group.bench_function("push_pop_same_key", |b| {
+        let mut q = filled(100_000);
+        b.iter(|| {
+            let (t, id) = q.pop().expect("pre-filled");
+            // Re-push at the exact popped time: every entry competes on
+            // the (time, seq) FIFO tie-break alone.
+            q.push(t, black_box(id));
+        });
+    });
+    group.finish();
+}
+
+/// Keeps `cargo bench --workspace` affordable on one core (same
+/// discipline as `benches/tree.rs`).
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_queue
+}
+
+/// Best of `reps` timed runs of `f` over `n` ops, in ns per op. The
+/// fill/drain workloads rebuild real state per run, so unlike
+/// `benches/tree.rs` the per-op loop body is `f`'s responsibility.
+fn measure_total<F: FnMut() -> u64>(reps: u64, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let ops = f();
+        let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn write_bench_json() {
+    let mut rows = Vec::new();
+    for &n in &DEPTHS {
+        // Fewer repetitions at the depths where one run is already long.
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+
+        let fill = measure_total(reps, || {
+            let q = filled(n);
+            black_box(q.len()) as u64
+        });
+        rows.push((String::from("fill"), n, fill));
+
+        let fill_and_drain = measure_total(reps, || {
+            let mut q = filled(n);
+            let mut ops = 0u64;
+            while let Some((t, id)) = q.pop() {
+                black_box((t, id));
+                ops += 1;
+            }
+            ops
+        });
+        // The rebuild cost is measured above; isolate the drain (clamped:
+        // the two runs are noisy-independent, so the difference can dip
+        // below zero on a fast drain).
+        let drain = (fill_and_drain - fill).max(0.0);
+        rows.push((String::from("drain"), n, drain));
+
+        let mut q = filled(n);
+        let mut holds = Holds(0x9e37_79b9_7f4a_7c15);
+        let hold = measure_total(reps, || {
+            for _ in 0..100_000u64 {
+                let (t, id) = q.pop().expect("pre-filled");
+                q.push(t + holds.next(), black_box(id));
+            }
+            100_000
+        });
+        rows.push((String::from("hold"), n, hold));
+    }
+
+    let mut q = filled(100_000);
+    let tie = measure_total(5, || {
+        for _ in 0..100_000u64 {
+            let (t, id) = q.pop().expect("pre-filled");
+            q.push(t, black_box(id));
+        }
+        100_000
+    });
+    rows.push((String::from("tie_flood"), 100_000, tie));
+
+    let mut json =
+        String::from("{\n  \"suite\": \"event_queue\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n");
+    for (i, (op, n, ns)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"op\": \"{op}\", \"pending\": {n}, \"ns_per_op\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Cargo runs bench binaries from the package root; anchor the artifact
+    // at the workspace root where CI archives it.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_queue.json");
+    if let Err(err) = std::fs::write(path, json) {
+        eprintln!("error: cannot write BENCH_queue.json: {err}");
+        std::process::exit(1);
+    }
+    println!("\n# queue microbench written to BENCH_queue.json");
+}
+
+fn main() {
+    // `ROM_BENCH_JSON_ONLY=1` skips the criterion sweep and only refreshes
+    // BENCH_queue.json — the fast path for CI and the perf smoke.
+    if std::env::var_os("ROM_BENCH_JSON_ONLY").is_none() {
+        benches();
+    }
+    write_bench_json();
+}

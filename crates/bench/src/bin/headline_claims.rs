@@ -17,8 +17,8 @@
 //! across runs and `--jobs` values.
 
 use rom_bench::{
-    banner, churn_config, fmt, instrumented_churn_cell, mean_over, row, truncation_warning,
-    write_sidecars, CellOut, Scale,
+    banner, calibration_spin_ns, churn_config, fmt, instrumented_churn_cell, mean_over, row,
+    truncation_warning, write_sidecars, CellOut, Scale,
 };
 use rom_engine::{AlgorithmKind, ChurnReport};
 use std::time::Instant;
@@ -29,25 +29,6 @@ struct Phase {
     wall_secs: f64,
     events: u64,
     peak_queue: f64,
-}
-
-/// Times a fixed single-core integer spin, in ns per iteration.
-///
-/// Recorded in the baseline so the perf smoke can compare runs across
-/// machines: `events_per_sec × spin_ns` cancels raw CPU speed to first
-/// order, leaving only genuine changes in work per event. Only meaningful
-/// to compare between runs with the same `jobs` setting.
-fn calibration_spin_ns() -> f64 {
-    const ITERS: u64 = 1 << 24;
-    let started = Instant::now();
-    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
-    for _ in 0..ITERS {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-    }
-    std::hint::black_box(x);
-    started.elapsed().as_nanos() as f64 / ITERS as f64
 }
 
 fn main() {

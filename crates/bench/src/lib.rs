@@ -164,6 +164,27 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Times a fixed single-core integer spin, in ns per iteration.
+///
+/// Recorded in every `BENCH_*.json` baseline so consumers (the perf
+/// smoke, the mega walls) can compare runs across machines:
+/// `events_per_sec × spin_ns` cancels raw CPU speed to first order,
+/// leaving only genuine changes in work per event. Only meaningful to
+/// compare between runs with the same `jobs` setting.
+#[must_use]
+pub fn calibration_spin_ns() -> f64 {
+    const ITERS: u64 = 1 << 24;
+    let started = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    for _ in 0..ITERS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    std::hint::black_box(x);
+    started.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: <figure-binary> [--paper] [--seeds N] [--jobs N] [--trace PATH] [--profile PATH]"

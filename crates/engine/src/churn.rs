@@ -60,18 +60,36 @@ enum Event {
     ChaosFail(NodeId),
     /// A chaos-born member arrives (flash crowds, flap replacements).
     ChaosJoin,
-    /// One cycle of membership flapping.
-    ChaosFlap {
-        /// Members failed this cycle.
-        members: usize,
-        /// Seconds until the next cycle.
-        period_secs: f64,
-        /// Cycles still to run, including this one.
-        cycles_left: usize,
-    },
+    /// One cycle of membership flapping. The payload is boxed: it is the
+    /// widest variant by far and fires a handful of times per run, while
+    /// its inline size would be carried by every one of the millions of
+    /// entries in a `--mega` event queue.
+    ChaosFlap(Box<FlapSpec>),
     /// An armed link-pathology episode on this member's access link runs
     /// out: classify and repair the losses, then disarm.
     ChaosLinkEnd(NodeId),
+}
+
+/// Parameters of one [`Event::ChaosFlap`] cycle, boxed out of the event
+/// so the rare chaos variant does not widen every queue entry.
+#[derive(Debug, Clone, PartialEq)]
+struct FlapSpec {
+    /// Members failed this cycle.
+    members: usize,
+    /// Seconds until the next cycle.
+    period_secs: f64,
+    /// Cycles still to run, including this one.
+    cycles_left: usize,
+}
+
+/// Per-member lifetime counters booked into the report when the member
+/// departs inside the measurement window.
+#[derive(Debug, Clone, Copy, Default)]
+struct MemberTally {
+    /// Streaming disruptions experienced (Figs. 4–6).
+    disruptions: u32,
+    /// Optimization- or eviction-forced reconnections (Fig. 10).
+    reconnections: u32,
 }
 
 /// The trace of the tracked "typical member" (Figs. 6 and 9).
@@ -131,6 +149,11 @@ pub struct ChurnReport {
     /// point in the run (the sampled `sim.queue_depth` histogram is a
     /// per-dispatch floor of this).
     pub queue_high_water: u64,
+    /// Deterministic byte footprint of that peak: `queue_high_water`
+    /// times the per-entry size of the scheduler queue. Unlike peak RSS
+    /// (allocator- and platform-dependent, quarantined to `BENCH_*.json`)
+    /// this is reproducible from the seed.
+    pub queue_bytes_high_water: u64,
 }
 
 /// The churn simulator. Construct with [`ChurnSim::new`], execute with
@@ -171,8 +194,10 @@ pub struct ChurnSim {
     window_start: SimTime,
     window_end: SimTime,
 
-    disruptions: BTreeMap<NodeId, u32>,
-    reconnections: BTreeMap<NodeId, u32>,
+    /// Per-member lifetime disruption/reconnection counts, merged into a
+    /// single map (one tree walk and one allocation per member instead of
+    /// two — the dominant per-member state at the `--mega` scale).
+    tallies: BTreeMap<NodeId, MemberTally>,
     observer_id: Option<NodeId>,
     observer_join: SimTime,
     observer_disruptions: TimeSeries,
@@ -315,6 +340,7 @@ impl ChurnSim {
             outcome: RunOutcome::HorizonReached,
             events_processed: 0,
             queue_high_water: 0,
+            queue_bytes_high_water: 0,
         };
 
         ChurnSim {
@@ -332,8 +358,7 @@ impl ChurnSim {
             rejoin_backlog: Vec::new(),
             window_start,
             window_end,
-            disruptions: BTreeMap::new(),
-            reconnections: BTreeMap::new(),
+            tallies: BTreeMap::new(),
             observer_id: None,
             observer_join: SimTime::ZERO,
             observer_disruptions: TimeSeries::new(60.0),
@@ -398,7 +423,7 @@ impl ChurnSim {
         if let Some(budget) = self.cfg.max_events {
             sim = sim.with_max_events(budget);
         }
-        self.arm_instrumentation();
+        self.arm_instrumentation(&mut sim);
         self.seed(&mut sim);
         let horizon = self.window_end;
         let outcome = sim.run_until(horizon, |now, event, sched| {
@@ -407,6 +432,7 @@ impl ChurnSim {
         self.report.outcome = outcome;
         self.report.events_processed = sim.processed();
         self.report.queue_high_water = sim.queue_high_water_mark() as u64;
+        self.report.queue_bytes_high_water = sim.queue_bytes_high_water();
         inspect(&self.tree, horizon);
         self.finish()
     }
@@ -460,7 +486,7 @@ impl ChurnSim {
         if let Some(budget) = self.cfg.max_events {
             sim = sim.with_max_events(budget);
         }
-        self.arm_instrumentation();
+        self.arm_instrumentation(&mut sim);
         self.seed(&mut sim);
         let horizon = self.window_end;
         let outcome = sim.run_until(horizon, |now, event, sched| {
@@ -469,6 +495,7 @@ impl ChurnSim {
         self.report.outcome = outcome;
         self.report.events_processed = sim.processed();
         self.report.queue_high_water = sim.queue_high_water_mark() as u64;
+        self.report.queue_bytes_high_water = sim.queue_bytes_high_water();
         if self.obs.is_active() {
             self.fold_protocol_metrics();
         }
@@ -481,10 +508,12 @@ impl ChurnSim {
 
     /// Pre-run instrumentation hookup: shares the run's span profiler with
     /// the tree (so overlay/rost/cer spans land in one profile tree) and
-    /// pins the queue-depth histogram to power-of-two buckets before the
-    /// first dispatch observes into it.
-    fn arm_instrumentation(&mut self) {
+    /// the simulation kernel (so queue peek/pop costs show up as a root
+    /// `sim.queue` span), and pins the queue-depth histogram to
+    /// power-of-two buckets before the first dispatch observes into it.
+    fn arm_instrumentation(&mut self, sim: &mut Simulation<Event>) {
         self.tree.set_prof(self.obs.prof().clone());
+        sim.set_prof(self.obs.prof().clone());
         self.obs
             .register_histogram("sim.queue_depth", &QUEUE_DEPTH_BUCKETS);
     }
@@ -585,8 +614,7 @@ impl ChurnSim {
     fn track_live(&mut self, id: NodeId) {
         self.live_pos.insert(id, self.live.len());
         self.live.push(id);
-        self.disruptions.insert(id, 0);
-        self.reconnections.insert(id, 0);
+        self.tallies.insert(id, MemberTally::default());
     }
 
     fn notify_joined(&mut self, id: NodeId, join: SimTime) {
@@ -615,9 +643,12 @@ impl ChurnSim {
         if self.algorithm.as_dyn().is_centralized() {
             Vec::new()
         } else {
+            // `live_pos` hands the sampler the joiner's slot so the view
+            // costs O(view size), not an O(live) filter-and-copy.
+            let pos = self.live_pos.get(&joiner).copied();
             let view = self
                 .sampler
-                .sample_excluding(&self.live, joiner, &mut self.rng);
+                .sample_excluding_at(&self.live, pos, &mut self.rng);
             view.into_iter()
                 .filter(|&m| self.tree.is_attached(m))
                 .collect()
@@ -748,7 +779,7 @@ impl ChurnSim {
             );
         }
         for &m in displaced.iter().chain(adopted) {
-            *self.reconnections.entry(m).or_insert(0) += 1;
+            self.tallies.entry(m).or_default().reconnections += 1;
         }
         // The displaced must rejoin; the caller drains this backlog into
         // the event queue.
@@ -897,8 +928,7 @@ impl ChurnSim {
                 self.untrack_live(id);
                 if self.pending.remove(&id).is_some() {
                     // Never made it into the tree.
-                    self.disruptions.remove(&id);
-                    self.reconnections.remove(&id);
+                    self.tallies.remove(&id);
                     return;
                 }
                 let graceful =
@@ -915,8 +945,7 @@ impl ChurnSim {
                 }
                 self.untrack_live(id);
                 if self.pending.remove(&id).is_some() {
-                    self.disruptions.remove(&id);
-                    self.reconnections.remove(&id);
+                    self.tallies.remove(&id);
                     return;
                 }
                 self.depart(id, false, now, sched);
@@ -926,11 +955,7 @@ impl ChurnSim {
 
             Event::ChaosJoin => self.chaos_join(now, sched),
 
-            Event::ChaosFlap {
-                members,
-                period_secs,
-                cycles_left,
-            } => self.chaos_flap(members, period_secs, cycles_left, sched),
+            Event::ChaosFlap(spec) => self.chaos_flap(&spec, sched),
 
             Event::ChaosLinkEnd(member) => {
                 if let Some(st) = self.streaming.as_mut() {
@@ -990,11 +1015,8 @@ impl ChurnSim {
                                     .u64("displaced", record.displaced.len() as u64),
                             );
                         }
-                        for &m in &record.reparented {
-                            *self.reconnections.entry(m).or_insert(0) += 1;
-                        }
-                        for &m in &record.displaced {
-                            *self.reconnections.entry(m).or_insert(0) += 1;
+                        for &m in record.reparented.iter().chain(&record.displaced) {
+                            self.tallies.entry(m).or_default().reconnections += 1;
                         }
                         self.schedule_rejoins(&record.displaced, RejoinCause::Switch, sched);
                         sched.after(self.cfg.rost.lock_hold_secs, Event::ReleaseLocks(op));
@@ -1101,15 +1123,14 @@ impl ChurnSim {
             for &orphan in &removed.orphaned_children {
                 sched.now_next(Event::Rejoin(orphan));
             }
+            let tally = self.tallies.remove(&id).unwrap_or_default();
             if self.in_window(now) {
-                let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
-                let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
+                let d = f64::from(tally.disruptions);
                 self.report.disruptions_per_lifetime.add(d);
                 self.report.disruption_counts.push(d);
-                self.report.reconnections_per_lifetime.add(r);
-            } else {
-                self.disruptions.remove(&id);
-                self.reconnections.remove(&id);
+                self.report
+                    .reconnections_per_lifetime
+                    .add(f64::from(tally.reconnections));
             }
             return;
         }
@@ -1126,7 +1147,7 @@ impl ChurnSim {
             self.report.disruption_events += removed.affected_descendants.len() as u64;
         }
         for &m in &removed.affected_descendants {
-            *self.disruptions.entry(m).or_insert(0) += 1;
+            self.tallies.entry(m).or_default().disruptions += 1;
             if Some(m) == self.observer_id {
                 self.observer_disruptions.record(now, 1.0);
             }
@@ -1156,15 +1177,14 @@ impl ChurnSim {
         self.schedule_rejoins(&removed.orphaned_children, RejoinCause::Failure, sched);
         // Book the member's lifetime totals if it completed inside
         // the window.
+        let tally = self.tallies.remove(&id).unwrap_or_default();
         if self.in_window(now) {
-            let d = f64::from(self.disruptions.remove(&id).unwrap_or(0));
-            let r = f64::from(self.reconnections.remove(&id).unwrap_or(0));
+            let d = f64::from(tally.disruptions);
             self.report.disruptions_per_lifetime.add(d);
             self.report.disruption_counts.push(d);
-            self.report.reconnections_per_lifetime.add(r);
-        } else {
-            self.disruptions.remove(&id);
-            self.reconnections.remove(&id);
+            self.report
+                .reconnections_per_lifetime
+                .add(f64::from(tally.reconnections));
         }
     }
 
@@ -1210,11 +1230,11 @@ impl ChurnSim {
                 period_secs,
                 cycles,
             } => {
-                sched.now_next(Event::ChaosFlap {
+                sched.now_next(Event::ChaosFlap(Box::new(FlapSpec {
                     members,
                     period_secs,
                     cycles_left: cycles,
-                });
+                })));
             }
             ChaosAction::DegradeBandwidth { fraction, factor } => {
                 self.degrade_bandwidth(fraction, factor, now);
@@ -1375,13 +1395,12 @@ impl ChurnSim {
     /// One flapping cycle: fail `members` random attached members now,
     /// inject the same number of replacement joins half a period later,
     /// and reschedule until the cycles run out.
-    fn chaos_flap(
-        &mut self,
-        members: usize,
-        period_secs: f64,
-        cycles_left: usize,
-        sched: &mut Schedule<'_, Event>,
-    ) {
+    fn chaos_flap(&mut self, spec: &FlapSpec, sched: &mut Schedule<'_, Event>) {
+        let FlapSpec {
+            members,
+            period_secs,
+            cycles_left,
+        } = *spec;
         if cycles_left == 0 {
             return;
         }
@@ -1401,11 +1420,11 @@ impl ChurnSim {
         if cycles_left > 1 {
             sched.after(
                 period_secs.max(1e-3),
-                Event::ChaosFlap {
+                Event::ChaosFlap(Box::new(FlapSpec {
                     members,
                     period_secs,
                     cycles_left: cycles_left - 1,
-                },
+                })),
             );
         }
     }
@@ -1437,7 +1456,7 @@ impl ChurnSim {
                 self.tree.descendants_into(child, &mut affected);
             }
             for &m in &shed {
-                *self.reconnections.entry(m).or_insert(0) += 1;
+                self.tallies.entry(m).or_default().reconnections += 1;
             }
             if let Some(st) = self.streaming.as_mut() {
                 st.on_failure(&affected, now, &mut self.obs);
@@ -1539,7 +1558,7 @@ fn event_span_name(event: &Event) -> &'static str {
         Event::ChaosInject(_) => "engine.chaos_inject",
         Event::ChaosFail(_) => "engine.chaos_fail",
         Event::ChaosJoin => "engine.chaos_join",
-        Event::ChaosFlap { .. } => "engine.chaos_flap",
+        Event::ChaosFlap(_) => "engine.chaos_flap",
         Event::ChaosLinkEnd(_) => "engine.chaos_link_end",
     }
 }
@@ -1559,7 +1578,7 @@ fn event_metric_name(event: &Event) -> &'static str {
         Event::ChaosInject(_) => "sim.events.chaos_inject",
         Event::ChaosFail(_) => "sim.events.chaos_fail",
         Event::ChaosJoin => "sim.events.chaos_join",
-        Event::ChaosFlap { .. } => "sim.events.chaos_flap",
+        Event::ChaosFlap(_) => "sim.events.chaos_flap",
         Event::ChaosLinkEnd(_) => "sim.events.chaos_link_end",
     }
 }
@@ -1581,6 +1600,19 @@ mod tests {
         cfg.measure_secs = 400.0;
         cfg.sample_interval_secs = 60.0;
         cfg
+    }
+
+    /// A `--mega` queue holds up to a million pending events, so every
+    /// byte of `Event` is a megabyte of queue. Boxing `ChaosFlap` (the
+    /// one wide variant) keeps the enum at two words; this pins that so
+    /// a new variant cannot silently re-widen it.
+    #[test]
+    fn event_stays_two_words_wide() {
+        assert!(
+            std::mem::size_of::<Event>() <= 16,
+            "Event grew to {} bytes; box the wide variant instead",
+            std::mem::size_of::<Event>()
+        );
     }
 
     #[test]

@@ -179,6 +179,29 @@ impl ChurnConfig {
         }
     }
 
+    /// A `--mega` configuration: paper churn dynamics at 100k–1M members
+    /// with a hard event budget as the designed stopping rule.
+    ///
+    /// Scale invariants that make million-member cells tractable:
+    /// `TransitStubConfig::sized_for` only shrinks *below* the paper
+    /// topology, so the underlay (and the delay oracle's Dijkstra cost)
+    /// stays at paper scale while membership grows; and the event budget
+    /// bounds the loop by construction — a cell that ends in
+    /// [`rom_sim::RunOutcome::BudgetExhausted`] is a complete measurement
+    /// of `max_events` dispatches, not a truncated experiment. Sampling
+    /// is disabled-in-effect (one sample per window) because per-sample
+    /// full-tree scans would dominate a million-member run.
+    #[must_use]
+    pub fn mega(algorithm: AlgorithmKind, target_size: usize) -> Self {
+        ChurnConfig {
+            warmup_secs: 30.0,
+            measure_secs: 300.0,
+            sample_interval_secs: 300.0,
+            max_events: Some(3_000_000),
+            ..ChurnConfig::quick(algorithm, target_size)
+        }
+    }
+
     /// Mean member lifetime in seconds (≈1809 s at paper settings).
     #[must_use]
     pub fn mean_lifetime_secs(&self) -> f64 {

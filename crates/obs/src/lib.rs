@@ -52,6 +52,7 @@ mod health;
 mod json;
 mod manifest;
 mod metrics;
+mod mem;
 mod prof;
 mod trace;
 
@@ -60,6 +61,7 @@ pub use manifest::{fnv1a, RunManifest, SweepManifest};
 pub use metrics::{
     GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS,
 };
+pub use mem::peak_rss_bytes;
 pub use prof::{Prof, ProfCore, ProfReport, SpanGuard, SpanStat, PROF_HIST_BUCKETS};
 pub use trace::{
     FieldValue, JsonlSink, Level, NullSink, RingHandle, RingSink, SharedBuffer, Sink, Subsystem,

@@ -121,6 +121,13 @@ impl NodeIndex {
     }
 }
 
+/// One arena slot. Size is audited: at `--mega` scale the arena holds a
+/// million of these, so each slot byte is a megabyte of resident set.
+/// Release layout is 96 bytes — `profile` 40 (id 8, bandwidth 8,
+/// join\_time 8, lifetime 8, location 4+pad), `id` 8, `capacity` 8,
+/// `parent` 4, `children` 24 (Vec header), `depth` 8, `attached` 1,
+/// rounded up to 8-byte alignment. A regression test pins the total;
+/// widen it only with an updated audit here.
 #[derive(Debug, Clone)]
 struct TreeSlot {
     /// The id this slot currently belongs to (stale once freed).
@@ -1808,6 +1815,24 @@ mod tests {
 
     fn profile(id: u64, bw: f64) -> MemberProfile {
         MemberProfile::new(NodeId(id), bw, SimTime::ZERO, 1e6, Location(id as u32))
+    }
+
+    /// Pins the audited arena slot size (see the `TreeSlot` doc). Debug
+    /// builds carry two extra generation counters (slot + parent index),
+    /// so the release budget is only asserted without debug assertions.
+    #[test]
+    fn tree_slot_size_stays_audited() {
+        let size = std::mem::size_of::<TreeSlot>();
+        #[cfg(not(debug_assertions))]
+        assert!(
+            size <= 96,
+            "TreeSlot grew to {size} bytes; re-audit the layout comment"
+        );
+        #[cfg(debug_assertions)]
+        assert!(
+            size <= 112,
+            "TreeSlot (debug) grew to {size} bytes; re-audit the layout comment"
+        );
     }
 
     fn tree_with_capacity(root_bw: f64) -> MulticastTree {

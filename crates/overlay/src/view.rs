@@ -73,7 +73,12 @@ impl ViewSampler {
 
     /// Samples a view excluding one member (a joiner never discovers
     /// itself; a rejoining member must not pick its own descendants —
-    /// callers filter those separately).
+    /// callers filter those separately). `membership` must be
+    /// duplicate-free, as a live-member list is.
+    ///
+    /// This scans for the excluded member's position; callers that
+    /// already track positions should use
+    /// [`sample_excluding_at`](Self::sample_excluding_at) directly.
     #[must_use]
     pub fn sample_excluding(
         &self,
@@ -81,12 +86,38 @@ impl ViewSampler {
         exclude: NodeId,
         rng: &mut SimRng,
     ) -> Vec<NodeId> {
-        let filtered: Vec<NodeId> = membership
-            .iter()
-            .copied()
-            .filter(|&m| m != exclude)
-            .collect();
-        rng.sample(&filtered, self.view_size)
+        let pos = membership.iter().position(|&m| m == exclude);
+        self.sample_excluding_at(membership, pos, rng)
+    }
+
+    /// [`sample_excluding`](Self::sample_excluding) with the excluded
+    /// member's position supplied by the caller (`None` when the member
+    /// is not in `membership`).
+    ///
+    /// Instead of materializing the filtered membership — an O(M) copy
+    /// per join, which at 10^6 live members dwarfed the decision it fed —
+    /// this samples *indices* of the virtual sequence with the excluded
+    /// slot spliced out and shifts them past the hole. The index stream
+    /// and the returned view are bitwise identical to filtering first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exclude_pos` is out of range for `membership`.
+    #[must_use]
+    pub fn sample_excluding_at(
+        &self,
+        membership: &[NodeId],
+        exclude_pos: Option<usize>,
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        let Some(hole) = exclude_pos else {
+            return rng.sample(membership, self.view_size);
+        };
+        assert!(hole < membership.len(), "exclude position out of range");
+        rng.sample_indices(membership.len() - 1, self.view_size)
+            .into_iter()
+            .map(|i| membership[if i < hole { i } else { i + 1 }])
+            .collect()
     }
 }
 
@@ -129,6 +160,35 @@ mod tests {
         let view = sampler.sample_excluding(&live, NodeId(7), &mut rng);
         assert_eq!(view.len(), 29);
         assert!(!view.contains(&NodeId(7)));
+    }
+
+    #[test]
+    fn positioned_sampling_matches_filtered_reference() {
+        // `sample_excluding_at` must be bitwise-equivalent to filtering
+        // the membership first (the pre-PR-10 implementation): identical
+        // RNG consumption, identical view. Covers hole-at-ends,
+        // hole-in-middle, absent member and both sampler code paths.
+        for (n, view, hole) in [
+            (30u64, 50, Some(0usize)),
+            (30, 50, Some(29)),
+            (500, 10, Some(250)),
+            (5000, 100, Some(4321)),
+            (5000, 100, None),
+            (20000, 100, Some(12345)),
+        ] {
+            let sampler = ViewSampler::new(view);
+            let live = members(n);
+            let exclude = hole.map_or(NodeId(n + 1), |p| live[p]);
+
+            let mut rng = SimRng::seed_from(6);
+            let got = sampler.sample_excluding_at(&live, hole, &mut rng);
+
+            let mut reference_rng = SimRng::seed_from(6);
+            let filtered: Vec<NodeId> = live.iter().copied().filter(|&m| m != exclude).collect();
+            let want = reference_rng.sample(&filtered, view);
+            assert_eq!(got, want, "n={n} view={view} hole={hole:?}");
+            assert_eq!(rng.uniform().to_bits(), reference_rng.uniform().to_bits());
+        }
     }
 
     #[test]

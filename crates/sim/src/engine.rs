@@ -5,6 +5,8 @@
 //! which it may enqueue follow-up events. The loop guarantees that time
 //! never moves backwards and that same-time events fire in FIFO order.
 
+use rom_obs::Prof;
+
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -105,6 +107,7 @@ pub struct Simulation<E> {
     processed: u64,
     max_events: Option<u64>,
     event_hook: Option<Box<dyn FnMut(SimTime, usize)>>,
+    prof: Option<Prof>,
 }
 
 impl<E: std::fmt::Debug> std::fmt::Debug for Simulation<E> {
@@ -115,6 +118,7 @@ impl<E: std::fmt::Debug> std::fmt::Debug for Simulation<E> {
             .field("processed", &self.processed)
             .field("max_events", &self.max_events)
             .field("event_hook", &self.event_hook.as_ref().map(|_| ".."))
+            .field("prof", &self.prof.is_some())
             .finish()
     }
 }
@@ -129,6 +133,7 @@ impl<E> Simulation<E> {
             processed: 0,
             max_events: None,
             event_hook: None,
+            prof: None,
         }
     }
 
@@ -154,6 +159,15 @@ impl<E> Simulation<E> {
     /// Removes the observability hook, if any.
     pub fn clear_event_hook(&mut self) {
         self.event_hook = None;
+    }
+
+    /// Attaches a span profiler. Each queue interaction (peek + pop) in
+    /// [`Simulation::run_until`] is then timed under a root `sim.queue`
+    /// span, so `rom-prof` reports show what the event kernel itself
+    /// costs relative to the handlers it dispatches. A disabled [`Prof`]
+    /// adds one branch per event; no profiler adds nothing.
+    pub fn set_prof(&mut self, prof: Prof) {
+        self.prof = Some(prof);
     }
 
     /// The current simulation time.
@@ -186,10 +200,14 @@ impl<E> Simulation<E> {
         F: FnMut(SimTime, E, &mut Schedule<'_, E>),
     {
         loop {
+            // The guard times the peek + pop pair (dropped before the
+            // handler runs, so handler spans do not nest under it).
+            let queue_span = self.prof.as_ref().map(|p| p.span("sim.queue"));
             let Some(next_time) = self.queue.peek_time() else {
                 return RunOutcome::Drained;
             };
             if next_time > horizon {
+                drop(queue_span);
                 self.now = horizon;
                 return RunOutcome::HorizonReached;
             }
@@ -199,6 +217,7 @@ impl<E> Simulation<E> {
                 }
             }
             let (time, event) = self.queue.pop().expect("peeked event exists");
+            drop(queue_span);
             debug_assert!(time >= self.now, "event queue violated monotonicity");
             self.now = time;
             self.processed += 1;
@@ -224,6 +243,13 @@ impl<E> Simulation<E> {
     #[must_use]
     pub fn queue_high_water_mark(&self) -> usize {
         self.queue.high_water_mark()
+    }
+
+    /// Peak payload bytes held by the event queue (deterministic; see
+    /// [`EventQueue::bytes_high_water`]).
+    #[must_use]
+    pub fn queue_bytes_high_water(&self) -> u64 {
+        self.queue.bytes_high_water()
     }
 }
 

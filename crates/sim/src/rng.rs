@@ -201,13 +201,63 @@ impl SimRng {
     /// Draws `k` distinct elements from `items` by partial shuffle; returns
     /// fewer when `items.len() < k`.
     pub fn sample<T: Clone>(&mut self, items: &[T], k: usize) -> Vec<T> {
-        let mut idx: Vec<usize> = (0..items.len()).collect();
-        let take = k.min(items.len());
-        for i in 0..take {
-            let j = i + self.index(idx.len() - i);
-            idx.swap(i, j);
+        self.sample_indices(items.len(), k)
+            .into_iter()
+            .map(|i| items[i].clone())
+            .collect()
+    }
+
+    /// The index form of [`sample`](Self::sample): `k` distinct positions
+    /// drawn uniformly without replacement from `0..len`, in draw order.
+    ///
+    /// Both code paths run the same partial Fisher–Yates and therefore
+    /// draw an identical RNG stream and return identical indices; the
+    /// sparse path merely stores only the slots a swap has displaced, so
+    /// a bounded sample from a huge population costs O(k²) worst-case in
+    /// the (tiny) displacement map instead of materializing an O(len)
+    /// index vector. That bound is what keeps per-join view sampling
+    /// flat as the membership grows to 10^6. The crossover favours the
+    /// dense path generously: its sequential init beats sparse
+    /// bookkeeping until `len` is tens of times `k`.
+    pub fn sample_indices(&mut self, len: usize, k: usize) -> Vec<usize> {
+        let take = k.min(len);
+        let mut picked = Vec::with_capacity(take);
+        if take * 64 < len {
+            // Sparse permutation: slot p holds p unless an entry in the
+            // (position-sorted) displacement vec says otherwise. Slot i
+            // is dead after iteration i, so its entry is removed rather
+            // than read — the vec stays near-empty for uniform draws.
+            let mut displaced: Vec<(usize, usize)> = Vec::new();
+            for i in 0..take {
+                let j = i + self.index(len - i);
+                let swapped_out = match displaced.binary_search_by_key(&i, |e| e.0) {
+                    Ok(pos) => displaced.remove(pos).1,
+                    Err(_) => i,
+                };
+                if j == i {
+                    picked.push(swapped_out);
+                    continue;
+                }
+                match displaced.binary_search_by_key(&j, |e| e.0) {
+                    Ok(pos) => {
+                        picked.push(displaced[pos].1);
+                        displaced[pos].1 = swapped_out;
+                    }
+                    Err(pos) => {
+                        picked.push(j);
+                        displaced.insert(pos, (j, swapped_out));
+                    }
+                }
+            }
+        } else {
+            let mut idx: Vec<usize> = (0..len).collect();
+            for i in 0..take {
+                let j = i + self.index(len - i);
+                idx.swap(i, j);
+            }
+            picked.extend_from_slice(&idx[..take]);
         }
-        idx[..take].iter().map(|&i| items[i].clone()).collect()
+        picked
     }
 }
 
@@ -316,6 +366,38 @@ mod tests {
         assert_eq!(sorted.len(), 10, "samples must be distinct");
         let too_many = rng.sample(&items, 100);
         assert_eq!(too_many.len(), 50);
+    }
+
+    #[test]
+    fn sparse_sample_matches_dense_reference() {
+        // The sparse partial Fisher–Yates must reproduce the dense
+        // original bitwise: same RNG draws, same picks, in the same
+        // order. Sweep across the take*64 < len threshold so both code
+        // paths are exercised against the reference, including the
+        // boundary (129, 2) where the sparse path barely engages.
+        for (len, k) in [
+            (1usize, 1usize),
+            (9, 1),
+            (64, 7),
+            (129, 2),
+            (1000, 3),
+            (5000, 100),
+            (20000, 100),
+        ] {
+            let mut fast = SimRng::seed_from(23);
+            let picked = fast.sample_indices(len, k);
+
+            let mut reference = SimRng::seed_from(23);
+            let mut idx: Vec<usize> = (0..len).collect();
+            let take = k.min(len);
+            for i in 0..take {
+                let j = i + reference.index(len - i);
+                idx.swap(i, j);
+            }
+            assert_eq!(picked, idx[..take], "len={len} k={k}");
+            // Both generators must end in the same state.
+            assert_eq!(fast.next_u64(), reference.next_u64());
+        }
     }
 
     #[test]
